@@ -1,0 +1,63 @@
+"""Ablation: curve choice (the paper fixes secp256r1; what does it cost?).
+
+All of the paper's experiments use the 256-bit SEC curve.  This ablation
+re-runs the STS protocol on the neighbouring SEC curves and reports how
+the security level trades against certificate size (Table II analog) and
+run time (operation counts are curve-independent; per-operation cost
+scales with field size, wall-clocked here on the actual implementation).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ec import get_curve
+from repro.ecqv import minimal_cert_size
+from repro.protocols import run_protocol
+from repro.testbed import make_testbed
+
+CURVES = ("secp192r1", "secp224r1", "secp256r1", "secp384r1")
+
+
+@pytest.mark.parametrize("curve_name", CURVES)
+def test_sts_across_curves(benchmark, curve_name):
+    """Wall-clock one STS run per curve; checks cert-size scaling."""
+    curve = get_curve(curve_name)
+    testbed = make_testbed(
+        ("alice", "bob"), curve=curve, seed=b"ablation-" + curve_name.encode()
+    )
+
+    def run():
+        party_a, party_b = testbed.party_pair("sts", "alice", "bob")
+        return run_protocol(party_a, party_b)
+
+    transcript = benchmark(run)
+    # Certificate field tracks the curve: 68 + field_bytes + 1.
+    assert minimal_cert_size(curve) == 69 + curve.field_bytes
+    cert_field = transcript.messages[1].field_value("Cert")
+    assert len(cert_field) == minimal_cert_size(curve)
+    # XG field is the raw point: 2 * field_bytes.
+    assert len(transcript.messages[0].field_value("XG")) == 2 * curve.field_bytes
+
+
+def test_total_bytes_scale_with_curve(benchmark):
+    """Table II totals across curves: 491 B at 256 bits, less below."""
+
+    def totals():
+        result = {}
+        for curve_name in CURVES:
+            testbed = make_testbed(
+                ("alice", "bob"),
+                curve=get_curve(curve_name),
+                seed=b"bytes-" + curve_name.encode(),
+            )
+            party_a, party_b = testbed.party_pair("sts", "alice", "bob")
+            result[curve_name] = run_protocol(party_a, party_b).total_bytes
+        return result
+
+    sizes = benchmark(totals)
+    assert sizes["secp256r1"] == 491  # the paper's configuration
+    assert (
+        sizes["secp192r1"] < sizes["secp224r1"]
+        < sizes["secp256r1"] < sizes["secp384r1"]
+    )

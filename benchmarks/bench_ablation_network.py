@@ -1,0 +1,86 @@
+"""Ablation: CAN configuration effects on the session transfer share.
+
+The paper fixes CAN-FD at 0.5/2 Mbit/s and reports transfer time as
+negligible.  This ablation varies the network: classic-CAN-like rates,
+slower/faster data phases, and ISO-TP pacing (STmin), quantifying when
+the "transfer is negligible" conclusion starts to erode.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hardware import S32K144
+from repro.network import CanFdBus, CanFdBusConfig, IsoTpChannel, NetworkStack
+from repro.protocols import run_protocol
+from repro.sim import simulate_session_timeline
+from repro.testbed import make_testbed
+
+CONFIGS = {
+    "paper (0.5/2M)": CanFdBusConfig(500_000, 2_000_000),
+    "classic-ish (125k/125k)": CanFdBusConfig(125_000, 125_000),
+    "fast (1M/8M)": CanFdBusConfig(1_000_000, 8_000_000),
+}
+
+
+def _stack(config: CanFdBusConfig, st_min: int = 0) -> NetworkStack:
+    bus = CanFdBus(config)
+    return NetworkStack(bus=bus, channel=IsoTpChannel(bus=bus, st_min_ms=st_min))
+
+
+@pytest.mark.parametrize("label", list(CONFIGS))
+def test_sts_transfer_share(benchmark, label):
+    """Transfer share of an STS session under each bus configuration."""
+    testbed = make_testbed(("bms", "evcc"), seed=b"ablation-net")
+    party_a, party_b = testbed.party_pair("sts", "bms", "evcc")
+    transcript = run_protocol(party_a, party_b)
+
+    def simulate():
+        return simulate_session_timeline(
+            transcript, S32K144, stack=_stack(CONFIGS[label])
+        )
+
+    timeline = benchmark(simulate)
+    share = timeline.transfer_ms / timeline.total_ms
+    # Even at classic-CAN rates the crypto dominates on an S32K144.
+    assert share < 0.02, (label, share)
+
+
+def test_st_min_pacing_dominates_wire_time(benchmark):
+    """ISO-TP STmin (receiver pacing), not the bit rate, is what can make
+    transfers non-negligible — a deployment pitfall the paper's setup
+    (STmin=0) avoids."""
+    testbed = make_testbed(("bms", "evcc"), seed=b"ablation-stmin")
+    party_a, party_b = testbed.party_pair("sts", "bms", "evcc")
+    transcript = run_protocol(party_a, party_b)
+
+    def simulate():
+        return simulate_session_timeline(
+            transcript,
+            S32K144,
+            stack=_stack(CONFIGS["paper (0.5/2M)"], st_min=20),
+        )
+
+    paced = benchmark(simulate)
+    unpaced = simulate_session_timeline(
+        transcript, S32K144, stack=_stack(CONFIGS["paper (0.5/2M)"])
+    )
+    assert paced.transfer_ms > 10 * unpaced.transfer_ms
+
+
+def test_fd_vs_classic_rate_frame_counts(benchmark):
+    """Frame counts are rate-independent; only durations change."""
+    testbed = make_testbed(("bms", "evcc"), seed=b"ablation-frames")
+    party_a, party_b = testbed.party_pair("sts", "bms", "evcc")
+    transcript = run_protocol(party_a, party_b)
+
+    def frames(config):
+        stack = _stack(config)
+        for message in transcript.messages:
+            stack.kd_transfer(1, message.label, message.payload)
+        return stack.bus.frames_sent, stack.bus.busy_ms
+
+    result = benchmark(lambda: {k: frames(c) for k, c in CONFIGS.items()})
+    counts = {k: v[0] for k, v in result.items()}
+    assert len(set(counts.values())) == 1
+    assert result["classic-ish (125k/125k)"][1] > result["fast (1M/8M)"][1]

@@ -1,0 +1,80 @@
+"""Ablation: scalar-multiplication strategy choices behind the cost model.
+
+Two modelling decisions in ``repro.hardware.cost`` are checked against
+the actual implementation's wall clock:
+
+* the Strauss–Shamir double multiplication is priced at 1.08 × a single
+  multiplication (it is what makes ECDSA verification and the SCIANC
+  fusion cheap) — measured here to confirm it is far below 2×;
+* the uniform ladder (side-channel-hardened style) costs measurably more
+  than wNAF, quantifying what constant-time hardening would add to every
+  Table I cell.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.ec import SECP256R1, mul_base, mul_double, mul_ladder, mul_point
+
+K1 = 0xA1B2C3D4E5F60718293A4B5C6D7E8F90A1B2C3D4E5F60718293A4B5C6D7E8F90 % SECP256R1.n
+K2 = 0x1122334455667788991122334455667788991122334455667788991122334455 % SECP256R1.n
+P = mul_base(7, SECP256R1)
+Q = mul_base(11, SECP256R1)
+
+
+def test_wnaf_single_mult(benchmark):
+    result = benchmark(mul_point, K1, P)
+    assert not result.is_infinity
+
+
+def test_double_mult(benchmark):
+    result = benchmark(mul_double, K1, P, K2, Q)
+    assert not result.is_infinity
+
+
+def test_ladder_mult(benchmark):
+    result = benchmark(mul_ladder, K1, P)
+    assert not result.is_infinity
+
+
+def test_double_mult_is_fused_not_two(benchmark):
+    """The modelling claim: u*P + v*Q costs ~1.1-1.5 single mults, not 2.
+
+    (Wall-clock in Python is noisier than cycle counts; the assertion
+    brackets the ratio far from the 2.0 an unfused implementation shows.)
+    """
+
+    def measure():
+        n = 8
+        t0 = time.perf_counter()
+        for _ in range(n):
+            mul_point(K1, P)
+        single = (time.perf_counter() - t0) / n
+        t0 = time.perf_counter()
+        for _ in range(n):
+            mul_double(K1, P, K2, Q)
+        double = (time.perf_counter() - t0) / n
+        return double / single
+
+    ratio = benchmark(measure)
+    assert 0.9 < ratio < 1.8, ratio
+
+
+def test_ladder_overhead_vs_wnaf(benchmark):
+    """Uniform-schedule hardening costs extra; quantify it."""
+
+    def measure():
+        n = 8
+        t0 = time.perf_counter()
+        for _ in range(n):
+            mul_point(K1, P)
+        wnaf = (time.perf_counter() - t0) / n
+        t0 = time.perf_counter()
+        for _ in range(n):
+            mul_ladder(K1, P)
+        ladder = (time.perf_counter() - t0) / n
+        return ladder / wnaf
+
+    ratio = benchmark(measure)
+    assert ratio > 1.1, ratio  # the ladder must be measurably slower

@@ -1,0 +1,77 @@
+"""Microbenchmarks of the from-scratch crypto substrate.
+
+Not a paper artifact — these give the wall-clock cost of our pure-Python
+primitives so readers can relate the cost-model milliseconds (embedded C)
+to what actually runs here (laptop Python).  They also guard against
+accidental performance regressions in the inner loops every experiment
+depends on.
+"""
+
+from __future__ import annotations
+
+from repro.ec import SECP256R1, mul_base, mul_double, mul_point
+from repro.ecdsa import keypair_from_private, sign, verify
+from repro.primitives import Aes, cbc_encrypt, cmac, hkdf, hmac, sha256
+
+K = 0x1234567890ABCDEF1234567890ABCDEF1234567890ABCDEF
+KEYPAIR = keypair_from_private(SECP256R1, K)
+SIG = sign(SECP256R1, K, b"benchmark message")
+
+
+def test_scalar_mult_general(benchmark):
+    point = mul_base(7, SECP256R1)
+    result = benchmark(mul_point, K, point)
+    assert not result.is_infinity
+
+
+def test_scalar_mult_base(benchmark):
+    result = benchmark(mul_base, K, SECP256R1)
+    assert not result.is_infinity
+
+
+def test_scalar_mult_double(benchmark):
+    q = mul_base(7, SECP256R1)
+    result = benchmark(mul_double, K, SECP256R1.generator, K // 2, q)
+    assert not result.is_infinity
+
+
+def test_ecdsa_sign(benchmark):
+    sig = benchmark(sign, SECP256R1, K, b"benchmark message")
+    assert sig.r > 0
+
+
+def test_ecdsa_verify(benchmark):
+    ok = benchmark(verify, KEYPAIR.public, b"benchmark message", SIG)
+    assert ok
+
+
+def test_sha256_1kib(benchmark):
+    data = b"\xab" * 1024
+    digest = benchmark(sha256, data)
+    assert len(digest) == 32
+
+
+def test_hmac_sha256(benchmark):
+    tag = benchmark(hmac, b"key", b"message" * 16)
+    assert len(tag) == 32
+
+
+def test_aes128_block(benchmark):
+    cipher = Aes(b"0123456789abcdef")
+    block = benchmark(cipher.encrypt_block, b"\x00" * 16)
+    assert len(block) == 16
+
+
+def test_aes_cbc_64_bytes(benchmark):
+    ct = benchmark(cbc_encrypt, b"0123456789abcdef", b"\x00" * 16, b"x" * 64)
+    assert len(ct) == 80  # + padding block
+
+
+def test_cmac_64_bytes(benchmark):
+    tag = benchmark(cmac, b"0123456789abcdef", b"y" * 64)
+    assert len(tag) == 16
+
+
+def test_hkdf_48_bytes(benchmark):
+    okm = benchmark(hkdf, b"ikm", b"salt", b"info", 48)
+    assert len(okm) == 48

@@ -1,0 +1,22 @@
+"""Benches for the derived analyses: energy estimates and the capability sweep."""
+
+from __future__ import annotations
+
+from repro.experiments import run_energy, run_sweep
+
+
+def test_energy_estimates(benchmark):
+    """Per-session energy for every protocol × device (PPK2 substitute)."""
+    result = benchmark(run_energy)
+    assert result.orderings_match_time()
+    for device in ("atmega2560", "s32k144", "stm32f767", "rpi4"):
+        assert result.sts_premium_mj(device) > 0
+    print("\n" + result.render())
+
+
+def test_capability_sweep(benchmark):
+    """STS premium across a continuum of device capabilities."""
+    result = benchmark(run_sweep)
+    assert result.ratio_is_structural()
+    assert result.crossover_ms(100.0) is not None
+    print("\n" + result.render())

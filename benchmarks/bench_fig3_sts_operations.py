@@ -1,0 +1,46 @@
+"""Benchmark ``fig3``: per-operation STS times on the STM32F767.
+
+Also wall-clock-benchmarks the four §IV-C operations of our *actual*
+pure-Python implementation, giving a second, independent view of the
+Op1..Op4 cost ordering.
+"""
+
+from __future__ import annotations
+
+from repro.ec import SECP256R1, mul_base, mul_point
+from repro.ecqv import reconstruct_public_key
+from repro.experiments import run_fig3
+from repro.primitives import HmacDrbg
+
+
+def test_fig3_reproduction(benchmark):
+    """Regenerate the Fig. 3 series and check its shape."""
+    result = benchmark(run_fig3)
+    assert result.ordering_holds()
+    # Op2 ≈ 2 scalar mults, Op1 ≈ 1.
+    assert 1.8 < result.mean_ms("op2") / result.mean_ms("op1") < 2.2
+    print("\n" + result.render())
+
+
+def test_op1_xg_generation(benchmark, testbed):
+    """Op1 wall-clock: ephemeral scalar + base-point multiplication."""
+    rng = HmacDrbg(b"bench-op1")
+
+    def op1():
+        return mul_base(rng.random_scalar(SECP256R1.n), SECP256R1)
+
+    point = benchmark(op1)
+    assert not point.is_infinity
+
+
+def test_op2_pubkey_and_premaster(benchmark, testbed):
+    """Op2 wall-clock: implicit reconstruction + premaster derivation."""
+    cert = testbed.credentials["bob"].certificate
+    ephemeral = 0x1234567890ABCDEF1234567890ABCDEF
+
+    def op2():
+        q_b = reconstruct_public_key(cert, testbed.ca.public_key)
+        return mul_point(ephemeral, q_b)
+
+    premaster = benchmark(op2)
+    assert not premaster.is_infinity

@@ -1,0 +1,21 @@
+"""Benchmark ``fig4``: total KD processing time comparison (STM32F767)."""
+
+from __future__ import annotations
+
+from repro.experiments import run_fig4, run_table1
+
+
+def test_fig4_reproduction(benchmark):
+    """Regenerate the Fig. 4 bar series and check the ordering."""
+    result = benchmark(lambda: run_fig4(table1=run_table1()))
+    assert result.orderings_agree()
+    assert result.ordering()[0] == "scianc"
+    assert result.ordering()[-1] == "sts"
+    print("\n" + result.render())
+
+
+def test_fig4_crossover_opt2_beats_static(benchmark):
+    """The paper's crossover: STS opt. II undercuts static S-ECDSA."""
+    result = benchmark(lambda: run_fig4(table1=run_table1()))
+    assert result.modelled_ms["sts-opt2"] < result.modelled_ms["s-ecdsa"]
+    assert result.modelled_ms["sts"] > result.modelled_ms["s-ecdsa"]

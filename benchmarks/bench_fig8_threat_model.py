@@ -1,0 +1,13 @@
+"""Benchmark ``fig8``: the STS-ECQV threat-model block diagram."""
+
+from __future__ import annotations
+
+from repro.experiments import run_fig8
+
+
+def test_fig8_reproduction(benchmark):
+    """Build the threat-model graph; every threat must be covered."""
+    result = benchmark(run_fig8)
+    assert result.fully_covered
+    assert result.coverage["T3"] == ["R"]  # node capture: partial only
+    print("\n" + result.render())

@@ -1,0 +1,39 @@
+"""Wall-clock benchmarks of complete protocol runs (our Python stack).
+
+Complements Table I: the *relative* cost ordering of the protocols should
+hold even in pure Python, since it is dominated by the same EC operation
+counts the device models price.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.protocols import TABLE_ORDER, run_protocol
+
+
+@pytest.mark.parametrize("protocol", TABLE_ORDER)
+def test_protocol_run(benchmark, testbed, protocol):
+    """Time one full session establishment (both parties, in memory)."""
+
+    def run():
+        party_a, party_b = testbed.party_pair(protocol, "alice", "bob")
+        return run_protocol(party_a, party_b)
+
+    transcript = benchmark(run)
+    assert transcript.party_a.session_key == transcript.party_b.session_key
+
+
+def test_ecqv_issuance(benchmark, testbed):
+    """Time one certificate issuance round-trip."""
+    from repro.ecqv import issue_credential
+    from repro.primitives import HmacDrbg
+
+    counter = iter(range(10**9))
+
+    def issue():
+        rng = HmacDrbg(b"bench-issue", personalization=str(next(counter)).encode())
+        return issue_credential(testbed.ca, b"bench-device----", rng)
+
+    credential = benchmark(issue)
+    assert credential.private_key > 0

@@ -1,0 +1,52 @@
+"""Benchmark ``tab1``: regenerate Table I (execution time × devices).
+
+The benchmark times the full Table I reproduction (7 protocol variants
+run with real cryptography, priced on 4 calibrated device models) and
+asserts the reproduced cells stay within tolerance of the paper.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import run_table1
+from repro.hardware import DEVICES, PAPER_TABLE1, pair_time_ms
+from repro.protocols import TABLE_ORDER
+from repro.sim.schedule import protocol_total_ms
+
+
+def test_table1_full_reproduction(benchmark):
+    """Regenerate the whole table; check deltas and orderings."""
+    result = benchmark(run_table1)
+    assert result.max_abs_delta() < 0.15
+    assert result.orderings_hold()
+    print("\n" + result.render())
+
+
+def test_table1_single_protocol_pricing(benchmark, transcripts):
+    """Pricing one completed transcript on all devices is trace-cheap."""
+
+    def price_all():
+        return {
+            (name, device.name): protocol_total_ms(transcripts[name], device)
+            for name in TABLE_ORDER
+            for device in DEVICES.values()
+        }
+
+    cells = benchmark(price_all)
+    for (name, device_name), modelled in cells.items():
+        paper = PAPER_TABLE1[name][device_name]
+        assert abs(modelled / paper - 1) < 0.15
+
+
+def test_table1_sts_vs_s_ecdsa_headline(benchmark, transcripts):
+    """The ~20 % STS overhead claim, on every device."""
+
+    def headline():
+        return {
+            device.name: pair_time_ms(transcripts["sts"], device)
+            / pair_time_ms(transcripts["s-ecdsa"], device)
+            for device in DEVICES.values()
+        }
+
+    ratios = benchmark(headline)
+    for device_name, ratio in ratios.items():
+        assert 1.15 < ratio < 1.30, (device_name, ratio)

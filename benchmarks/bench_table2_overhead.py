@@ -1,0 +1,22 @@
+"""Benchmark ``tab2``: communication steps and transmission overhead."""
+
+from __future__ import annotations
+
+from repro.analysis import PAPER_TABLE2, verify_against_paper
+from repro.experiments import run_table2
+
+
+def test_table2_reproduction(benchmark):
+    """Regenerate Table II from serialized messages; must match exactly."""
+    result = benchmark(run_table2)
+    assert result.all_match_paper()
+    verify_against_paper(result.rows)
+    print("\n" + result.render())
+
+
+def test_table2_byte_totals(benchmark):
+    """Per-protocol byte totals equal the paper's numbers exactly."""
+    result = benchmark(run_table2)
+    for name, (steps, total) in PAPER_TABLE2.items():
+        assert result.rows[name].n_steps == steps
+        assert result.rows[name].total_bytes == total

@@ -1,0 +1,31 @@
+"""Benchmark ``tab3``: the security matrix, built from executed attacks."""
+
+from __future__ import annotations
+
+from repro.experiments import run_table3
+from repro.security import record_then_compromise
+from repro.testbed import make_testbed
+
+
+def test_table3_reproduction(benchmark):
+    """Evaluate the full matrix (runs the attack suite); must match paper."""
+    result = benchmark(run_table3)
+    assert result.matches_paper()
+    print("\n" + result.render())
+
+
+def test_forward_secrecy_attack_cost(benchmark):
+    """Time the record-then-compromise attack against S-ECDSA.
+
+    The attack itself is cheap (one fused recomputation + decryptions) —
+    which is exactly why static KD is dangerous.
+    """
+    testbed = make_testbed(("alice", "bob"), seed=b"bench-attack")
+    result = benchmark(lambda: record_then_compromise(testbed, "s-ecdsa"))
+    assert result.success
+
+
+def test_sts_resists_same_attack(benchmark):
+    testbed = make_testbed(("alice", "bob"), seed=b"bench-attack-sts")
+    result = benchmark(lambda: record_then_compromise(testbed, "sts"))
+    assert not result.success

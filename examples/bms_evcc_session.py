@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""The paper's prototype (§V-C): BMS ↔ EVCC over CAN-FD, STS vs S-ECDSA.
+
+Two S32K144 ECUs — a battery management system controller and an electric
+vehicle charging controller — establish a secure session over a CAN-FD
+link (0.5 Mbit/s nominal / 2 Mbit/s data phase) with ISO-TP message
+fragmentation.  The script reconstructs the paper's Fig. 7 timelines for
+both the proposed STS protocol and the conventional static S-ECDSA and
+reports the headline comparison (paper: 3.257 s vs 2.677 s, +21.67 %,
+physical transfer < 1 ms).
+
+Run:  python examples/bms_evcc_session.py
+"""
+
+from __future__ import annotations
+
+from repro.experiments.fig7 import prototype_stack
+from repro.hardware import S32K144, estimate_energy
+from repro.network import NetworkStack
+from repro.protocols import run_protocol
+from repro.sim import simulate_session_timeline
+from repro.testbed import make_testbed
+
+
+def main() -> None:
+    testbed = make_testbed(("bms", "evcc"), seed=b"bms-evcc-prototype")
+    results = {}
+    for protocol in ("sts", "s-ecdsa"):
+        party_a, party_b = testbed.party_pair(protocol, "bms", "evcc")
+        transcript = run_protocol(party_a, party_b)
+        stack: NetworkStack = prototype_stack()
+        timeline = simulate_session_timeline(
+            transcript, S32K144, stack=stack, device_names=("BMS", "EVCC")
+        )
+        results[protocol] = (transcript, timeline, stack)
+        print(timeline.render())
+        print(
+            f"  bus: {stack.bus.frames_sent} CAN-FD frames,"
+            f" {stack.bus.bytes_sent} data bytes,"
+            f" {stack.bus.busy_ms:.3f} ms on the wire"
+        )
+        energy = estimate_energy(transcript, S32K144)
+        print(f"  energy (PPK2-style estimate): {energy.total_mj:.1f} mJ\n")
+
+    sts_ms = results["sts"][1].total_ms
+    base_ms = results["s-ecdsa"][1].total_ms
+    print("Headline comparison (paper: 3.257 s vs 2.677 s, +21.67 %):")
+    print(f"  STS:      {sts_ms / 1000:.3f} s")
+    print(f"  S-ECDSA:  {base_ms / 1000:.3f} s")
+    print(f"  overhead: {100 * (sts_ms / base_ms - 1):+.2f} %")
+    print(
+        "  ...for which STS buys forward secrecy that S-ECDSA lacks"
+        " (see examples/security_audit.py)"
+    )
+
+
+if __name__ == "__main__":
+    main()

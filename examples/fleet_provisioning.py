@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Fleet provisioning: certificate sessions vs communication sessions.
+
+The paper distinguishes the *certificate session* (validity of the issued
+certificates, e.g. one engine start) from the *communication session*
+(one message exchange).  This example provisions a small vehicle network
+— gateway CA plus several ECUs — and demonstrates:
+
+* pairwise STS sessions between any two ECUs under one certificate
+  session (every communication session gets a fresh key),
+* certificate expiry ending the certificate session,
+* re-issuance (a new certificate session) and how PORAMB's pairwise
+  pre-shared keys scale quadratically while ECQV needs only the CA key.
+
+Run:  python examples/fleet_provisioning.py
+"""
+
+from __future__ import annotations
+
+from repro.errors import ReproError
+from repro.protocols import run_protocol
+from repro.testbed import make_testbed
+
+ECUS = ("bms", "evcc", "inverter", "obc", "gateway2")
+
+
+def main() -> None:
+    testbed = make_testbed(ECUS, seed=b"fleet", validity_seconds=3600)
+    print(f"Provisioned {len(ECUS)} ECUs under one CA"
+          f" (certificate session: 1 h).")
+    print(f"  stored trust anchors per ECU with ECQV: 1 (the CA key)")
+    n = len(ECUS)
+    print(f"  pre-shared keys PORAMB would need: {n - 1} per ECU,"
+          f" {n * (n - 1) // 2} fleet-wide\n")
+
+    # Pairwise communication sessions - every pair, fresh keys each time.
+    print("Pairwise STS sessions (communication sessions):")
+    seen_keys: set[bytes] = set()
+    for i, left in enumerate(ECUS):
+        for right in ECUS[i + 1 :]:
+            party_a, party_b = testbed.party_pair("sts", left, right)
+            transcript = run_protocol(party_a, party_b)
+            key = party_a.session_key
+            assert key not in seen_keys
+            seen_keys.add(key)
+            print(f"  {left:9s} <-> {right:9s} key={key.hex()[:16]}…"
+                  f" ({transcript.total_bytes} B exchanged)")
+    print(f"  {len(seen_keys)} sessions, {len(seen_keys)} distinct keys\n")
+
+    # Repeat a pair: still a fresh key (DKD).
+    party_a, party_b = testbed.party_pair("sts", "bms", "evcc")
+    run_protocol(party_a, party_b)
+    assert party_a.session_key not in seen_keys
+    print("Re-running bms<->evcc inside the same certificate session"
+          " still derives a fresh key (DKD).\n")
+
+    # End of the certificate session: certificates expire.
+    ctx_a, ctx_b = testbed.context_pair("bms", "evcc")
+    ctx_a.now = ctx_b.now = testbed.now + 7200  # 2 h later
+    from repro.protocols import make_sts_pair
+
+    expired_a, expired_b = make_sts_pair(ctx_a, ctx_b)
+    try:
+        run_protocol(expired_a, expired_b)
+        raise ReproError("expired certificates must not establish a session")
+    except Exception as exc:
+        print(f"After expiry, session establishment fails as expected:\n"
+              f"  {type(exc).__name__}: {exc}\n")
+
+    # New certificate session: re-issue and continue.
+    from repro.ecqv import issue_credential
+    from repro.primitives import HmacDrbg
+
+    for name in ("bms", "evcc"):
+        testbed.credentials[name] = issue_credential(
+            testbed.ca,
+            testbed.credentials[name].subject_id,
+            HmacDrbg(b"reissue|" + name.encode()),
+            validity_seconds=3600,
+        )
+    party_a, party_b = testbed.party_pair("sts", "bms", "evcc")
+    transcript = run_protocol(party_a, party_b)
+    print("Re-issued certificates (new certificate session);"
+          " sessions establish again:")
+    print(f"  bms<->evcc key={party_a.session_key.hex()[:16]}…,"
+          f" serials now {transcript.party_a.ctx.credential.certificate.serial}"
+          f"/{transcript.party_b.ctx.credential.certificate.serial}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Cross-device protocol comparison: Tables I & II and Figs. 3 & 4.
+
+Runs all seven KD protocol variants (real cryptography), prices them on
+the four calibrated embedded device models, and prints the reproduced
+performance tables next to the paper's published numbers — including the
+STS Opt. I/II schedules (paper Eqs. 7/8) and the per-operation breakdown.
+
+Run:  python examples/protocol_comparison.py
+"""
+
+from __future__ import annotations
+
+from repro.experiments import run_fig3, run_fig4, run_table1, run_table2
+from repro.hardware import DEVICES, estimate_energy
+from repro.protocols import TABLE_ORDER, run_protocol
+from repro.testbed import make_testbed
+
+
+def main() -> None:
+    print("=" * 76)
+    print("Table I - execution time (modelled ms, delta vs paper)")
+    print("=" * 76)
+    table1 = run_table1()
+    print(table1.render())
+
+    print()
+    print("=" * 76)
+    print("Fig. 3 - STS operation breakdown on the STM32F767")
+    print("=" * 76)
+    print(run_fig3().render())
+
+    print()
+    print("=" * 76)
+    print("Fig. 4 - total processing time comparison")
+    print("=" * 76)
+    print(run_fig4(table1=table1).render())
+
+    print()
+    print("=" * 76)
+    print("Table II - communication steps and transmission overhead")
+    print("=" * 76)
+    print(run_table2().render())
+
+    print()
+    print("=" * 76)
+    print("Energy estimates per session establishment (mJ, both devices)")
+    print("=" * 76)
+    testbed = make_testbed(("alice", "bob"), seed=b"comparison")
+    header = f"{'Protocol':14s}" + "".join(
+        f"{d.label:>16s}" for d in DEVICES.values()
+    )
+    print(header)
+    for protocol in TABLE_ORDER:
+        party_a, party_b = testbed.party_pair(protocol, "alice", "bob")
+        transcript = run_protocol(party_a, party_b)
+        row = f"{protocol:14s}"
+        for device in DEVICES.values():
+            row += f"{estimate_energy(transcript, device).total_mj:16.1f}"
+        print(row)
+
+
+if __name__ == "__main__":
+    main()

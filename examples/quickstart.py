@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Quickstart: provision ECQV credentials, run STS, exchange secure data.
+
+This walks the three stages of the paper's Fig. 1 architecture:
+
+1. device authentication & deployment — a CA is set up and every device
+   learns its public key;
+2. certificate derivation — each device obtains an ECQV implicit
+   certificate (101 bytes) and reconstructs its own key pair;
+3. session establishment — two devices run the paper's STS dynamic key
+   derivation and open an encrypted session.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro.protocols import SecureSession, run_protocol
+from repro.testbed import make_testbed
+
+
+def main() -> None:
+    # --- stages 1 + 2: provision a CA and two devices ---------------------
+    testbed = make_testbed(("alice", "bob"), seed=b"quickstart")
+    alice_cred = testbed.credentials["alice"]
+    print("CA public key and device credentials provisioned:")
+    print(f"  CA id:        {testbed.ca.ca_id.decode().rstrip('-')}")
+    print(f"  certificate:  {len(alice_cred.certificate.encode())} bytes"
+          " (minimal ECQV encoding)")
+    print(f"  alice serial: {alice_cred.certificate.serial}")
+
+    # --- stage 3: STS dynamic key derivation ------------------------------
+    party_a, party_b = testbed.party_pair("sts", "alice", "bob")
+    transcript = run_protocol(party_a, party_b)
+    print("\nSTS-ECQV session established:")
+    for line in transcript.layout():
+        print(f"  {line}")
+    print(f"  total: {transcript.n_steps} messages,"
+          f" {transcript.total_bytes} bytes")
+    assert party_a.session_key == party_b.session_key
+    print(f"  session key: {party_a.session_key.hex()[:32]}… (48 bytes)")
+    print(f"  mutual authentication: A={party_a.peer_authenticated},"
+          f" B={party_b.peer_authenticated}")
+
+    # --- encrypted application traffic -------------------------------------
+    chan_a = SecureSession(party_a.session_key, "A")
+    chan_b = SecureSession(party_b.session_key, "B")
+    request = b"state of charge?"
+    record = chan_a.encrypt(request)
+    print("\nEncrypted session traffic:")
+    print(f"  alice -> bob: {record.hex()[:48]}… ({len(record)} bytes)")
+    print(f"  bob decrypts: {chan_b.decrypt(record).decode()!r}")
+    reply = chan_b.encrypt(b"soc=87%")
+    print(f"  bob -> alice: {chan_a.decrypt(reply).decode()!r}")
+
+    # --- the forward-secrecy point of the paper, in two lines --------------
+    party_a2, party_b2 = testbed.party_pair("sts", "alice", "bob")
+    run_protocol(party_a2, party_b2)
+    assert party_a2.session_key != party_a.session_key
+    print("\nA second session derives a completely fresh key"
+          " (dynamic key derivation):")
+    print(f"  session 1: {party_a.session_key.hex()[:24]}…")
+    print(f"  session 2: {party_a2.session_key.hex()[:24]}…")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,41 @@
+"""repro — dynamic secure sessions for ECQV implicit certificates.
+
+A complete, from-scratch Python reproduction of
+
+    F. Basic, C. Steger, R. Kofler,
+    "Establishing Dynamic Secure Sessions for ECQV Implicit Certificates
+    in Embedded Systems", DATE 2023.
+
+Subpackages
+-----------
+``repro.ec``          elliptic-curve arithmetic (SEC 2 curves, SEC 1 encoding)
+``repro.primitives``  SHA-2, HMAC, HKDF/X9.63, AES + modes, CMAC, HMAC-DRBG
+``repro.ecdsa``       ECDSA (RFC 6979) and ECDH
+``repro.ecqv``        SEC 4 implicit certificates (101-byte minimal encoding)
+``repro.protocols``   STS-ECQV (+ Opt. I/II) and the three SKD baselines
+``repro.hardware``    calibrated device cost models (Table I boards)
+``repro.network``     CAN-FD + ISO-TP + application stack (Fig. 6)
+``repro.sim``         event engine, schedules (Eqs. 5-8), timelines (Fig. 7)
+``repro.security``    threat model, executable attacks, Table III matrix
+``repro.analysis``    transmission overhead accounting (Table II)
+``repro.experiments`` one runner per paper table/figure
+``repro.testbed``     deterministic CA/device provisioning helpers
+
+Quickstart
+----------
+>>> from repro.testbed import make_testbed
+>>> from repro.protocols import run_protocol
+>>> testbed = make_testbed(("alice", "bob"))
+>>> a, b = testbed.party_pair("sts", "alice", "bob")
+>>> transcript = run_protocol(a, b)
+>>> a.session_key == b.session_key
+True
+"""
+
+from . import trace
+from .errors import ReproError
+from .testbed import TestBed, make_testbed
+
+__version__ = "1.0.0"
+
+__all__ = ["ReproError", "TestBed", "make_testbed", "trace", "__version__"]

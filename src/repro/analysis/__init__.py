@@ -1,0 +1,25 @@
+"""Analysis utilities: transmission overhead accounting (Table II)."""
+
+from .overhead import (
+    MessageOverhead,
+    PAPER_TABLE2,
+    ProtocolOverhead,
+    measure_overhead,
+    overhead_table,
+    render_overhead_table,
+    verify_against_paper,
+)
+
+__all__ = [
+    "MessageOverhead",
+    "PAPER_TABLE2",
+    "ProtocolOverhead",
+    "measure_overhead",
+    "overhead_table",
+    "render_overhead_table",
+    "verify_against_paper",
+]
+
+from .report import ReproductionReport, build_report, write_report
+
+__all__ += ["ReproductionReport", "build_report", "write_report"]

@@ -1,0 +1,138 @@
+"""Transmission-overhead analysis — the paper's Table II.
+
+Counts communication steps and application-level bytes of each protocol
+from *actually serialized* messages (the wire layouts in
+:mod:`repro.protocols`), independent of the underlying communication
+technology, exactly as §V-B does.  Also provides the ISO-TP/CAN-FD frame
+expansion of each message for the prototype discussion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import AnalysisError
+from ..network.cantp import segment_message
+from ..protocols import ProtocolTranscript, run_protocol
+from ..testbed import TestBed, make_testbed
+
+#: Table II of the paper: (communication steps, total application bytes).
+#: S-ECDSA is listed as "4(+1): 427(+192) B" - base and ext broken out here.
+PAPER_TABLE2: dict[str, tuple[int, int]] = {
+    "s-ecdsa": (4, 427),
+    "s-ecdsa-ext": (5, 619),
+    "sts": (4, 491),
+    "scianc": (4, 362),
+    "poramb": (6, 820),
+}
+
+
+@dataclass(frozen=True)
+class MessageOverhead:
+    """Wire accounting of one protocol message."""
+
+    label: str
+    layout: str
+    size_bytes: int
+    isotp_frames: int
+
+
+@dataclass
+class ProtocolOverhead:
+    """Table II row for one protocol."""
+
+    protocol_name: str
+    messages: list[MessageOverhead]
+
+    @property
+    def n_steps(self) -> int:
+        """Number of transmissions."""
+        return len(self.messages)
+
+    @property
+    def total_bytes(self) -> int:
+        """Total application-layer bytes."""
+        return sum(m.size_bytes for m in self.messages)
+
+    @property
+    def total_frames(self) -> int:
+        """Total ISO-TP data frames over CAN-FD (excl. flow control)."""
+        return sum(m.isotp_frames for m in self.messages)
+
+    def matches_paper(self) -> bool:
+        """True if steps and bytes equal the paper's Table II."""
+        if self.protocol_name not in PAPER_TABLE2:
+            return True  # opt. variants are byte-identical to sts
+        steps, total = PAPER_TABLE2[self.protocol_name]
+        return self.n_steps == steps and self.total_bytes == total
+
+
+def measure_overhead(transcript: ProtocolTranscript) -> ProtocolOverhead:
+    """Extract the Table II accounting from a completed run."""
+    messages = []
+    for message in transcript.messages:
+        frames = segment_message(message.payload)
+        messages.append(
+            MessageOverhead(
+                label=message.label,
+                layout=message.summary(),
+                size_bytes=message.size,
+                isotp_frames=len(frames),
+            )
+        )
+    return ProtocolOverhead(
+        protocol_name=transcript.protocol_name,
+        messages=messages,
+    )
+
+
+def overhead_table(
+    testbed: TestBed | None = None,
+    protocol_names: tuple[str, ...] = tuple(PAPER_TABLE2),
+) -> dict[str, ProtocolOverhead]:
+    """Measure every protocol's overhead (the full Table II)."""
+    if testbed is None:
+        testbed = make_testbed(seed=b"repro-overhead")
+    table: dict[str, ProtocolOverhead] = {}
+    for name in protocol_names:
+        party_a, party_b = testbed.party_pair(name, "alice", "bob")
+        transcript = run_protocol(party_a, party_b)
+        overhead = measure_overhead(transcript)
+        overhead.protocol_name = name
+        table[name] = overhead
+    return table
+
+
+def render_overhead_table(table: dict[str, ProtocolOverhead]) -> str:
+    """ASCII rendering in the paper's Table II style."""
+    lines = []
+    for name, overhead in table.items():
+        paper = PAPER_TABLE2.get(name)
+        check = ""
+        if paper is not None:
+            ok = overhead.matches_paper()
+            check = (
+                f"   [paper: {paper[0]} steps, {paper[1]} B]"
+                f" {'MATCH' if ok else 'MISMATCH'}"
+            )
+        lines.append(
+            f"{name}: {overhead.n_steps} steps, {overhead.total_bytes} B,"
+            f" {overhead.total_frames} CAN-FD data frames{check}"
+        )
+        for message in overhead.messages:
+            lines.append(
+                f"    {message.layout}  -> {message.isotp_frames} frame(s)"
+            )
+    return "\n".join(lines)
+
+
+def verify_against_paper(table: dict[str, ProtocolOverhead]) -> None:
+    """Raise :class:`AnalysisError` on any Table II disagreement."""
+    for name, overhead in table.items():
+        if name in PAPER_TABLE2 and not overhead.matches_paper():
+            steps, total = PAPER_TABLE2[name]
+            raise AnalysisError(
+                f"Table II mismatch for {name}: measured"
+                f" ({overhead.n_steps} steps, {overhead.total_bytes} B),"
+                f" paper ({steps} steps, {total} B)"
+            )

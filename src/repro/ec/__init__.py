@@ -1,0 +1,66 @@
+"""Elliptic-curve arithmetic substrate (from scratch).
+
+Public surface:
+
+* :class:`Curve` and the SEC 2 named curves (``SECP256R1`` etc.),
+* :class:`Point` with affine arithmetic and operator overloads,
+* scalar multiplication strategies (:func:`mul_base`, :func:`mul_point`,
+  :func:`mul_double`, :func:`mul_ladder`),
+* SEC 1 point encoding (:func:`encode_point`, :func:`decode_point`),
+* modular helpers (:func:`inverse_mod`, :func:`sqrt_mod`).
+"""
+
+from .curve import (
+    BRAINPOOLP256R1,
+    BRAINPOOLP384R1,
+    CURVES,
+    CURVE_IDS,
+    Curve,
+    SECP192R1,
+    SECP224R1,
+    SECP256K1,
+    SECP256R1,
+    SECP384R1,
+    curve_by_id,
+    curve_id,
+    get_curve,
+)
+from .encoding import decode_point, encode_point, point_size
+from .modular import (
+    egcd,
+    inverse_mod,
+    is_probable_prime,
+    legendre_symbol,
+    sqrt_mod,
+)
+from .point import Point
+from .scalarmult import mul_base, mul_double, mul_ladder, mul_point
+
+__all__ = [
+    "BRAINPOOLP256R1",
+    "BRAINPOOLP384R1",
+    "CURVES",
+    "CURVE_IDS",
+    "Curve",
+    "Point",
+    "SECP192R1",
+    "SECP224R1",
+    "SECP256K1",
+    "SECP256R1",
+    "SECP384R1",
+    "curve_by_id",
+    "curve_id",
+    "decode_point",
+    "egcd",
+    "encode_point",
+    "get_curve",
+    "inverse_mod",
+    "is_probable_prime",
+    "legendre_symbol",
+    "mul_base",
+    "mul_double",
+    "mul_ladder",
+    "mul_point",
+    "point_size",
+    "sqrt_mod",
+]

@@ -1,0 +1,233 @@
+"""Short-Weierstrass elliptic curve domain parameters.
+
+Provides the SEC 2 named curves used by the paper's evaluation (secp256r1,
+a.k.a. NIST P-256, is the one every experiment runs on) plus the neighbouring
+SEC curves so the library is usable beyond the paper's configuration.
+
+A curve is ``y^2 = x^3 + a*x + b  over GF(p)`` with base point ``G`` of prime
+order ``n`` and cofactor ``h``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import CurveError
+from .modular import is_probable_prime
+
+
+@dataclass(frozen=True)
+class Curve:
+    """Domain parameters of a short-Weierstrass prime curve.
+
+    Attributes:
+        name: SEC 2 curve name (e.g. ``"secp256r1"``).
+        p: field prime.
+        a: curve coefficient *a*.
+        b: curve coefficient *b*.
+        gx: base point x coordinate.
+        gy: base point y coordinate.
+        n: (prime) order of the base point.
+        h: cofactor.
+    """
+
+    name: str
+    p: int
+    a: int
+    b: int
+    gx: int
+    gy: int
+    n: int
+    h: int = 1
+
+    @property
+    def field_bytes(self) -> int:
+        """Octet length of one field element (SEC 1 ``mlen``)."""
+        return (self.p.bit_length() + 7) // 8
+
+    @property
+    def scalar_bytes(self) -> int:
+        """Octet length of one scalar modulo ``n``."""
+        return (self.n.bit_length() + 7) // 8
+
+    @property
+    def bits(self) -> int:
+        """Nominal security-relevant field size in bits."""
+        return self.p.bit_length()
+
+    def contains(self, x: int, y: int) -> bool:
+        """Check whether affine coordinates satisfy the curve equation."""
+        if not (0 <= x < self.p and 0 <= y < self.p):
+            return False
+        return (y * y - (x * x * x + self.a * x + self.b)) % self.p == 0
+
+    def rhs(self, x: int) -> int:
+        """Evaluate ``x^3 + a*x + b mod p`` (the curve equation RHS)."""
+        return (x * x * x + self.a * x + self.b) % self.p
+
+    @property
+    def generator(self):
+        """The base point ``G`` as an :class:`~repro.ec.point.Point`."""
+        from .point import Point
+
+        return Point(self, self.gx, self.gy)
+
+    # Alias matching common library naming.
+    G = generator
+
+    def validate(self) -> None:
+        """Sanity-check the domain parameters.
+
+        Verifies the discriminant is non-zero, the base point is on the
+        curve, and ``p``/``n`` are (probable) primes.  Raises
+        :class:`CurveError` on any violation.  This mirrors the parameter
+        validation step SEC 1 prescribes before using untrusted parameters.
+        """
+        disc = (4 * self.a * self.a * self.a + 27 * self.b * self.b) % self.p
+        if disc == 0:
+            raise CurveError(f"{self.name}: singular curve (discriminant 0)")
+        if not self.contains(self.gx, self.gy):
+            raise CurveError(f"{self.name}: base point not on curve")
+        if not is_probable_prime(self.p):
+            raise CurveError(f"{self.name}: field modulus is not prime")
+        if not is_probable_prime(self.n):
+            raise CurveError(f"{self.name}: group order is not prime")
+        if self.h < 1:
+            raise CurveError(f"{self.name}: invalid cofactor {self.h}")
+
+    def __repr__(self) -> str:
+        return f"Curve({self.name}, {self.bits}-bit)"
+
+
+SECP192R1 = Curve(
+    name="secp192r1",
+    p=0xFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFEFFFFFFFFFFFFFFFF,
+    a=0xFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFEFFFFFFFFFFFFFFFC,
+    b=0x64210519E59C80E70FA7E9AB72243049FEB8DEECC146B9B1,
+    gx=0x188DA80EB03090F67CBF20EB43A18800F4FF0AFD82FF1012,
+    gy=0x07192B95FFC8DA78631011ED6B24CDD573F977A11E794811,
+    n=0xFFFFFFFFFFFFFFFFFFFFFFFF99DEF836146BC9B1B4D22831,
+    h=1,
+)
+
+SECP224R1 = Curve(
+    name="secp224r1",
+    p=0xFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFF000000000000000000000001,
+    a=0xFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFEFFFFFFFFFFFFFFFFFFFFFFFE,
+    b=0xB4050A850C04B3ABF54132565044B0B7D7BFD8BA270B39432355FFB4,
+    gx=0xB70E0CBD6BB4BF7F321390B94A03C1D356C21122343280D6115C1D21,
+    gy=0xBD376388B5F723FB4C22DFE6CD4375A05A07476444D5819985007E34,
+    n=0xFFFFFFFFFFFFFFFFFFFFFFFFFFFF16A2E0B8F03E13DD29455C5C2A3D,
+    h=1,
+)
+
+SECP256R1 = Curve(
+    name="secp256r1",
+    p=0xFFFFFFFF00000001000000000000000000000000FFFFFFFFFFFFFFFFFFFFFFFF,
+    a=0xFFFFFFFF00000001000000000000000000000000FFFFFFFFFFFFFFFFFFFFFFFC,
+    b=0x5AC635D8AA3A93E7B3EBBD55769886BC651D06B0CC53B0F63BCE3C3E27D2604B,
+    gx=0x6B17D1F2E12C4247F8BCE6E563A440F277037D812DEB33A0F4A13945D898C296,
+    gy=0x4FE342E2FE1A7F9B8EE7EB4A7C0F9E162BCE33576B315ECECBB6406837BF51F5,
+    n=0xFFFFFFFF00000000FFFFFFFFFFFFFFFFBCE6FAADA7179E84F3B9CAC2FC632551,
+    h=1,
+)
+
+SECP256K1 = Curve(
+    name="secp256k1",
+    p=0xFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFEFFFFFC2F,
+    a=0x0,
+    b=0x7,
+    gx=0x79BE667EF9DCBBAC55A06295CE870B07029BFCDB2DCE28D959F2815B16F81798,
+    gy=0x483ADA7726A3C4655DA4FBFC0E1108A8FD17B448A68554199C47D08FFB10D4B8,
+    n=0xFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFEBAAEDCE6AF48A03BBFD25E8CD0364141,
+    h=1,
+)
+
+SECP384R1 = Curve(
+    name="secp384r1",
+    p=0xFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFEFFFFFFFF0000000000000000FFFFFFFF,
+    a=0xFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFEFFFFFFFF0000000000000000FFFFFFFC,
+    b=0xB3312FA7E23EE7E4988E056BE3F82D19181D9C6EFE8141120314088F5013875AC656398D8A2ED19D2A85C8EDD3EC2AEF,
+    gx=0xAA87CA22BE8B05378EB1C71EF320AD746E1D3B628BA79B9859F741E082542A385502F25DBF55296C3A545E3872760AB7,
+    gy=0x3617DE4A96262C6F5D9E98BF9292DC29F8F41DBD289A147CE9DA3113B5F0B8C00A60B1CE1D7E819D7A431D7C90EA0E5F,
+    n=0xFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFC7634D81F4372DDF581A0DB248B0A77AECEC196ACCC52973,
+    h=1,
+)
+
+# Brainpool curves (RFC 5639): the BSI-recommended parameters common in
+# European automotive deployments - a natural alternative configuration
+# for the paper's BMS/EVCC scenario.
+BRAINPOOLP256R1 = Curve(
+    name="brainpoolP256r1",
+    p=0xA9FB57DBA1EEA9BC3E660A909D838D726E3BF623D52620282013481D1F6E5377,
+    a=0x7D5A0975FC2C3057EEF67530417AFFE7FB8055C126DC5C6CE94A4B44F330B5D9,
+    b=0x26DC5C6CE94A4B44F330B5D9BBD77CBF958416295CF7E1CE6BCCDC18FF8C07B6,
+    gx=0x8BD2AEB9CB7E57CB2C4B482FFC81B7AFB9DE27E1E3BD23C23A4453BD9ACE3262,
+    gy=0x547EF835C3DAC4FD97F8461A14611DC9C27745132DED8E545C1D54C72F046997,
+    n=0xA9FB57DBA1EEA9BC3E660A909D838D718C397AA3B561A6F7901E0E82974856A7,
+    h=1,
+)
+
+BRAINPOOLP384R1 = Curve(
+    name="brainpoolP384r1",
+    p=0x8CB91E82A3386D280F5D6F7E50E641DF152F7109ED5456B412B1DA197FB71123ACD3A729901D1A71874700133107EC53,
+    a=0x7BC382C63D8C150C3C72080ACE05AFA0C2BEA28E4FB22787139165EFBA91F90F8AA5814A503AD4EB04A8C7DD22CE2826,
+    b=0x04A8C7DD22CE28268B39B55416F0447C2FB77DE107DCD2A62E880EA53EEB62D57CB4390295DBC9943AB78696FA504C11,
+    gx=0x1D1C64F068CF45FFA2A63A81B7C13F6B8847A3E77EF14FE3DB7FCAFE0CBD10E8E826E03436D646AAEF87B2E247D4AF1E,
+    gy=0x8ABE1D7520F9C2A45CB1EB8E95CFD55262B70B29FEEC5864E19C054FF99129280E4646217791811142820341263C5315,
+    n=0x8CB91E82A3386D280F5D6F7E50E641DF152F7109ED5456B31F166E6CAC0425A7CF3AB6AF6B7FC3103B883202E9046565,
+    h=1,
+)
+
+#: Registry of named curves (SEC 2 + RFC 5639 Brainpool).
+CURVES: dict[str, Curve] = {
+    c.name: c
+    for c in (
+        SECP192R1,
+        SECP224R1,
+        SECP256R1,
+        SECP256K1,
+        SECP384R1,
+        BRAINPOOLP256R1,
+        BRAINPOOLP384R1,
+    )
+}
+
+#: One-byte curve identifiers used in our compact certificate encoding.
+CURVE_IDS: dict[str, int] = {
+    "secp192r1": 1,
+    "secp224r1": 2,
+    "secp256r1": 3,
+    "secp256k1": 4,
+    "secp384r1": 5,
+    "brainpoolP256r1": 6,
+    "brainpoolP384r1": 7,
+}
+
+_CURVE_BY_ID = {v: k for k, v in CURVE_IDS.items()}
+
+
+def get_curve(name: str) -> Curve:
+    """Look up a named curve, raising :class:`CurveError` if unknown."""
+    try:
+        return CURVES[name]
+    except KeyError:
+        raise CurveError(
+            f"unknown curve {name!r}; known: {sorted(CURVES)}"
+        ) from None
+
+
+def curve_by_id(curve_id: int) -> Curve:
+    """Look up a curve by its compact one-byte identifier."""
+    try:
+        return CURVES[_CURVE_BY_ID[curve_id]]
+    except KeyError:
+        raise CurveError(f"unknown curve id {curve_id}") from None
+
+
+def curve_id(curve: Curve) -> int:
+    """Compact one-byte identifier for a named curve."""
+    try:
+        return CURVE_IDS[curve.name]
+    except KeyError:
+        raise CurveError(f"curve {curve.name!r} has no registered id") from None

@@ -1,0 +1,253 @@
+"""Elliptic-curve points: affine API plus internal Jacobian arithmetic.
+
+The public :class:`Point` type is affine and immutable, matching how points
+appear on the wire (SEC 1 octet strings) and in certificates.  All scalar
+multiplication strategies (:mod:`repro.ec.scalarmult`) run on Jacobian
+projective coordinates internally to avoid per-step modular inversions —
+exactly the trick micro-ecc (the paper's C library) uses.
+
+Tracing convention: the *public* ``+`` operator records one ``ec.add`` event
+(a stand-alone point addition, e.g. the ``+ Q_CA`` step of ECQV public-key
+reconstruction).  The internal Jacobian helpers record nothing; scalar
+multiplication records a single high-level event instead, because that is
+the granularity at which the hardware model prices operations.
+"""
+
+from __future__ import annotations
+
+from .. import trace
+from ..errors import CurveError
+from .curve import Curve
+
+
+class Point:
+    """An affine point on a short-Weierstrass curve (or the identity).
+
+    Instances are immutable; arithmetic returns new points.  The identity
+    (point at infinity) is represented with ``x is None and y is None`` and
+    can be obtained via :meth:`infinity`.
+    """
+
+    __slots__ = ("curve", "x", "y")
+
+    def __init__(self, curve: Curve, x: int | None, y: int | None) -> None:
+        object.__setattr__(self, "curve", curve)
+        object.__setattr__(self, "x", x)
+        object.__setattr__(self, "y", y)
+        if (x is None) != (y is None):
+            raise CurveError("both coordinates must be None for infinity")
+        if x is not None and not curve.contains(x, y):
+            raise CurveError(
+                f"point ({x:#x}, {y:#x}) is not on curve {curve.name}"
+            )
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("Point instances are immutable")
+
+    @classmethod
+    def infinity(cls, curve: Curve) -> "Point":
+        """The identity element of the curve group."""
+        return cls(curve, None, None)
+
+    @property
+    def is_infinity(self) -> bool:
+        """True if this is the point at infinity."""
+        return self.x is None
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Point):
+            return NotImplemented
+        return (
+            self.curve.name == other.curve.name
+            and self.x == other.x
+            and self.y == other.y
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.curve.name, self.x, self.y))
+
+    def __neg__(self) -> "Point":
+        if self.is_infinity:
+            return self
+        return Point(self.curve, self.x, (-self.y) % self.curve.p)
+
+    def __add__(self, other: "Point") -> "Point":
+        """Affine point addition (records one ``ec.add`` trace event)."""
+        if not isinstance(other, Point):
+            return NotImplemented
+        if self.curve.name != other.curve.name:
+            raise CurveError(
+                f"cannot add points on {self.curve.name} and {other.curve.name}"
+            )
+        trace.record("ec.add")
+        return self._add_raw(other)
+
+    def _add_raw(self, other: "Point") -> "Point":
+        """Affine addition without tracing (internal use)."""
+        p = self.curve.p
+        if self.is_infinity:
+            return other
+        if other.is_infinity:
+            return self
+        if self.x == other.x:
+            if (self.y + other.y) % p == 0:
+                return Point.infinity(self.curve)
+            # Doubling.
+            lam = (3 * self.x * self.x + self.curve.a) * inverse_mod_untraced(
+                2 * self.y, p
+            ) % p
+        else:
+            lam = (other.y - self.y) * inverse_mod_untraced(
+                (other.x - self.x) % p, p
+            ) % p
+        x3 = (lam * lam - self.x - other.x) % p
+        y3 = (lam * (self.x - x3) - self.y) % p
+        return Point(self.curve, x3, y3)
+
+    def __sub__(self, other: "Point") -> "Point":
+        return self + (-other)
+
+    def double(self) -> "Point":
+        """Affine point doubling (records one ``ec.add`` trace event)."""
+        return self + self
+
+    def __mul__(self, scalar: int) -> "Point":
+        """Scalar multiplication (delegates to :mod:`scalarmult`)."""
+        from .scalarmult import mul_point
+
+        return mul_point(scalar, self)
+
+    __rmul__ = __mul__
+
+    def __repr__(self) -> str:
+        if self.is_infinity:
+            return f"Point({self.curve.name}, infinity)"
+        return f"Point({self.curve.name}, x={self.x:#x}, y={self.y:#x})"
+
+
+def inverse_mod_untraced(a: int, m: int) -> int:
+    """Modular inverse without recording a ``mod.inv`` trace event.
+
+    Affine formulas used inside higher-level operations fold their inversion
+    cost into the high-level event, so they must not double-count.
+    """
+    return pow(a, -1, m)
+
+
+# ---------------------------------------------------------------------------
+# Jacobian projective coordinates.
+#
+# A Jacobian triple (X, Y, Z) represents the affine point (X/Z^2, Y/Z^3);
+# Z == 0 encodes the point at infinity.  These helpers are free functions on
+# plain tuples for speed; they intentionally do not trace.
+# ---------------------------------------------------------------------------
+
+Jacobian = tuple[int, int, int]
+
+JAC_INFINITY: Jacobian = (1, 1, 0)
+
+
+def to_jacobian(point: Point) -> Jacobian:
+    """Lift an affine point to Jacobian coordinates."""
+    if point.is_infinity:
+        return JAC_INFINITY
+    return (point.x, point.y, 1)
+
+
+def from_jacobian(curve: Curve, jac: Jacobian) -> Point:
+    """Normalise a Jacobian triple back to an affine :class:`Point`."""
+    x, y, z = jac
+    if z == 0:
+        return Point.infinity(curve)
+    p = curve.p
+    z_inv = pow(z, -1, p)
+    z_inv2 = (z_inv * z_inv) % p
+    return Point(curve, (x * z_inv2) % p, (y * z_inv2 * z_inv) % p)
+
+
+def jac_double(curve: Curve, jac: Jacobian) -> Jacobian:
+    """Jacobian point doubling (general *a*; 2007 Bernstein–Lange dbl)."""
+    x1, y1, z1 = jac
+    if z1 == 0 or y1 == 0:
+        return JAC_INFINITY
+    p = curve.p
+    a = curve.a
+    xx = (x1 * x1) % p
+    yy = (y1 * y1) % p
+    yyyy = (yy * yy) % p
+    zz = (z1 * z1) % p
+    s = (2 * ((x1 + yy) * (x1 + yy) - xx - yyyy)) % p
+    m = (3 * xx + a * zz % p * zz) % p
+    t = (m * m - 2 * s) % p
+    x3 = t
+    y3 = (m * (s - t) - 8 * yyyy) % p
+    z3 = ((y1 + z1) * (y1 + z1) - yy - zz) % p
+    return (x3, y3, z3)
+
+
+def jac_add(curve: Curve, j1: Jacobian, j2: Jacobian) -> Jacobian:
+    """General Jacobian point addition (handles all degenerate cases)."""
+    x1, y1, z1 = j1
+    x2, y2, z2 = j2
+    if z1 == 0:
+        return j2
+    if z2 == 0:
+        return j1
+    p = curve.p
+    z1z1 = (z1 * z1) % p
+    z2z2 = (z2 * z2) % p
+    u1 = (x1 * z2z2) % p
+    u2 = (x2 * z1z1) % p
+    s1 = (y1 * z2 * z2z2) % p
+    s2 = (y2 * z1 * z1z1) % p
+    if u1 == u2:
+        if s1 != s2:
+            return JAC_INFINITY
+        return jac_double(curve, j1)
+    h = (u2 - u1) % p
+    i = (4 * h * h) % p
+    j = (h * i) % p
+    r = (2 * (s2 - s1)) % p
+    v = (u1 * i) % p
+    x3 = (r * r - j - 2 * v) % p
+    y3 = (r * (v - x3) - 2 * s1 * j) % p
+    z3 = (((z1 + z2) * (z1 + z2) - z1z1 - z2z2) * h) % p
+    return (x3, y3, z3)
+
+
+def jac_add_mixed(curve: Curve, j1: Jacobian, point: Point) -> Jacobian:
+    """Mixed addition of a Jacobian triple and an affine point (Z2 == 1).
+
+    Saves several field multiplications over the general formula; this is
+    the inner-loop addition of every scalar-multiplication strategy.
+    """
+    if point.is_infinity:
+        return j1
+    x1, y1, z1 = j1
+    if z1 == 0:
+        return to_jacobian(point)
+    p = curve.p
+    x2, y2 = point.x, point.y
+    z1z1 = (z1 * z1) % p
+    u2 = (x2 * z1z1) % p
+    s2 = (y2 * z1 * z1z1) % p
+    if x1 == u2:
+        if y1 != s2:
+            return JAC_INFINITY
+        return jac_double(curve, j1)
+    h = (u2 - x1) % p
+    hh = (h * h) % p
+    i = (4 * hh) % p
+    j = (h * i) % p
+    r = (2 * (s2 - y1)) % p
+    v = (x1 * i) % p
+    x3 = (r * r - j - 2 * v) % p
+    y3 = (r * (v - x3) - 2 * y1 * j) % p
+    z3 = ((z1 + h) * (z1 + h) - z1z1 - hh) % p
+    return (x3, y3, z3)
+
+
+def jac_negate(curve: Curve, jac: Jacobian) -> Jacobian:
+    """Negate a Jacobian triple."""
+    x, y, z = jac
+    return (x, (-y) % curve.p, z)

@@ -1,0 +1,188 @@
+"""Scalar multiplication strategies.
+
+Four strategies are provided, mirroring the menu an embedded crypto library
+offers:
+
+* :func:`mul_point` — width-4 wNAF, the general-purpose workhorse
+  (traces ``ec.mul_point``).
+* :func:`mul_base` — fixed-window multiplication of the curve base point
+  with a cached per-curve precomputation table (traces ``ec.mul_base``).
+* :func:`mul_double` — Strauss–Shamir simultaneous multiplication
+  ``u*P + v*Q`` used by ECDSA verification and by the fused
+  reconstruct-and-derive step of the SCIANC protocol
+  (traces ``ec.mul_double``).
+* :func:`mul_ladder` — a uniform double-and-add-always ladder approximating
+  the constant-time behaviour of hardened embedded code
+  (traces ``ec.mul_point``; same price class).
+
+All strategies agree on results (property-tested) and differ only in
+operation schedule, which is what the hardware model prices.
+"""
+
+from __future__ import annotations
+
+from .. import trace
+from ..errors import CurveError
+from .curve import Curve
+from .point import (
+    JAC_INFINITY,
+    Jacobian,
+    Point,
+    from_jacobian,
+    jac_add,
+    jac_add_mixed,
+    jac_double,
+    to_jacobian,
+)
+
+_WNAF_WIDTH = 4
+_BASE_WINDOW = 4
+
+# Per-curve cache of base-point window tables: curve name -> list[Point].
+_BASE_TABLES: dict[str, list[Point]] = {}
+
+
+def _wnaf(k: int, width: int) -> list[int]:
+    """Compute the width-``w`` non-adjacent form of ``k`` (LSB first)."""
+    digits: list[int] = []
+    window = 1 << width
+    half = window >> 1
+    while k > 0:
+        if k & 1:
+            d = k % window
+            if d >= half:
+                d -= window
+            k -= d
+        else:
+            d = 0
+        digits.append(d)
+        k >>= 1
+    return digits
+
+
+def mul_point(scalar: int, point: Point) -> Point:
+    """Multiply an arbitrary point by a scalar using width-4 wNAF."""
+    curve = point.curve
+    k = scalar % curve.n
+    if k == 0 or point.is_infinity:
+        return Point.infinity(curve)
+    trace.record("ec.mul_point")
+    return _mul_wnaf_untraced(k, point)
+
+
+def _mul_wnaf_untraced(k: int, point: Point) -> Point:
+    curve = point.curve
+    # Precompute odd multiples P, 3P, 5P, ..., (2^(w-1)-1)P.
+    table: list[Jacobian] = [to_jacobian(point)]
+    twice = jac_double(curve, table[0])
+    for _ in range((1 << (_WNAF_WIDTH - 1)) // 2 - 1):
+        table.append(jac_add(curve, table[-1], twice))
+    digits = _wnaf(k, _WNAF_WIDTH)
+    acc: Jacobian = JAC_INFINITY
+    for d in reversed(digits):
+        acc = jac_double(curve, acc)
+        if d > 0:
+            acc = jac_add(curve, acc, table[(d - 1) // 2])
+        elif d < 0:
+            x, y, z = table[(-d - 1) // 2]
+            acc = jac_add(curve, acc, (x, (-y) % curve.p, z))
+    return from_jacobian(curve, acc)
+
+
+def _base_table(curve: Curve) -> list[Point]:
+    """Affine window table [G, 2G, ..., (2^w - 1)G] for the base point."""
+    cached = _BASE_TABLES.get(curve.name)
+    if cached is not None:
+        return cached
+    g = curve.generator
+    table = [g]
+    jac = to_jacobian(g)
+    for _ in range((1 << _BASE_WINDOW) - 2):
+        jac_next = jac_add_mixed(curve, to_jacobian(table[-1]), g)
+        table.append(from_jacobian(curve, jac_next))
+        jac = jac_next
+    _BASE_TABLES[curve.name] = table
+    return table
+
+
+def mul_base(scalar: int, curve: Curve) -> Point:
+    """Multiply the curve base point by a scalar (fixed-window, cached).
+
+    Embedded libraries special-case base-point multiplication because the
+    window table can live in flash; we model the same asymmetry by tracing
+    a distinct ``ec.mul_base`` event.
+    """
+    k = scalar % curve.n
+    if k == 0:
+        return Point.infinity(curve)
+    trace.record("ec.mul_base")
+    table = _base_table(curve)
+    acc: Jacobian = JAC_INFINITY
+    # Process the scalar in 4-bit windows, MSB first.
+    nibbles = []
+    while k > 0:
+        nibbles.append(k & ((1 << _BASE_WINDOW) - 1))
+        k >>= _BASE_WINDOW
+    for nib in reversed(nibbles):
+        for _ in range(_BASE_WINDOW):
+            acc = jac_double(curve, acc)
+        if nib:
+            acc = jac_add_mixed(curve, acc, table[nib - 1])
+    return from_jacobian(curve, acc)
+
+
+def mul_double(u: int, p_point: Point, v: int, q_point: Point) -> Point:
+    """Compute ``u*P + v*Q`` with Strauss–Shamir interleaving.
+
+    Costs roughly 1.25 single multiplications instead of 2, which is why
+    ECDSA verification (``u1*G + u2*Q``) and SCIANC's fused
+    reconstruct-and-derive are cheaper than two independent multiplies.
+    """
+    if p_point.curve.name != q_point.curve.name:
+        raise CurveError("mul_double requires points on the same curve")
+    curve = p_point.curve
+    u %= curve.n
+    v %= curve.n
+    if u == 0 and v == 0:
+        return Point.infinity(curve)
+    trace.record("ec.mul_double")
+    # Precompute P, Q and P+Q as affine points for mixed addition.
+    pq_jac = jac_add(curve, to_jacobian(p_point), to_jacobian(q_point))
+    pq = from_jacobian(curve, pq_jac)
+    acc: Jacobian = JAC_INFINITY
+    bits = max(u.bit_length(), v.bit_length())
+    for i in range(bits - 1, -1, -1):
+        acc = jac_double(curve, acc)
+        ub = (u >> i) & 1
+        vb = (v >> i) & 1
+        if ub and vb:
+            acc = jac_add_mixed(curve, acc, pq)
+        elif ub:
+            acc = jac_add_mixed(curve, acc, p_point)
+        elif vb:
+            acc = jac_add_mixed(curve, acc, q_point)
+    return from_jacobian(curve, acc)
+
+
+def mul_ladder(scalar: int, point: Point) -> Point:
+    """Uniform double-and-add-always scalar multiplication.
+
+    Executes an addition on every bit regardless of its value, mimicking the
+    regular operation schedule of side-channel-hardened embedded code.  Used
+    by tests as an independent oracle for the faster strategies.
+    """
+    curve = point.curve
+    k = scalar % curve.n
+    if k == 0 or point.is_infinity:
+        return Point.infinity(curve)
+    trace.record("ec.mul_point")
+    r0: Jacobian = JAC_INFINITY
+    r1: Jacobian = to_jacobian(point)
+    for i in range(k.bit_length() - 1, -1, -1):
+        if (k >> i) & 1:
+            r0 = jac_add(curve, r0, r1)
+            r1 = jac_double(curve, r1)
+        else:
+            r1 = jac_add(curve, r0, r1)
+            r0 = jac_double(curve, r0)
+    return from_jacobian(curve, r0)

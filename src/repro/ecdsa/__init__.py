@@ -1,0 +1,24 @@
+"""ECDSA signatures (RFC 6979 deterministic) and ECDH key agreement."""
+
+from .ecdh import (
+    ephemeral_shared_secret,
+    shared_point,
+    shared_secret_bytes,
+    static_shared_secret,
+)
+from .keys import KeyPair, generate_keypair, keypair_from_private
+from .signature import Signature, sign, verify, verify_strict
+
+__all__ = [
+    "KeyPair",
+    "Signature",
+    "ephemeral_shared_secret",
+    "generate_keypair",
+    "keypair_from_private",
+    "shared_point",
+    "shared_secret_bytes",
+    "sign",
+    "static_shared_secret",
+    "verify",
+    "verify_strict",
+]

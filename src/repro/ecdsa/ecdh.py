@@ -1,0 +1,55 @@
+"""Elliptic-curve Diffie–Hellman shared-secret computation.
+
+Two flavours matching the paper's terminology:
+
+* :func:`static_shared_secret` — the **SKD** primitive
+  (``Sk = Prk_a * Puk_b``, paper Section II-A): the secret is tied to the
+  certificate key pair, so it stays constant for the whole certificate
+  session.  This is what S-ECDSA/SCIANC/PORAMB build on.
+* :func:`ephemeral_shared_secret` — the **DKD** primitive
+  (``K_PM = X_A * XG_B``, paper Eq. 3): both inputs are fresh per
+  communication session, giving perfect forward secrecy.  This is the STS
+  premaster computation.
+
+Both reduce to one general-point scalar multiplication; the distinction is
+*which* scalars go in, which is exactly the paper's security argument.
+"""
+
+from __future__ import annotations
+
+from ..ec import Point, mul_point
+from ..errors import CryptoError
+from ..utils import int_to_bytes
+
+
+def shared_point(private_scalar: int, peer_public: Point) -> Point:
+    """Raw ECDH: ``private * PeerPublic`` with subgroup sanity checks."""
+    curve = peer_public.curve
+    if peer_public.is_infinity:
+        raise CryptoError("peer public key is the point at infinity")
+    if not 1 <= private_scalar < curve.n:
+        raise CryptoError("ECDH private scalar out of range")
+    point = mul_point(private_scalar, peer_public)
+    if point.is_infinity:
+        raise CryptoError("ECDH produced the point at infinity")
+    return point
+
+
+def shared_secret_bytes(private_scalar: int, peer_public: Point) -> bytes:
+    """ECDH shared secret as the X coordinate octet string (SEC 1)."""
+    point = shared_point(private_scalar, peer_public)
+    return int_to_bytes(point.x, peer_public.curve.field_bytes)
+
+
+def static_shared_secret(
+    own_private: int, peer_certificate_public: Point
+) -> bytes:
+    """SKD secret: certificate private key × peer certificate public key."""
+    return shared_secret_bytes(own_private, peer_certificate_public)
+
+
+def ephemeral_shared_secret(
+    own_ephemeral_private: int, peer_ephemeral_public: Point
+) -> bytes:
+    """DKD premaster: fresh scalar × fresh peer point (paper Eq. 3)."""
+    return shared_secret_bytes(own_ephemeral_private, peer_ephemeral_public)

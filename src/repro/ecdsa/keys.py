@@ -1,0 +1,52 @@
+"""EC key pairs and key generation.
+
+Key material is generated through an :class:`~repro.primitives.drbg.HmacDrbg`
+instance so every experiment is deterministic and replayable — the same
+discipline an embedded device with a seeded DRBG follows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..ec import Curve, Point, encode_point, mul_base
+from ..errors import CryptoError
+from ..primitives import HmacDrbg
+from ..utils import int_to_bytes
+
+
+@dataclass(frozen=True)
+class KeyPair:
+    """A private scalar and its public point on ``curve``."""
+
+    curve: Curve
+    private: int
+    public: Point
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.private < self.curve.n:
+            raise CryptoError("private key out of range [1, n-1]")
+        if self.public != mul_base(self.private, self.curve):
+            raise CryptoError("public key does not match private key")
+
+    def public_bytes(self, compressed: bool = True) -> bytes:
+        """SEC 1 encoding of the public point."""
+        return encode_point(self.public, compressed)
+
+    def private_bytes(self) -> bytes:
+        """Fixed-width big-endian encoding of the private scalar."""
+        return int_to_bytes(self.private, self.curve.scalar_bytes)
+
+    def __repr__(self) -> str:
+        return f"KeyPair({self.curve.name}, public={self.public_bytes().hex()[:16]}…)"
+
+
+def generate_keypair(curve: Curve, rng: HmacDrbg) -> KeyPair:
+    """Generate a key pair with the supplied DRBG."""
+    private = rng.random_scalar(curve.n)
+    return KeyPair(curve, private, mul_base(private, curve))
+
+
+def keypair_from_private(curve: Curve, private: int) -> KeyPair:
+    """Reconstruct a key pair from a known private scalar."""
+    return KeyPair(curve, private, mul_base(private, curve))

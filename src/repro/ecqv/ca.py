@@ -1,0 +1,128 @@
+"""The ECQV certificate authority (SEC 4 §2.4 "Cert Generate").
+
+In the paper's architecture (Fig. 1) a central, more powerful device — the
+gateway / Raspberry Pi 4 in the prototype — plays the CA during stage (2),
+certificate derivation.  The CA:
+
+1. receives a request ``(U_id, R_U)`` where ``R_U = k_U * G``,
+2. picks its own ephemeral ``k``, forms ``P_U = R_U + k*G``,
+3. encodes the certificate over ``P_U``,
+4. returns the certificate plus the private-key reconstruction data
+   ``r = H(Cert) * k + d_CA (mod n)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..ec import Curve, Point, mul_base
+from ..ecdsa import KeyPair, generate_keypair
+from ..errors import CertificateError
+from ..primitives import HmacDrbg
+from .certificate import (
+    Certificate,
+    ID_SIZE,
+    USAGE_ALL,
+    authority_key_identifier,
+    cert_digest_scalar,
+)
+
+#: Default certificate validity: one "certificate session" of 24 hours.
+DEFAULT_VALIDITY_SECONDS = 24 * 3600
+
+
+@dataclass(frozen=True)
+class CertificateRequest:
+    """A certificate request ``(U_id, R_U)`` from a device to the CA."""
+
+    subject_id: bytes
+    request_point: Point
+
+    def __post_init__(self) -> None:
+        if len(self.subject_id) != ID_SIZE:
+            raise CertificateError(f"subject_id must be {ID_SIZE} bytes")
+        if self.request_point.is_infinity:
+            raise CertificateError("request point must not be infinity")
+
+
+@dataclass(frozen=True)
+class IssuedCertificate:
+    """CA response: the certificate plus private-key reconstruction data."""
+
+    certificate: Certificate
+    private_reconstruction: int  # r = e*k + d_CA mod n
+
+
+class CertificateAuthority:
+    """An ECQV CA bound to one curve and one identity.
+
+    Args:
+        curve: domain parameters for all certificates this CA issues.
+        ca_id: 16-byte CA identity (zero-padded/truncated if needed).
+        rng: deterministic DRBG supplying the CA key pair and per-issuance
+            ephemerals.
+        clock: callable returning the current unix time; injectable so the
+            simulator controls certificate sessions.
+    """
+
+    def __init__(
+        self,
+        curve: Curve,
+        ca_id: bytes,
+        rng: HmacDrbg,
+        clock=None,
+    ) -> None:
+        if len(ca_id) != ID_SIZE:
+            raise CertificateError(f"ca_id must be {ID_SIZE} bytes")
+        self.curve = curve
+        self.ca_id = ca_id
+        self._rng = rng
+        self._clock = clock if clock is not None else (lambda: 1_700_000_000)
+        self.keypair: KeyPair = generate_keypair(curve, rng)
+        self._serial = 0
+        self.issued: dict[int, Certificate] = {}
+
+    @property
+    def public_key(self) -> Point:
+        """The CA public key ``Q_CA`` every device must hold."""
+        return self.keypair.public
+
+    @property
+    def authority_key_id(self) -> bytes:
+        """Truncated hash of ``Q_CA`` embedded in issued certificates."""
+        return authority_key_identifier(self.public_key)
+
+    def issue(
+        self,
+        request: CertificateRequest,
+        validity_seconds: int = DEFAULT_VALIDITY_SECONDS,
+        key_usage: int = USAGE_ALL,
+    ) -> IssuedCertificate:
+        """Run SEC 4 Cert Generate for one request."""
+        if request.request_point.curve.name != self.curve.name:
+            raise CertificateError("request point on wrong curve")
+        if validity_seconds <= 0:
+            raise CertificateError("validity must be positive")
+        k = self._rng.random_scalar(self.curve.n)
+        # P_U = R_U + k*G : the public-key reconstruction point.
+        reconstruction = request.request_point + mul_base(k, self.curve)
+        if reconstruction.is_infinity:
+            # Astronomically unlikely; SEC 4 says retry with fresh k.
+            return self.issue(request, validity_seconds, key_usage)
+        self._serial += 1
+        now = self._clock()
+        cert = Certificate(
+            curve=self.curve,
+            serial=self._serial,
+            issuer_id=self.ca_id,
+            subject_id=request.subject_id,
+            valid_from=now,
+            valid_to=now + validity_seconds,
+            authority_key_id=self.authority_key_id,
+            reconstruction_point=reconstruction,
+            key_usage=key_usage,
+        )
+        e = cert_digest_scalar(cert.encode(), self.curve)
+        r = (e * k + self.keypair.private) % self.curve.n
+        self.issued[cert.serial] = cert
+        return IssuedCertificate(certificate=cert, private_reconstruction=r)

@@ -1,0 +1,73 @@
+"""Certificate validation policy checks.
+
+ECQV has no signature to verify — authenticity is established implicitly
+when the reconstructed key is *used* — but the metadata still needs policy
+validation: issuer identity, validity window, key usage and authority key
+binding.  The session-establishment protocols run these checks before any
+expensive EC operation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..ec import Point
+from ..errors import CertificateError
+from .certificate import Certificate, authority_key_identifier
+
+
+@dataclass
+class ValidationPolicy:
+    """Configurable certificate acceptance policy.
+
+    Attributes:
+        trusted_issuer_ids: issuer identities we accept (empty = any).
+        required_usage: key-usage bits that must all be present.
+        check_validity_window: whether to enforce the time window.
+        check_authority_binding: whether the embedded authority key id must
+            match the CA public key we hold.
+    """
+
+    trusted_issuer_ids: set[bytes] = field(default_factory=set)
+    required_usage: int = 0
+    check_validity_window: bool = True
+    check_authority_binding: bool = True
+
+
+def validate_certificate(
+    certificate: Certificate,
+    ca_public: Point,
+    now: int,
+    policy: ValidationPolicy | None = None,
+) -> None:
+    """Validate certificate metadata; raises :class:`CertificateError`.
+
+    Args:
+        certificate: the peer certificate to validate.
+        ca_public: the CA public key we trust.
+        now: current unix time.
+        policy: acceptance policy (defaults to :class:`ValidationPolicy`).
+    """
+    policy = policy if policy is not None else ValidationPolicy()
+    if policy.trusted_issuer_ids and (
+        certificate.issuer_id not in policy.trusted_issuer_ids
+    ):
+        raise CertificateError(
+            f"untrusted issuer {certificate.issuer_id.hex()}"
+        )
+    if policy.check_validity_window and not certificate.is_valid_at(now):
+        raise CertificateError(
+            f"certificate outside validity window at t={now}"
+            f" [{certificate.valid_from}, {certificate.valid_to}]"
+        )
+    if (certificate.key_usage & policy.required_usage) != policy.required_usage:
+        raise CertificateError(
+            f"certificate usage {certificate.key_usage:#04x} lacks required"
+            f" bits {policy.required_usage:#04x}"
+        )
+    if policy.check_authority_binding:
+        expected = authority_key_identifier(ca_public)
+        if certificate.authority_key_id != expected:
+            raise CertificateError(
+                "certificate authority key id does not match trusted CA"
+            )

@@ -1,0 +1,77 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All errors raised by the library derive from :class:`ReproError` so callers
+can catch everything from this package with a single ``except`` clause while
+still being able to discriminate between the cryptographic, protocol and
+simulation layers.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the :mod:`repro` library."""
+
+
+class MathError(ReproError):
+    """Errors from the modular/elliptic-curve arithmetic layer."""
+
+
+class NonResidueError(MathError):
+    """A modular square root was requested for a quadratic non-residue."""
+
+
+class NotInvertibleError(MathError):
+    """A modular inverse was requested for a non-invertible element."""
+
+
+class CurveError(MathError):
+    """A point or parameter is inconsistent with its elliptic curve."""
+
+
+class PointDecodingError(CurveError):
+    """An octet string could not be decoded into a valid curve point."""
+
+
+class CryptoError(ReproError):
+    """Errors from the symmetric/hash primitive layer."""
+
+
+class SignatureError(CryptoError):
+    """An ECDSA signature failed to verify or could not be produced."""
+
+
+class CertificateError(ReproError):
+    """An ECQV certificate is malformed, expired or fails validation."""
+
+
+class ProtocolError(ReproError):
+    """A key-derivation protocol run violated its state machine."""
+
+
+class AuthenticationError(ProtocolError):
+    """A peer failed authentication during session establishment."""
+
+
+class NetworkError(ReproError):
+    """Errors from the CAN-FD / ISO-TP network simulation layer."""
+
+
+class FrameError(NetworkError):
+    """A CAN/CAN-FD frame is malformed or exceeds protocol limits."""
+
+
+class SegmentationError(NetworkError):
+    """ISO-TP segmentation or reassembly failed."""
+
+
+class SimulationError(ReproError):
+    """Errors from the discrete-event simulator."""
+
+
+class HardwareModelError(ReproError):
+    """A device model is missing a cost entry or got invalid parameters."""
+
+
+class AnalysisError(ReproError):
+    """Errors from the security/overhead analysis layer."""

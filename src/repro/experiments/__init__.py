@@ -1,0 +1,70 @@
+"""Experiment reproductions: one module per paper table/figure.
+
+| id     | paper artifact                                   | entry point  |
+|--------|--------------------------------------------------|--------------|
+| fig3   | per-operation STS times (STM32F767)              | run_fig3     |
+| fig4   | total KD time comparison (STM32F767)             | run_fig4     |
+| tab1   | execution time, 7 variants × 4 devices           | run_table1   |
+| tab2   | communication steps and bytes                    | run_table2   |
+| fig7   | BMS↔EVCC prototype timeline over CAN-FD          | run_fig7     |
+| tab3   | security property matrix                         | run_table3   |
+| fig8   | threat-model block diagram                       | run_fig8     |
+| energy | per-session energy estimates (PPK2 substitute)   | run_energy   |
+| sweep  | device-capability sweep of the STS premium       | run_sweep    |
+
+(The last two are derived analyses, not paper artifacts.)
+
+``run_all()`` executes everything and returns the rendered reports;
+``python -m repro.experiments`` prints them.
+"""
+
+from __future__ import annotations
+
+from .energy import EnergyResult, run_energy
+from .fig3 import Fig3Result, run_fig3
+from .fig4 import Fig4Result, run_fig4
+from .fig7 import Fig7Result, run_fig7
+from .fig8 import Fig8Result, run_fig8
+from .table1 import Table1Cell, Table1Result, run_table1
+from .table2 import Table2Result, run_table2
+from .sweep import SweepResult, run_sweep
+from .table3 import Table3Result, run_table3
+
+__all__ = [
+    "EnergyResult",
+    "Fig3Result",
+    "Fig4Result",
+    "Fig7Result",
+    "Fig8Result",
+    "Table1Cell",
+    "Table1Result",
+    "Table2Result",
+    "SweepResult",
+    "Table3Result",
+    "run_all",
+    "run_energy",
+    "run_fig3",
+    "run_fig4",
+    "run_fig7",
+    "run_fig8",
+    "run_table1",
+    "run_table2",
+    "run_sweep",
+    "run_table3",
+]
+
+
+def run_all() -> dict[str, str]:
+    """Run every experiment; returns experiment id → rendered report."""
+    table1 = run_table1()
+    return {
+        "tab1": table1.render(),
+        "fig3": run_fig3().render(),
+        "fig4": run_fig4(table1=table1).render(),
+        "tab2": run_table2().render(),
+        "fig7": run_fig7().render(),
+        "tab3": run_table3().render(),
+        "fig8": run_fig8().render(),
+        "energy": run_energy().render(),
+        "sweep": run_sweep().render(),
+    }

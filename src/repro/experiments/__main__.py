@@ -1,0 +1,46 @@
+"""Command-line entry point: ``python -m repro.experiments``.
+
+Runs every table/figure reproduction and prints the reports in paper
+order.  Pass experiment ids (e.g. ``tab1 fig7``) to run a subset.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from . import run_all, run_energy, run_fig3, run_fig4, run_fig7, run_fig8
+from . import run_sweep, run_table1, run_table2, run_table3
+
+_RUNNERS = {
+    "fig3": lambda: run_fig3().render(),
+    "fig4": lambda: run_fig4().render(),
+    "tab1": lambda: run_table1().render(),
+    "tab2": lambda: run_table2().render(),
+    "fig7": lambda: run_fig7().render(),
+    "tab3": lambda: run_table3().render(),
+    "fig8": lambda: run_fig8().render(),
+    "energy": lambda: run_energy().render(),
+    "sweep": lambda: run_sweep().render(),
+}
+
+
+def main(argv: list[str]) -> int:
+    """Run requested experiments (all when none are named)."""
+    requested = argv or list(_RUNNERS)
+    unknown = [x for x in requested if x not in _RUNNERS]
+    if unknown:
+        print(f"unknown experiment ids: {unknown}; known: {sorted(_RUNNERS)}")
+        return 2
+    if set(requested) == set(_RUNNERS):
+        reports = run_all()
+    else:
+        reports = {x: _RUNNERS[x]() for x in requested}
+    for exp_id in requested:
+        print(f"{'=' * 72}\nExperiment {exp_id}\n{'=' * 72}")
+        print(reports[exp_id])
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

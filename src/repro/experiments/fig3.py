@@ -1,0 +1,79 @@
+"""Experiment ``fig3``: Fig. 3 — per-operation STS times on the STM32F767.
+
+The paper decomposes one STS run into Op1–Op4 (§IV-C) and plots their
+individual durations on the STM32F767.  We reproduce the series from the
+traced operations of a real STS run priced on the calibrated STM32F767
+model, reporting initiator and responder separately (their Op2 splits
+differ in *when* the work happens, not in total).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..hardware.devices import DeviceModel, STM32F767
+from ..protocols import run_protocol
+from ..sim.schedule import op_times_for
+from ..testbed import TestBed, make_testbed
+
+#: Human titles of the four operations (paper §IV-C).
+OP_TITLES = {
+    "op1": "Op1: request phase - random XG derivation",
+    "op2": "Op2: public key + premaster generation",
+    "op3": "Op3: auth. signature derivation + encryption",
+    "op4": "Op4: auth. signature decryption + verification",
+}
+
+
+@dataclass
+class Fig3Result:
+    """Per-operation times for both stations."""
+
+    device_label: str
+    initiator_ms: dict[str, float] = field(default_factory=dict)
+    responder_ms: dict[str, float] = field(default_factory=dict)
+
+    def mean_ms(self, op: str) -> float:
+        """Mean of the two stations for one operation class."""
+        return (self.initiator_ms[op] + self.responder_ms[op]) / 2.0
+
+    def ordering_holds(self) -> bool:
+        """Fig. 3's qualitative shape: Op2 is the most expensive class,
+        Op4 beats Op1/Op3 (verification costs more than one mult)."""
+        means = {op: self.mean_ms(op) for op in OP_TITLES}
+        return (
+            means["op2"] > means["op4"] > means["op1"]
+            and means["op2"] > means["op3"]
+        )
+
+    def render(self) -> str:
+        """ASCII bar chart of the operation times."""
+        lines = [f"STS per-operation times on {self.device_label} (ms)"]
+        peak = max(self.mean_ms(op) for op in OP_TITLES)
+        for op, title in OP_TITLES.items():
+            mean = self.mean_ms(op)
+            bar = "#" * max(1, int(40 * mean / peak))
+            lines.append(
+                f"  {op}: {mean:8.2f} ms  |{bar}\n"
+                f"       ({title};"
+                f" A={self.initiator_ms[op]:.2f}, B={self.responder_ms[op]:.2f})"
+            )
+        lines.append(f"ordering holds (Op2 > Op4 > Op1, Op2 > Op3): {self.ordering_holds()}")
+        return "\n".join(lines)
+
+
+def run_fig3(
+    testbed: TestBed | None = None, device: DeviceModel = STM32F767
+) -> Fig3Result:
+    """Reproduce Fig. 3."""
+    if testbed is None:
+        testbed = make_testbed(seed=b"repro-fig3")
+    party_a, party_b = testbed.party_pair("sts", "alice", "bob")
+    run_protocol(party_a, party_b)
+    a = op_times_for(party_a, device)
+    b = op_times_for(party_b, device)
+    return Fig3Result(
+        device_label=device.label,
+        initiator_ms={"op1": a.op1, "op2": a.op2, "op3": a.op3, "op4": a.op4},
+        responder_ms={"op1": b.op1, "op2": b.op2, "op3": b.op3, "op4": b.op4},
+    )

@@ -1,0 +1,106 @@
+"""Experiment ``fig7``: the BMS↔EVCC prototype timeline (paper §V-C).
+
+Two S32K144 ECUs establish a session over CAN-FD (nominal 0.5 Mbit/s,
+data 2 Mbit/s) with ISO-TP fragmentation — once with STS, once with the
+conventional S-ECDSA.  The paper reports 3.257 s vs 2.677 s (+21.67 %)
+and a negligible (<1 ms) physical transfer share; this experiment
+reconstructs the full timeline and those three headline numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..hardware.devices import DeviceModel, S32K144
+from ..network.canfd import CanFdBus, CanFdBusConfig
+from ..network.cantp import IsoTpChannel
+from ..network.stack import NetworkStack
+from ..protocols import run_protocol
+from ..sim.timeline import SessionTimeline, simulate_session_timeline
+from ..testbed import TestBed, make_testbed
+
+#: Paper §V-C headline numbers.
+PAPER_STS_TOTAL_S = 3.257
+PAPER_S_ECDSA_TOTAL_S = 2.677
+PAPER_OVERHEAD_PERCENT = 21.67
+
+
+@dataclass
+class Fig7Result:
+    """Both prototype timelines plus the derived comparisons."""
+
+    sts_timeline: SessionTimeline
+    s_ecdsa_timeline: SessionTimeline
+
+    @property
+    def sts_total_s(self) -> float:
+        """Modelled STS session establishment total (seconds)."""
+        return self.sts_timeline.total_ms / 1000.0
+
+    @property
+    def s_ecdsa_total_s(self) -> float:
+        """Modelled S-ECDSA session establishment total (seconds)."""
+        return self.s_ecdsa_timeline.total_ms / 1000.0
+
+    @property
+    def overhead_percent(self) -> float:
+        """STS increase over S-ECDSA (the paper's 21.67 %)."""
+        return 100.0 * (self.sts_total_s / self.s_ecdsa_total_s - 1.0)
+
+    @property
+    def max_transfer_ms(self) -> float:
+        """Largest single-message bus time (paper: <1 ms)."""
+        return max(
+            s.duration_ms
+            for timeline in (self.sts_timeline, self.s_ecdsa_timeline)
+            for s in timeline.segments
+            if s.kind == "transfer"
+        )
+
+    def render(self) -> str:
+        """Both timelines plus the headline comparison."""
+        lines = [
+            self.sts_timeline.render(),
+            "",
+            self.s_ecdsa_timeline.render(),
+            "",
+            f"STS total:      {self.sts_total_s:.3f} s"
+            f"  (paper {PAPER_STS_TOTAL_S} s)",
+            f"S-ECDSA total:  {self.s_ecdsa_total_s:.3f} s"
+            f"  (paper {PAPER_S_ECDSA_TOTAL_S} s)",
+            f"STS overhead:   {self.overhead_percent:+.2f} %"
+            f"  (paper +{PAPER_OVERHEAD_PERCENT} %)",
+            f"max single-message bus time: {self.max_transfer_ms:.3f} ms"
+            f"  (paper: physical transfer < 1 ms)",
+        ]
+        return "\n".join(lines)
+
+
+def prototype_stack() -> NetworkStack:
+    """The paper's CAN-FD configuration: 0.5 Mbit/s nominal, 2 Mbit/s data."""
+    bus = CanFdBus(
+        CanFdBusConfig(nominal_bitrate=500_000, data_bitrate=2_000_000)
+    )
+    return NetworkStack(bus=bus, channel=IsoTpChannel(bus=bus))
+
+
+def run_fig7(
+    testbed: TestBed | None = None, device: DeviceModel = S32K144
+) -> Fig7Result:
+    """Reproduce the Fig. 7 prototype timelines."""
+    if testbed is None:
+        testbed = make_testbed(("bms", "evcc"), seed=b"repro-fig7")
+    timelines = {}
+    for protocol in ("sts", "s-ecdsa"):
+        party_a, party_b = testbed.party_pair(protocol, "bms", "evcc")
+        transcript = run_protocol(party_a, party_b)
+        timelines[protocol] = simulate_session_timeline(
+            transcript,
+            device,
+            stack=prototype_stack(),
+            device_names=("BMS", "EVCC"),
+        )
+    return Fig7Result(
+        sts_timeline=timelines["sts"],
+        s_ecdsa_timeline=timelines["s-ecdsa"],
+    )

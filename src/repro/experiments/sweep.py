@@ -1,0 +1,132 @@
+"""Experiment ``sweep``: where does the STS overhead stop mattering?
+
+A derived analysis the paper's discussion invites: Table I spans four
+discrete devices; this sweep treats device capability as a continuum
+(scalar-multiplication cost from ATmega-class seconds down to
+accelerated sub-millisecond) and reports, for each point,
+
+* the absolute STS-vs-S-ECDSA premium (ms),
+* whether the premium clears common latency budgets (e.g. a 100 ms
+  startup-handshake budget, a 1 s diagnostic-session budget).
+
+The relative premium is constant (~24 %, structural); the *absolute*
+premium crosses below typical budgets between the mid-tier and high-end
+classes — quantifying the paper's "good balance" claim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from ..hardware.cost import CostModel
+from ..hardware.devices import STM32F767, DeviceModel
+from ..protocols import run_protocol
+from ..sim.schedule import protocol_total_ms
+from ..testbed import TestBed, make_testbed
+
+#: Scalar-mult costs swept (ms): ATmega-class down to HSM-class.
+DEFAULT_SWEEP_MS = (4000.0, 1000.0, 300.0, 100.0, 30.0, 10.0, 3.0, 1.0, 0.3)
+
+#: Latency budgets the premium is compared against (ms).
+BUDGETS_MS = {"startup-100ms": 100.0, "diagnostic-1s": 1000.0}
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One point of the capability sweep."""
+
+    scalar_mult_ms: float
+    s_ecdsa_ms: float
+    sts_ms: float
+    sts_opt2_ms: float
+
+    @property
+    def premium_ms(self) -> float:
+        """Absolute STS premium over S-ECDSA."""
+        return self.sts_ms - self.s_ecdsa_ms
+
+    @property
+    def premium_ratio(self) -> float:
+        """Relative STS premium."""
+        return self.sts_ms / self.s_ecdsa_ms - 1.0
+
+
+@dataclass
+class SweepResult:
+    """The full capability sweep."""
+
+    points: list[SweepPoint] = field(default_factory=list)
+
+    def crossover_ms(self, budget_ms: float) -> float | None:
+        """Largest swept scalar-mult cost whose premium fits the budget."""
+        fitting = [
+            p.scalar_mult_ms for p in self.points if p.premium_ms <= budget_ms
+        ]
+        return max(fitting) if fitting else None
+
+    def ratio_is_structural(self, tolerance: float = 0.03) -> bool:
+        """The relative premium must be (near-)constant across the sweep."""
+        ratios = [p.premium_ratio for p in self.points]
+        return max(ratios) - min(ratios) < tolerance
+
+    def render(self) -> str:
+        """ASCII table of the sweep."""
+        lines = [
+            "Device-capability sweep: STS premium vs scalar-mult cost",
+            f"{'mult (ms)':>10s}{'S-ECDSA':>12s}{'STS':>12s}"
+            f"{'opt.II':>12s}{'premium':>12s}{'ratio':>8s}",
+        ]
+        for p in self.points:
+            lines.append(
+                f"{p.scalar_mult_ms:10.1f}{p.s_ecdsa_ms:12.1f}"
+                f"{p.sts_ms:12.1f}{p.sts_opt2_ms:12.1f}"
+                f"{p.premium_ms:12.1f}{p.premium_ratio:8.1%}"
+            )
+        for name, budget in BUDGETS_MS.items():
+            crossover = self.crossover_ms(budget)
+            lines.append(
+                f"premium fits {name} budget up to mult cost:"
+                f" {crossover if crossover is not None else 'never'} ms"
+            )
+        return "\n".join(lines)
+
+
+def _scaled_device(base: DeviceModel, scalar_mult_ms: float) -> DeviceModel:
+    """Base device rescaled to a target scalar-multiplication cost."""
+    factor = scalar_mult_ms / base.cost.scalar_mult_ms
+    return replace(
+        base,
+        name=f"sweep-{scalar_mult_ms}",
+        cost=CostModel(
+            scalar_mult_ms=scalar_mult_ms,
+            hash_block_ms=base.cost.hash_block_ms * factor,
+            extra_ms=dict(base.cost.extra_ms),
+        ),
+    )
+
+
+def run_sweep(
+    sweep_ms: tuple[float, ...] = DEFAULT_SWEEP_MS,
+    testbed: TestBed | None = None,
+) -> SweepResult:
+    """Run the capability sweep (protocols executed once, priced per point)."""
+    if testbed is None:
+        testbed = make_testbed(seed=b"repro-sweep")
+    transcripts = {}
+    for protocol in ("s-ecdsa", "sts", "sts-opt2"):
+        party_a, party_b = testbed.party_pair(protocol, "alice", "bob")
+        transcripts[protocol] = run_protocol(party_a, party_b)
+    result = SweepResult()
+    for mult_ms in sweep_ms:
+        device = _scaled_device(STM32F767, mult_ms)
+        result.points.append(
+            SweepPoint(
+                scalar_mult_ms=mult_ms,
+                s_ecdsa_ms=protocol_total_ms(transcripts["s-ecdsa"], device),
+                sts_ms=protocol_total_ms(transcripts["sts"], device),
+                sts_opt2_ms=protocol_total_ms(
+                    transcripts["sts"], device, schedule="opt2"
+                ),
+            )
+        )
+    return result

@@ -1,0 +1,33 @@
+"""Experiment ``tab2``: Table II — communication steps and bytes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..analysis.overhead import (
+    PAPER_TABLE2,
+    ProtocolOverhead,
+    overhead_table,
+    render_overhead_table,
+)
+from ..testbed import TestBed
+
+
+@dataclass
+class Table2Result:
+    """Measured overhead per protocol plus the paper comparison."""
+
+    rows: dict[str, ProtocolOverhead] = field(default_factory=dict)
+
+    def all_match_paper(self) -> bool:
+        """True if every row equals the paper's published steps/bytes."""
+        return all(row.matches_paper() for row in self.rows.values())
+
+    def render(self) -> str:
+        """ASCII rendering with per-message layouts."""
+        return render_overhead_table(self.rows)
+
+
+def run_table2(testbed: TestBed | None = None) -> Table2Result:
+    """Reproduce Table II from actually serialized messages."""
+    return Table2Result(rows=overhead_table(testbed, tuple(PAPER_TABLE2)))

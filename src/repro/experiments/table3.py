@@ -1,0 +1,39 @@
+"""Experiment ``tab3``: Table III — the security property matrix."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..security.analysis import SecurityMatrix, evaluate_security_matrix
+from ..testbed import TestBed
+
+
+@dataclass
+class Table3Result:
+    """The evaluated matrix plus the paper comparison."""
+
+    matrix: SecurityMatrix
+
+    def matches_paper(self) -> bool:
+        """True if every rating equals the paper's Table III."""
+        return self.matrix.matches_paper()
+
+    def render(self) -> str:
+        """The matrix plus any disagreements."""
+        lines = [self.matrix.render(), ""]
+        mismatches = self.matrix.mismatches()
+        if mismatches:
+            lines.append("disagreements with the paper:")
+            for protocol, prop, ours, theirs in mismatches:
+                lines.append(
+                    f"  {protocol}/{prop}: ours {ours.value},"
+                    f" paper {theirs.value}"
+                )
+        else:
+            lines.append("all 20 cells match the paper's Table III")
+        return "\n".join(lines)
+
+
+def run_table3(testbed: TestBed | None = None) -> Table3Result:
+    """Reproduce Table III by executing the attack suite."""
+    return Table3Result(matrix=evaluate_security_matrix(testbed))

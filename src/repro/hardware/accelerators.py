@@ -1,0 +1,182 @@
+"""Hardware security modules and crypto accelerators (paper future work).
+
+The paper closes with: *"For future work, we plan to investigate the
+influence of security modules and hardware accelerators when considering
+the implicit certificate protocols on embedded devices, especially those
+related to session establishment."*  This module implements that study.
+
+An :class:`Accelerator` rescales the per-event prices of a base device
+model: an ECC accelerator divides the scalar-multiplication cost, an AES
+engine divides the block cost, a hash engine the compression cost.  The
+presets follow typical datasheet ratios:
+
+* ``SHE_AES`` — an AUTOSAR SHE-style module: hardware AES (~20×), no
+  public-key support.  Helps the symmetric-auth baselines, barely moves
+  the EC-dominated protocols.
+* ``ECC_ACCEL`` — a dedicated ECC coprocessor (~10× on scalar
+  multiplications, as on e.g. an NXP S32K3 HSE or an STM32 PKA).
+* ``FULL_HSM`` — EVITA-full-style HSM: ECC ~10×, AES ~20×, SHA ~10×.
+
+The ablation benchmark (``benchmarks/bench_ablation_accelerators.py``)
+regenerates Table I under each preset and reports how the protocol
+ordering and the STS overhead change — the question the paper poses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..errors import HardwareModelError
+from .cost import CostModel
+from .devices import DeviceModel
+
+
+@dataclass(frozen=True)
+class Accelerator:
+    """A crypto offload engine described by per-class speedup factors.
+
+    Attributes:
+        name: preset identifier.
+        description: what the engine models.
+        ec_speedup: divisor on EC scalar-multiplication cost (≥ 1).
+        aes_speedup: divisor on AES block cost (≥ 1).
+        hash_speedup: divisor on hash compression cost (≥ 1).
+        fixed_call_overhead_ms: per-EC-operation driver/marshalling cost
+            added on top (accelerators are not free to invoke).
+    """
+
+    name: str
+    description: str
+    ec_speedup: float = 1.0
+    aes_speedup: float = 1.0
+    hash_speedup: float = 1.0
+    fixed_call_overhead_ms: float = 0.0
+
+    def __post_init__(self) -> None:
+        if min(self.ec_speedup, self.aes_speedup, self.hash_speedup) < 1.0:
+            raise HardwareModelError(
+                f"{self.name}: speedups must be >= 1 (they are divisors)"
+            )
+        if self.fixed_call_overhead_ms < 0:
+            raise HardwareModelError(
+                f"{self.name}: negative call overhead"
+            )
+
+
+NO_ACCELERATOR = Accelerator(
+    name="none",
+    description="software-only baseline (the paper's configuration)",
+)
+
+SHE_AES = Accelerator(
+    name="she-aes",
+    description="AUTOSAR SHE-style module: hardware AES/CMAC only",
+    aes_speedup=20.0,
+)
+
+ECC_ACCEL = Accelerator(
+    name="ecc-accel",
+    description="dedicated ECC coprocessor (PKA-style, ~10x scalar mult)",
+    ec_speedup=10.0,
+    fixed_call_overhead_ms=0.05,
+)
+
+FULL_HSM = Accelerator(
+    name="full-hsm",
+    description="EVITA-full HSM: ECC ~10x, AES ~20x, SHA ~10x",
+    ec_speedup=10.0,
+    aes_speedup=20.0,
+    hash_speedup=10.0,
+    fixed_call_overhead_ms=0.05,
+)
+
+ACCELERATORS: dict[str, Accelerator] = {
+    a.name: a for a in (NO_ACCELERATOR, SHE_AES, ECC_ACCEL, FULL_HSM)
+}
+
+#: Events that count as one accelerator *call* for the overhead term.
+_EC_CALL_EVENTS = ("ec.mul_point", "ec.mul_base", "ec.mul_double")
+
+
+def accelerate(device: DeviceModel, accelerator: Accelerator) -> DeviceModel:
+    """Derive a new device model with the accelerator attached.
+
+    The returned model's name is suffixed (``stm32f767+full-hsm``) so it
+    can live alongside the base model in result tables.
+    """
+    base = device.cost
+    extra = dict(base.extra_ms)
+    # AES has no dedicated scale parameter: express the speedup as a
+    # negative extra (price_of adds extras after the weight tables).
+    if accelerator.aes_speedup > 1.0:
+        software_price = 0.35 * base.hash_block_ms / accelerator.hash_speedup
+        accelerated_price = 0.35 * base.hash_block_ms / (
+            accelerator.hash_speedup * accelerator.aes_speedup
+        )
+        extra["aes.block"] = accelerated_price - software_price
+    if accelerator.fixed_call_overhead_ms > 0:
+        for event in _EC_CALL_EVENTS:
+            extra[event] = (
+                extra.get(event, 0.0) + accelerator.fixed_call_overhead_ms
+            )
+    # The EC weight table scales everything EC from scalar_mult_ms, so an
+    # EC speedup is a straight division of that parameter.
+    new_cost = CostModel(
+        scalar_mult_ms=base.scalar_mult_ms / accelerator.ec_speedup,
+        hash_block_ms=base.hash_block_ms / accelerator.hash_speedup,
+        extra_ms=extra,
+    )
+    return replace(
+        device,
+        name=f"{device.name}+{accelerator.name}",
+        label=f"{device.label}+{accelerator.name}",
+        cost=new_cost,
+    )
+
+
+def accelerator_study(
+    device: DeviceModel,
+    protocols: tuple[str, ...] = ("s-ecdsa", "sts", "sts-opt2", "scianc", "poramb"),
+    seed: bytes = b"repro-accelerators",
+) -> dict[str, dict[str, float]]:
+    """Table I under every accelerator preset (the future-work study).
+
+    Returns ``{accelerator: {protocol: pair_ms}}`` for one base device.
+    """
+    from ..protocols import run_protocol
+    from ..sim.schedule import protocol_total_ms
+    from ..testbed import make_testbed
+
+    testbed = make_testbed(seed=seed)
+    transcripts = {}
+    for protocol in protocols:
+        party_a, party_b = testbed.party_pair(protocol, "alice", "bob")
+        transcripts[protocol] = run_protocol(party_a, party_b)
+    results: dict[str, dict[str, float]] = {}
+    for accelerator in ACCELERATORS.values():
+        model = accelerate(device, accelerator)
+        results[accelerator.name] = {
+            protocol: protocol_total_ms(transcripts[protocol], model)
+            for protocol in protocols
+        }
+    return results
+
+
+def render_accelerator_study(
+    study: dict[str, dict[str, float]], device_label: str
+) -> str:
+    """ASCII table of the accelerator ablation."""
+    protocols = list(next(iter(study.values())))
+    lines = [
+        f"KD execution time on {device_label} with crypto offload (ms)",
+        f"{'Accelerator':12s}" + "".join(f"{p:>12s}" for p in protocols)
+        + f"{'STS/S-ECDSA':>14s}",
+    ]
+    for accel_name, row in study.items():
+        ratio = row["sts"] / row["s-ecdsa"]
+        lines.append(
+            f"{accel_name:12s}"
+            + "".join(f"{row[p]:12.2f}" for p in protocols)
+            + f"{ratio:14.3f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,138 @@
+"""Pricing primitive-operation traces in device milliseconds.
+
+A :class:`CostModel` maps trace event names (see :mod:`repro.trace`) to a
+per-occurrence cost in milliseconds on one device.  Pricing a
+:class:`~repro.trace.CostTrace` reconstructs the embedded execution time of
+whatever ran under that trace — a single operation, a protocol step, or a
+whole session establishment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import HardwareModelError
+from ..trace import CostTrace
+
+#: Relative cost of EC events in units of one general scalar multiplication.
+#: Derived from the operation structure of a wNAF/Jacobian implementation
+#: (micro-ecc-like): a Strauss-Shamir double multiplication costs ~8 % more
+#: than a single multiplication; a stand-alone affine addition is ~1/290 of
+#: a multiplication (one add out of ~290 add-equivalents per mult); an
+#: extended-Euclid inversion ~1/25; sign/verify bookkeeping ~1/400.
+EC_RELATIVE_WEIGHTS: dict[str, float] = {
+    "ec.mul_point": 1.0,
+    "ec.mul_base": 1.0,  # micro-ecc has no base-point precomputation
+    "ec.mul_double": 1.08,
+    "ec.add": 1.0 / 290.0,
+    "mod.inv": 1.0 / 25.0,
+    "ecdsa.sign": 1.0 / 400.0,
+    "ecdsa.verify": 1.0 / 400.0,
+}
+
+#: Relative cost of symmetric events in units of one hash compression.
+#: hmac.call / kdf.call / cmac.call / drbg.generate price only the
+#: *bookkeeping* of those constructions — their internal hash/AES blocks
+#: are traced (and priced) individually.
+SYM_RELATIVE_WEIGHTS: dict[str, float] = {
+    "sha2.block": 1.0,
+    "aes.block": 0.35,
+    "hmac.call": 0.30,
+    "kdf.call": 0.40,
+    "cmac.call": 0.40,
+    "drbg.generate": 0.40,
+    "rng.bytes": 0.002,  # per byte of requested randomness
+}
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Per-event millisecond prices for one device.
+
+    Attributes:
+        scalar_mult_ms: cost of one general EC scalar multiplication
+            (the dominant term; everything EC scales from it).
+        hash_block_ms: cost of one SHA-2 compression (everything symmetric
+            scales from it).
+        extra_ms: optional explicit per-event overrides/additions.
+    """
+
+    scalar_mult_ms: float
+    hash_block_ms: float
+    extra_ms: dict[str, float] = field(default_factory=dict)
+
+    def price_of(self, event: str) -> float:
+        """Millisecond price of a single occurrence of ``event``.
+
+        Unknown events price at zero — traces may carry events (e.g.
+        purely diagnostic counters) that cost nothing by themselves.
+        """
+        price = 0.0
+        if event in EC_RELATIVE_WEIGHTS:
+            price += EC_RELATIVE_WEIGHTS[event] * self.scalar_mult_ms
+        if event in SYM_RELATIVE_WEIGHTS:
+            price += SYM_RELATIVE_WEIGHTS[event] * self.hash_block_ms
+        price += self.extra_ms.get(event, 0.0)
+        return price
+
+    def price(self, trace: CostTrace) -> float:
+        """Total milliseconds for every event recorded in ``trace``."""
+        return sum(
+            count * self.price_of(event)
+            for event, count in trace.counts.items()
+        )
+
+    def breakdown(self, trace: CostTrace) -> dict[str, float]:
+        """Per-event millisecond contributions (sorted by event name)."""
+        return {
+            event: count * self.price_of(event)
+            for event, count in sorted(trace.counts.items())
+        }
+
+    def ec_ms(self, trace: CostTrace) -> float:
+        """Milliseconds attributable to elliptic-curve events only."""
+        return sum(
+            count * EC_RELATIVE_WEIGHTS[event] * self.scalar_mult_ms
+            for event, count in trace.counts.items()
+            if event in EC_RELATIVE_WEIGHTS
+        )
+
+    def sym_ms(self, trace: CostTrace) -> float:
+        """Milliseconds attributable to symmetric-crypto events only."""
+        return self.price(trace) - self.ec_ms(trace) - sum(
+            count * self.extra_ms.get(event, 0.0)
+            for event, count in trace.counts.items()
+        )
+
+    def validate(self) -> None:
+        """Sanity-check the model parameters."""
+        if self.scalar_mult_ms <= 0:
+            raise HardwareModelError(
+                f"scalar_mult_ms must be positive, got {self.scalar_mult_ms}"
+            )
+        if self.hash_block_ms < 0:
+            raise HardwareModelError(
+                f"hash_block_ms must be non-negative, got {self.hash_block_ms}"
+            )
+
+
+def ec_units(trace: CostTrace) -> float:
+    """EC work in units of one scalar multiplication (device-independent).
+
+    This is the quantity the calibration fit uses: for a protocol trace,
+    ``time ≈ scalar_mult_ms * ec_units + sym time``.
+    """
+    return sum(
+        count * weight
+        for event, weight in EC_RELATIVE_WEIGHTS.items()
+        if (count := trace.counts.get(event, 0))
+    )
+
+
+def sym_units(trace: CostTrace) -> float:
+    """Symmetric work in units of one hash compression."""
+    return sum(
+        count * weight
+        for event, weight in SYM_RELATIVE_WEIGHTS.items()
+        if (count := trace.counts.get(event, 0))
+    )

@@ -1,0 +1,119 @@
+"""Timing reconstruction: from protocol traces to device milliseconds.
+
+Bridges the protocol layer (parties with per-operation cost traces) and
+the device models.  Provides the aggregations each experiment needs:
+
+* per-operation times — Fig. 3 (STS Op1–Op4 on the STM32F767),
+* per-party and pair totals — Table I / Fig. 4,
+* per-step times — input for the Fig. 7 timeline simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import HardwareModelError
+from ..protocols.base import Party, ProtocolTranscript
+from ..trace import CostTrace
+from .devices import DeviceModel
+
+
+@dataclass(frozen=True)
+class TimedOperation:
+    """One protocol operation priced on a device."""
+
+    role: str
+    step_label: str
+    name: str
+    op_class: str
+    ms: float
+
+
+def party_operations(party: Party, device: DeviceModel) -> list[TimedOperation]:
+    """Every operation a party performed, priced on ``device``."""
+    timed: list[TimedOperation] = []
+    for record in party.records:
+        for op in record.operations:
+            timed.append(
+                TimedOperation(
+                    role=party.role,
+                    step_label=record.label,
+                    name=op.name,
+                    op_class=op.op_class,
+                    ms=device.time_ms(op.cost),
+                )
+            )
+    return timed
+
+
+def party_time_ms(party: Party, device: DeviceModel) -> float:
+    """Total compute time of one party on ``device``."""
+    return device.time_ms(party.total_cost())
+
+
+def pair_time_ms(
+    transcript: ProtocolTranscript,
+    device_a: DeviceModel,
+    device_b: DeviceModel | None = None,
+) -> float:
+    """Total sequential KD execution time for a device pair.
+
+    This is the paper's Eq. 5 (sum over both stations' operations) and the
+    quantity Table I reports.  ``device_b`` defaults to ``device_a``
+    (identical devices, as in the paper's per-board measurements).
+    """
+    if device_b is None:
+        device_b = device_a
+    return party_time_ms(transcript.party_a, device_a) + party_time_ms(
+        transcript.party_b, device_b
+    )
+
+
+def op_class_times(party: Party, device: DeviceModel) -> dict[str, float]:
+    """Aggregate per-operation-class times (op1..op4, sym) for one party.
+
+    On the STS protocol this is exactly the paper's §IV-C decomposition;
+    Fig. 3 plots these for the STM32F767.
+    """
+    totals: dict[str, float] = {}
+    for op in party_operations(party, device):
+        totals[op.op_class] = totals.get(op.op_class, 0.0) + op.ms
+    return totals
+
+
+def op_class_trace(party: Party, op_class: str) -> CostTrace:
+    """Merged cost trace of every operation in one class."""
+    merged = CostTrace(f"{party.protocol_name}:{party.role}:{op_class}")
+    for record in party.records:
+        for op in record.operations:
+            if op.op_class == op_class:
+                merged.merge(op.cost)
+    return merged
+
+
+def step_times(party: Party, device: DeviceModel) -> list[tuple[str, float]]:
+    """Per-step compute times, in execution order (Fig. 7 raw material)."""
+    result: list[tuple[str, float]] = []
+    for record in party.records:
+        total = sum(device.time_ms(op.cost) for op in record.operations)
+        result.append((record.label, total))
+    return result
+
+
+def validate_devices_match_calibration(tolerance: float = 1e-3) -> None:
+    """Assert the frozen device constants equal a fresh calibration fit.
+
+    Raises :class:`HardwareModelError` if :mod:`repro.hardware.devices`
+    has drifted from what :mod:`repro.hardware.calibrate` derives — the
+    guard the test suite runs so the two never diverge silently.
+    """
+    from .calibrate import fit_all_devices
+    from .devices import DEVICES
+
+    for name, result in fit_all_devices().items():
+        frozen = DEVICES[name].cost.scalar_mult_ms
+        if abs(frozen - result.scalar_mult_ms) / result.scalar_mult_ms > tolerance:
+            raise HardwareModelError(
+                f"{name}: frozen scalar_mult_ms {frozen} differs from fitted"
+                f" {result.scalar_mult_ms:.3f} by more than {tolerance:%}"
+            )

@@ -1,0 +1,64 @@
+"""CAN-FD / ISO-TP / application network simulation (paper Fig. 6 stack)."""
+
+from .app import (
+    AppMessage,
+    COMM_APP_DATA,
+    COMM_KEY_DERIVATION,
+    COMM_MANAGEMENT,
+    OP_CODES,
+    data_message,
+    kd_message,
+)
+from .canfd import (
+    CANFD_DATA_LENGTHS,
+    CanFdBus,
+    CanFdBusConfig,
+    CanFdFrame,
+    dlc_for_length,
+    make_frame,
+    padded_length,
+)
+from .cantp import (
+    FC_CONTINUE,
+    FC_OVERFLOW,
+    FC_WAIT,
+    IsoTpChannel,
+    IsoTpTiming,
+    Reassembler,
+    TX_DL,
+    TpFrame,
+    TpFrameType,
+    flow_control_frame,
+    segment_message,
+)
+from .stack import NetworkStack, decode_kd_payload
+
+__all__ = [
+    "AppMessage",
+    "CANFD_DATA_LENGTHS",
+    "COMM_APP_DATA",
+    "COMM_KEY_DERIVATION",
+    "COMM_MANAGEMENT",
+    "CanFdBus",
+    "CanFdBusConfig",
+    "CanFdFrame",
+    "FC_CONTINUE",
+    "FC_OVERFLOW",
+    "FC_WAIT",
+    "IsoTpChannel",
+    "IsoTpTiming",
+    "NetworkStack",
+    "OP_CODES",
+    "Reassembler",
+    "TX_DL",
+    "TpFrame",
+    "TpFrameType",
+    "data_message",
+    "decode_kd_payload",
+    "dlc_for_length",
+    "flow_control_frame",
+    "kd_message",
+    "make_frame",
+    "padded_length",
+    "segment_message",
+]

@@ -1,0 +1,103 @@
+"""Application-layer message format of the prototype (paper Fig. 6).
+
+Above ISO-TP, the prototype frames every session message as::
+
+    CommCode(1) || SessCommID(2) || OPCode(1) || AppData(...)
+
+``CommCode`` selects the traffic class (key derivation, application data,
+management), ``SessCommID`` identifies the session communication, and
+``OPCode`` identifies the protocol step (we map it to the message label).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import NetworkError
+from ..utils import bytes_to_int, int_to_bytes
+
+HEADER_SIZE = 4
+
+#: Communication codes (traffic classes).
+COMM_KEY_DERIVATION = 0x10
+COMM_APP_DATA = 0x20
+COMM_MANAGEMENT = 0x30
+
+_VALID_COMM_CODES = (COMM_KEY_DERIVATION, COMM_APP_DATA, COMM_MANAGEMENT)
+
+#: OP codes for KD protocol steps, keyed by message label.
+OP_CODES: dict[str, int] = {
+    "A1": 0x01, "B1": 0x02, "A2": 0x03, "B2": 0x04,
+    "A3": 0x05, "B3": 0x06,
+    "DATA": 0x40, "ACK": 0x41,
+}
+
+_LABEL_BY_OP = {v: k for k, v in OP_CODES.items()}
+
+
+@dataclass(frozen=True)
+class AppMessage:
+    """A decoded application-layer message."""
+
+    comm_code: int
+    session_id: int
+    op_code: int
+    data: bytes
+
+    def __post_init__(self) -> None:
+        if self.comm_code not in _VALID_COMM_CODES:
+            raise NetworkError(f"invalid comm code {self.comm_code:#04x}")
+        if not 0 <= self.session_id <= 0xFFFF:
+            raise NetworkError(f"session id {self.session_id} out of range")
+        if not 0 <= self.op_code <= 0xFF:
+            raise NetworkError(f"op code {self.op_code} out of range")
+
+    @property
+    def label(self) -> str:
+        """The protocol step label this OP code maps to (or hex)."""
+        return _LABEL_BY_OP.get(self.op_code, f"op{self.op_code:#04x}")
+
+    def encode(self) -> bytes:
+        """Serialize header + data."""
+        return (
+            bytes([self.comm_code])
+            + int_to_bytes(self.session_id, 2)
+            + bytes([self.op_code])
+            + self.data
+        )
+
+    @classmethod
+    def decode(cls, raw: bytes) -> "AppMessage":
+        """Parse header + data."""
+        if len(raw) < HEADER_SIZE:
+            raise NetworkError(f"app message too short: {len(raw)} bytes")
+        return cls(
+            comm_code=raw[0],
+            session_id=bytes_to_int(raw[1:3]),
+            op_code=raw[3],
+            data=raw[HEADER_SIZE:],
+        )
+
+
+def kd_message(session_id: int, label: str, payload: bytes) -> AppMessage:
+    """Wrap a KD protocol message payload for transmission."""
+    try:
+        op_code = OP_CODES[label]
+    except KeyError:
+        raise NetworkError(f"no OP code for step label {label!r}") from None
+    return AppMessage(
+        comm_code=COMM_KEY_DERIVATION,
+        session_id=session_id,
+        op_code=op_code,
+        data=payload,
+    )
+
+
+def data_message(session_id: int, payload: bytes) -> AppMessage:
+    """Wrap an encrypted application-data record for transmission."""
+    return AppMessage(
+        comm_code=COMM_APP_DATA,
+        session_id=session_id,
+        op_code=OP_CODES["DATA"],
+        data=payload,
+    )

@@ -1,0 +1,64 @@
+"""The full prototype network stack: application / ISO-TP / CAN-FD.
+
+Composes the three layers of the paper's Fig. 6 into a single object the
+session simulator can ask two questions of: *how many frames does this
+message take* and *how long does its transfer occupy the bus*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .app import AppMessage, kd_message
+from .canfd import CanFdBus, CanFdBusConfig
+from .cantp import IsoTpChannel, IsoTpTiming, Reassembler, TpFrame
+
+
+@dataclass
+class NetworkStack:
+    """One device's view of the CAN-FD session network.
+
+    Attributes:
+        bus: shared CAN-FD bus (pass the same instance to both devices for
+            shared accounting).
+        channel: ISO-TP parameters for this device's transfers.
+    """
+
+    bus: CanFdBus = field(default_factory=lambda: CanFdBus(CanFdBusConfig()))
+    channel: IsoTpChannel = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.channel is None:
+            self.channel = IsoTpChannel(bus=self.bus)
+
+    def kd_transfer(
+        self, session_id: int, label: str, payload: bytes
+    ) -> IsoTpTiming:
+        """Transfer one KD protocol message; returns the timing breakdown."""
+        message = kd_message(session_id, label, payload)
+        return self.channel.transfer(message.encode())
+
+    def transfer_ms(self, app_payload: bytes) -> float:
+        """Bus time of an already-framed application payload."""
+        return self.channel.transfer(app_payload).total_ms
+
+    def frames_for_kd(
+        self, session_id: int, label: str, payload: bytes
+    ) -> list[TpFrame]:
+        """Sender-side ISO-TP frames of one KD message."""
+        message = kd_message(session_id, label, payload)
+        return self.channel.frames_for(message.encode())
+
+    def loopback(self, app_payload: bytes) -> bytes:
+        """Segment + reassemble a payload (integrity check helper)."""
+        reassembler = Reassembler()
+        result = None
+        for frame in self.channel.frames_for(app_payload):
+            result = reassembler.accept(frame)
+        assert result is not None
+        return result
+
+
+def decode_kd_payload(raw: bytes) -> AppMessage:
+    """Decode a reassembled application payload back into a message."""
+    return AppMessage.decode(raw)

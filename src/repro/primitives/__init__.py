@@ -1,0 +1,69 @@
+"""Symmetric/hash primitive layer, implemented from scratch.
+
+Contents: SHA-2 family, HMAC, HKDF + ANSI X9.63 KDF, AES-128/192/256 with
+ECB/CBC/CTR modes and PKCS#7 padding, AES-CMAC, HMAC-DRBG and RFC 6979
+deterministic nonces.  All primitives record cost-trace events so protocol
+runs can be priced by the hardware models.
+"""
+
+from .aes import BLOCK_SIZE, Aes
+from .cmac import cmac, cmac_verify
+from .drbg import HmacDrbg, rfc6979_nonce
+from .hmac import Hmac, hmac, hmac_verify
+from .kdf import hkdf, hkdf_expand, hkdf_extract, x963_kdf
+from .modes import (
+    cbc_decrypt,
+    cbc_encrypt,
+    ctr_crypt,
+    ctr_keystream,
+    ecb_decrypt,
+    ecb_encrypt,
+    pkcs7_pad,
+    pkcs7_unpad,
+)
+from .sha2 import (
+    HASHES,
+    Sha224,
+    Sha256,
+    Sha384,
+    Sha512,
+    new_hash,
+    sha224,
+    sha256,
+    sha384,
+    sha512,
+)
+
+__all__ = [
+    "Aes",
+    "BLOCK_SIZE",
+    "HASHES",
+    "Hmac",
+    "HmacDrbg",
+    "Sha224",
+    "Sha256",
+    "Sha384",
+    "Sha512",
+    "cbc_decrypt",
+    "cbc_encrypt",
+    "cmac",
+    "cmac_verify",
+    "ctr_crypt",
+    "ctr_keystream",
+    "ecb_decrypt",
+    "ecb_encrypt",
+    "hkdf",
+    "hkdf_expand",
+    "hkdf_extract",
+    "hmac",
+    "hmac_verify",
+    "new_hash",
+    "pkcs7_pad",
+    "pkcs7_unpad",
+    "rfc6979_nonce",
+    "sha224",
+    "sha256",
+    "sha384",
+    "sha512",
+    "x963_kdf",
+]

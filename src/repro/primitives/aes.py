@@ -1,0 +1,205 @@
+"""AES-128/192/256 block cipher implemented from scratch (FIPS 197).
+
+Table-driven byte-oriented implementation, the same structure as tiny-AES
+(the C library the paper links against).  One ``aes.block`` trace event is
+recorded per block encryption/decryption, which is the unit the hardware
+cost model prices.
+"""
+
+from __future__ import annotations
+
+from .. import trace
+from ..errors import CryptoError
+
+
+def _build_sbox() -> tuple[bytes, bytes]:
+    """Construct the AES S-box and its inverse from GF(2^8) arithmetic."""
+    # Multiplicative inverse table via exp/log over generator 3.
+    exp = [0] * 512
+    log = [0] * 256
+    x = 1
+    for i in range(255):
+        exp[i] = x
+        log[x] = i
+        # multiply x by 3 in GF(2^8)
+        x ^= (x << 1) ^ (0x11B if x & 0x80 else 0)
+        x &= 0xFF
+    for i in range(255, 512):
+        exp[i] = exp[i - 255]
+
+    sbox = bytearray(256)
+    inv_sbox = bytearray(256)
+    for value in range(256):
+        inv = 0 if value == 0 else exp[255 - log[value]]
+        # Affine transformation.
+        s = inv
+        result = 0x63
+        for _ in range(4):
+            s = ((s << 1) | (s >> 7)) & 0xFF
+            result ^= s
+        # result currently 0x63 ^ rot1 ^ rot2 ^ rot3 ^ rot4; add inv itself
+        result ^= inv
+        sbox[value] = result
+        inv_sbox[result] = value
+    return bytes(sbox), bytes(inv_sbox)
+
+
+SBOX, INV_SBOX = _build_sbox()
+
+_RCON = (0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1B, 0x36, 0x6C, 0xD8)
+
+
+def _xtime(a: int) -> int:
+    a <<= 1
+    if a & 0x100:
+        a ^= 0x11B
+    return a & 0xFF
+
+
+def _gf_mul(a: int, b: int) -> int:
+    """GF(2^8) multiplication (Russian-peasant)."""
+    result = 0
+    while b:
+        if b & 1:
+            result ^= a
+        a = _xtime(a)
+        b >>= 1
+    return result
+
+
+# Precomputed multiply tables for MixColumns / InvMixColumns.
+_MUL2 = bytes(_gf_mul(i, 2) for i in range(256))
+_MUL3 = bytes(_gf_mul(i, 3) for i in range(256))
+_MUL9 = bytes(_gf_mul(i, 9) for i in range(256))
+_MUL11 = bytes(_gf_mul(i, 11) for i in range(256))
+_MUL13 = bytes(_gf_mul(i, 13) for i in range(256))
+_MUL14 = bytes(_gf_mul(i, 14) for i in range(256))
+
+_ROUNDS = {16: 10, 24: 12, 32: 14}
+
+BLOCK_SIZE = 16
+
+
+class Aes:
+    """AES block cipher with a fixed expanded key.
+
+    Only single-block ``encrypt_block``/``decrypt_block`` live here; chaining
+    modes are in :mod:`repro.primitives.modes`.
+    """
+
+    def __init__(self, key: bytes) -> None:
+        if len(key) not in _ROUNDS:
+            raise CryptoError(
+                f"AES key must be 16/24/32 bytes, got {len(key)}"
+            )
+        self.key_size = len(key)
+        self.rounds = _ROUNDS[len(key)]
+        self._round_keys = self._expand_key(key)
+
+    def _expand_key(self, key: bytes) -> list[list[int]]:
+        """FIPS 197 key schedule; returns (rounds+1) 16-byte round keys."""
+        nk = len(key) // 4
+        words = [list(key[4 * i : 4 * i + 4]) for i in range(nk)]
+        total_words = 4 * (self.rounds + 1)
+        for i in range(nk, total_words):
+            temp = list(words[i - 1])
+            if i % nk == 0:
+                temp = temp[1:] + temp[:1]  # RotWord
+                temp = [SBOX[b] for b in temp]  # SubWord
+                temp[0] ^= _RCON[i // nk - 1]
+            elif nk > 6 and i % nk == 4:
+                temp = [SBOX[b] for b in temp]
+            words.append([words[i - nk][j] ^ temp[j] for j in range(4)])
+        round_keys = []
+        for r in range(self.rounds + 1):
+            rk = []
+            for w in words[4 * r : 4 * r + 4]:
+                rk.extend(w)
+            round_keys.append(rk)
+        return round_keys
+
+    @staticmethod
+    def _add_round_key(state: list[int], rk: list[int]) -> None:
+        for i in range(16):
+            state[i] ^= rk[i]
+
+    @staticmethod
+    def _sub_bytes(state: list[int]) -> None:
+        for i in range(16):
+            state[i] = SBOX[state[i]]
+
+    @staticmethod
+    def _inv_sub_bytes(state: list[int]) -> None:
+        for i in range(16):
+            state[i] = INV_SBOX[state[i]]
+
+    @staticmethod
+    def _shift_rows(state: list[int]) -> None:
+        # State is column-major: byte (row r, col c) at index 4*c + r.
+        for r in range(1, 4):
+            row = [state[4 * c + r] for c in range(4)]
+            row = row[r:] + row[:r]
+            for c in range(4):
+                state[4 * c + r] = row[c]
+
+    @staticmethod
+    def _inv_shift_rows(state: list[int]) -> None:
+        for r in range(1, 4):
+            row = [state[4 * c + r] for c in range(4)]
+            row = row[-r:] + row[:-r]
+            for c in range(4):
+                state[4 * c + r] = row[c]
+
+    @staticmethod
+    def _mix_columns(state: list[int]) -> None:
+        for c in range(4):
+            i = 4 * c
+            a0, a1, a2, a3 = state[i : i + 4]
+            state[i] = _MUL2[a0] ^ _MUL3[a1] ^ a2 ^ a3
+            state[i + 1] = a0 ^ _MUL2[a1] ^ _MUL3[a2] ^ a3
+            state[i + 2] = a0 ^ a1 ^ _MUL2[a2] ^ _MUL3[a3]
+            state[i + 3] = _MUL3[a0] ^ a1 ^ a2 ^ _MUL2[a3]
+
+    @staticmethod
+    def _inv_mix_columns(state: list[int]) -> None:
+        for c in range(4):
+            i = 4 * c
+            a0, a1, a2, a3 = state[i : i + 4]
+            state[i] = _MUL14[a0] ^ _MUL11[a1] ^ _MUL13[a2] ^ _MUL9[a3]
+            state[i + 1] = _MUL9[a0] ^ _MUL14[a1] ^ _MUL11[a2] ^ _MUL13[a3]
+            state[i + 2] = _MUL13[a0] ^ _MUL9[a1] ^ _MUL14[a2] ^ _MUL11[a3]
+            state[i + 3] = _MUL11[a0] ^ _MUL13[a1] ^ _MUL9[a2] ^ _MUL14[a3]
+
+    def encrypt_block(self, block: bytes) -> bytes:
+        """Encrypt one 16-byte block."""
+        if len(block) != BLOCK_SIZE:
+            raise CryptoError(f"block must be 16 bytes, got {len(block)}")
+        trace.record("aes.block")
+        state = list(block)
+        self._add_round_key(state, self._round_keys[0])
+        for r in range(1, self.rounds):
+            self._sub_bytes(state)
+            self._shift_rows(state)
+            self._mix_columns(state)
+            self._add_round_key(state, self._round_keys[r])
+        self._sub_bytes(state)
+        self._shift_rows(state)
+        self._add_round_key(state, self._round_keys[self.rounds])
+        return bytes(state)
+
+    def decrypt_block(self, block: bytes) -> bytes:
+        """Decrypt one 16-byte block."""
+        if len(block) != BLOCK_SIZE:
+            raise CryptoError(f"block must be 16 bytes, got {len(block)}")
+        trace.record("aes.block")
+        state = list(block)
+        self._add_round_key(state, self._round_keys[self.rounds])
+        for r in range(self.rounds - 1, 0, -1):
+            self._inv_shift_rows(state)
+            self._inv_sub_bytes(state)
+            self._add_round_key(state, self._round_keys[r])
+            self._inv_mix_columns(state)
+        self._inv_shift_rows(state)
+        self._inv_sub_bytes(state)
+        self._add_round_key(state, self._round_keys[0])
+        return bytes(state)

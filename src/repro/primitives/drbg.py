@@ -1,0 +1,142 @@
+"""HMAC-DRBG (NIST SP 800-90A) and RFC 6979 deterministic ECDSA nonces.
+
+Embedded systems rarely have good entropy sources — the paper's
+introduction cites Hughes & Diffie on exactly this problem — so production
+stacks seed a deterministic bit generator once and use RFC 6979 for
+signature nonces.  We do the same, which also makes every experiment in
+this reproduction bit-for-bit replayable.
+"""
+
+from __future__ import annotations
+
+from .. import trace
+from ..errors import CryptoError
+from ..utils import bytes_to_int, int_to_bytes
+from .hmac import hmac
+from .sha2 import HASHES
+
+
+class HmacDrbg:
+    """Deterministic random bit generator built on HMAC (SP 800-90A §10.1.2).
+
+    Not reseeded automatically; callers needing prediction resistance can
+    call :meth:`reseed`.  ``reseed_interval`` is enforced per the standard.
+    """
+
+    RESEED_INTERVAL = 1 << 48
+
+    def __init__(
+        self,
+        seed: bytes,
+        personalization: bytes = b"",
+        hash_name: str = "sha256",
+    ) -> None:
+        if hash_name not in HASHES:
+            raise CryptoError(f"unknown hash {hash_name!r}")
+        if not seed:
+            raise CryptoError("DRBG seed must be non-empty")
+        self.hash_name = hash_name
+        self._outlen = HASHES[hash_name].digest_size
+        self._key = b"\x00" * self._outlen
+        self._value = b"\x01" * self._outlen
+        self._update(seed + personalization)
+        self._reseed_counter = 1
+
+    def _update(self, provided_data: bytes = b"") -> None:
+        self._key = hmac(
+            self._key, self._value + b"\x00" + provided_data, self.hash_name
+        )
+        self._value = hmac(self._key, self._value, self.hash_name)
+        if provided_data:
+            self._key = hmac(
+                self._key, self._value + b"\x01" + provided_data, self.hash_name
+            )
+            self._value = hmac(self._key, self._value, self.hash_name)
+
+    def reseed(self, entropy: bytes, additional: bytes = b"") -> None:
+        """Mix fresh entropy into the state."""
+        if not entropy:
+            raise CryptoError("reseed entropy must be non-empty")
+        self._update(entropy + additional)
+        self._reseed_counter = 1
+
+    def generate(self, n_bytes: int, additional: bytes = b"") -> bytes:
+        """Produce ``n_bytes`` of deterministic output."""
+        if n_bytes < 0:
+            raise CryptoError("cannot generate a negative number of bytes")
+        if self._reseed_counter > self.RESEED_INTERVAL:
+            raise CryptoError("DRBG reseed required")
+        trace.record("drbg.generate")
+        trace.record("rng.bytes", max(1, n_bytes))
+        if additional:
+            self._update(additional)
+        out = b""
+        while len(out) < n_bytes:
+            self._value = hmac(self._key, self._value, self.hash_name)
+            out += self._value
+        self._update(additional)
+        self._reseed_counter += 1
+        return out[:n_bytes]
+
+    def random_scalar(self, order: int) -> int:
+        """Uniform scalar in ``[1, order-1]`` via simple rejection sampling."""
+        if order <= 2:
+            raise CryptoError(f"group order too small: {order}")
+        n_bytes = (order.bit_length() + 7) // 8
+        excess_bits = 8 * n_bytes - order.bit_length()
+        while True:
+            candidate = bytes_to_int(self.generate(n_bytes)) >> excess_bits
+            if 1 <= candidate < order:
+                return candidate
+
+
+def rfc6979_nonce(
+    private_key: int,
+    message_hash: bytes,
+    order: int,
+    hash_name: str = "sha256",
+    extra_entropy: bytes = b"",
+) -> int:
+    """Deterministic ECDSA nonce ``k`` per RFC 6979.
+
+    Args:
+        private_key: the signing key ``x``.
+        message_hash: already-hashed message ``H(m)``.
+        order: the curve group order ``q``.
+        hash_name: HMAC hash (RFC 6979 allows any; we default to SHA-256).
+        extra_entropy: optional additional input (RFC 6979 §3.6 variant).
+    """
+    qlen = order.bit_length()
+    holen = HASHES[hash_name].digest_size
+    rolen = (qlen + 7) // 8
+
+    def bits2int(data: bytes) -> int:
+        value = bytes_to_int(data)
+        blen = len(data) * 8
+        if blen > qlen:
+            value >>= blen - qlen
+        return value
+
+    def int2octets(value: int) -> bytes:
+        return int_to_bytes(value % order, rolen)
+
+    def bits2octets(data: bytes) -> bytes:
+        return int2octets(bits2int(data) % order)
+
+    v = b"\x01" * holen
+    k = b"\x00" * holen
+    seed = int2octets(private_key) + bits2octets(message_hash) + extra_entropy
+    k = hmac(k, v + b"\x00" + seed, hash_name)
+    v = hmac(k, v, hash_name)
+    k = hmac(k, v + b"\x01" + seed, hash_name)
+    v = hmac(k, v, hash_name)
+    while True:
+        t = b""
+        while len(t) < rolen:
+            v = hmac(k, v, hash_name)
+            t += v
+        candidate = bits2int(t)
+        if 1 <= candidate < order:
+            return candidate
+        k = hmac(k, v + b"\x00", hash_name)
+        v = hmac(k, v, hash_name)

@@ -1,0 +1,57 @@
+"""HMAC (RFC 2104 / FIPS 198-1) over the from-scratch SHA-2 family.
+
+The paper's protocol suite uses HMAC-SHA-256 for the symmetric
+authentication steps of the SCIANC and PORAMB baselines and for key
+confirmation ("finished") messages of the extended S-ECDSA protocol.
+"""
+
+from __future__ import annotations
+
+from .. import trace
+from ..errors import CryptoError
+from ..utils import constant_time_equal
+from .sha2 import HASHES, new_hash
+
+
+class Hmac:
+    """Streaming HMAC with the ``update()/digest()`` interface."""
+
+    def __init__(self, key: bytes, hash_name: str = "sha256") -> None:
+        if hash_name not in HASHES:
+            raise CryptoError(f"unknown hash {hash_name!r}")
+        self.hash_name = hash_name
+        hasher_cls = HASHES[hash_name]
+        block = hasher_cls.block_size
+        if len(key) > block:
+            key = hasher_cls(key).digest()
+        key = key.ljust(block, b"\x00")
+        self._outer_key = bytes(b ^ 0x5C for b in key)
+        self._inner = new_hash(hash_name, bytes(b ^ 0x36 for b in key))
+        self.digest_size = hasher_cls.digest_size
+
+    def update(self, data: bytes) -> "Hmac":
+        """Absorb message bytes; returns self for chaining."""
+        self._inner.update(data)
+        return self
+
+    def digest(self) -> bytes:
+        """Finalize (non-destructively) and return the tag."""
+        trace.record("hmac.call")
+        inner_digest = self._inner.digest()
+        return new_hash(self.hash_name, self._outer_key + inner_digest).digest()
+
+    def hexdigest(self) -> str:
+        """Tag as lowercase hex."""
+        return self.digest().hex()
+
+
+def hmac(key: bytes, message: bytes, hash_name: str = "sha256") -> bytes:
+    """One-shot HMAC tag."""
+    return Hmac(key, hash_name).update(message).digest()
+
+
+def hmac_verify(
+    key: bytes, message: bytes, tag: bytes, hash_name: str = "sha256"
+) -> bool:
+    """Constant-time(ish) verification of an HMAC tag."""
+    return constant_time_equal(hmac(key, message, hash_name), tag)

@@ -1,0 +1,85 @@
+"""Key-derivation functions: HKDF (RFC 5869) and ANSI X9.63 KDF.
+
+The STS design derives the session key as ``K_S = KDF(K_PM, salt)``
+(paper Eq. 4).  We provide both the modern HKDF construction and the
+X9.63 KDF that SEC 4 (ECQV) prescribes for deriving keys from elliptic-
+curve shared secrets, so either can be plugged into the protocols.
+"""
+
+from __future__ import annotations
+
+from .. import trace
+from ..errors import CryptoError
+from ..utils import int_to_bytes
+from .hmac import hmac
+from .sha2 import HASHES, new_hash
+
+
+def hkdf_extract(salt: bytes, ikm: bytes, hash_name: str = "sha256") -> bytes:
+    """HKDF-Extract: PRK = HMAC(salt, IKM)."""
+    if not salt:
+        salt = b"\x00" * HASHES[hash_name].digest_size
+    return hmac(salt, ikm, hash_name)
+
+
+def hkdf_expand(
+    prk: bytes, info: bytes, length: int, hash_name: str = "sha256"
+) -> bytes:
+    """HKDF-Expand: grow PRK into ``length`` output bytes."""
+    digest_size = HASHES[hash_name].digest_size
+    if length <= 0:
+        raise CryptoError(f"output length must be positive, got {length}")
+    if length > 255 * digest_size:
+        raise CryptoError(
+            f"HKDF output too long: {length} > {255 * digest_size}"
+        )
+    okm = b""
+    block = b""
+    counter = 1
+    while len(okm) < length:
+        block = hmac(prk, block + info + bytes([counter]), hash_name)
+        okm += block
+        counter += 1
+    return okm[:length]
+
+
+def hkdf(
+    ikm: bytes,
+    salt: bytes = b"",
+    info: bytes = b"",
+    length: int = 32,
+    hash_name: str = "sha256",
+) -> bytes:
+    """Full HKDF (extract-then-expand)."""
+    trace.record("kdf.call")
+    prk = hkdf_extract(salt, ikm, hash_name)
+    return hkdf_expand(prk, info, length, hash_name)
+
+
+def x963_kdf(
+    shared_secret: bytes,
+    shared_info: bytes = b"",
+    length: int = 32,
+    hash_name: str = "sha256",
+) -> bytes:
+    """ANSI X9.63 KDF: ``Hash(Z || counter || SharedInfo)`` blocks.
+
+    This is the KDF SEC 1/SEC 4 specify for ECIES/ECQV key derivation and
+    the construction most embedded ECQV stacks (including the paper's C
+    reference) ship.
+    """
+    digest_size = HASHES[hash_name].digest_size
+    if length <= 0:
+        raise CryptoError(f"output length must be positive, got {length}")
+    if length >= digest_size * 0xFFFFFFFF:
+        raise CryptoError("X9.63 KDF output too long")
+    trace.record("kdf.call")
+    out = b""
+    counter = 1
+    while len(out) < length:
+        hasher = new_hash(hash_name, shared_secret)
+        hasher.update(int_to_bytes(counter, 4))
+        hasher.update(shared_info)
+        out += hasher.digest()
+        counter += 1
+    return out[:length]

@@ -1,0 +1,102 @@
+"""Block-cipher chaining modes and padding: ECB, CBC, CTR, PKCS#7.
+
+The paper's protocols encrypt the STS authentication response
+(``Resp = encrypt(K_S, dsign)``) with AES-128; we default to CBC with
+PKCS#7, matching the typical tiny-AES deployment, and provide CTR for
+stream-style use.
+"""
+
+from __future__ import annotations
+
+from ..errors import CryptoError
+from ..utils import chunks, xor_bytes
+from .aes import BLOCK_SIZE, Aes
+
+
+def pkcs7_pad(data: bytes, block_size: int = BLOCK_SIZE) -> bytes:
+    """Append PKCS#7 padding up to a whole number of blocks."""
+    if not 1 <= block_size <= 255:
+        raise CryptoError(f"invalid block size {block_size}")
+    pad_len = block_size - (len(data) % block_size)
+    return data + bytes([pad_len]) * pad_len
+
+
+def pkcs7_unpad(data: bytes, block_size: int = BLOCK_SIZE) -> bytes:
+    """Strip and validate PKCS#7 padding."""
+    if not data or len(data) % block_size != 0:
+        raise CryptoError("padded data length is not a multiple of block size")
+    pad_len = data[-1]
+    if not 1 <= pad_len <= block_size:
+        raise CryptoError(f"invalid padding byte {pad_len}")
+    if data[-pad_len:] != bytes([pad_len]) * pad_len:
+        raise CryptoError("inconsistent PKCS#7 padding")
+    return data[:-pad_len]
+
+
+def ecb_encrypt(key: bytes, plaintext: bytes) -> bytes:
+    """AES-ECB on pre-padded data (exposed mainly for tests/vectors)."""
+    if len(plaintext) % BLOCK_SIZE:
+        raise CryptoError("ECB requires whole blocks")
+    cipher = Aes(key)
+    return b"".join(cipher.encrypt_block(b) for b in chunks(plaintext, BLOCK_SIZE))
+
+
+def ecb_decrypt(key: bytes, ciphertext: bytes) -> bytes:
+    """AES-ECB decryption of whole blocks."""
+    if len(ciphertext) % BLOCK_SIZE:
+        raise CryptoError("ECB requires whole blocks")
+    cipher = Aes(key)
+    return b"".join(cipher.decrypt_block(b) for b in chunks(ciphertext, BLOCK_SIZE))
+
+
+def cbc_encrypt(key: bytes, iv: bytes, plaintext: bytes, pad: bool = True) -> bytes:
+    """AES-CBC encryption (PKCS#7-padded by default)."""
+    if len(iv) != BLOCK_SIZE:
+        raise CryptoError(f"IV must be {BLOCK_SIZE} bytes, got {len(iv)}")
+    if pad:
+        plaintext = pkcs7_pad(plaintext)
+    elif len(plaintext) % BLOCK_SIZE:
+        raise CryptoError("unpadded CBC requires whole blocks")
+    cipher = Aes(key)
+    out = []
+    prev = iv
+    for block in chunks(plaintext, BLOCK_SIZE):
+        prev = cipher.encrypt_block(xor_bytes(block, prev))
+        out.append(prev)
+    return b"".join(out)
+
+
+def cbc_decrypt(key: bytes, iv: bytes, ciphertext: bytes, pad: bool = True) -> bytes:
+    """AES-CBC decryption (validates PKCS#7 padding by default)."""
+    if len(iv) != BLOCK_SIZE:
+        raise CryptoError(f"IV must be {BLOCK_SIZE} bytes, got {len(iv)}")
+    if not ciphertext or len(ciphertext) % BLOCK_SIZE:
+        raise CryptoError("CBC ciphertext must be whole non-empty blocks")
+    cipher = Aes(key)
+    out = []
+    prev = iv
+    for block in chunks(ciphertext, BLOCK_SIZE):
+        out.append(xor_bytes(cipher.decrypt_block(block), prev))
+        prev = block
+    plaintext = b"".join(out)
+    return pkcs7_unpad(plaintext) if pad else plaintext
+
+
+def ctr_keystream(key: bytes, nonce: bytes, length: int) -> bytes:
+    """Generate an AES-CTR keystream (128-bit big-endian counter)."""
+    if len(nonce) != BLOCK_SIZE:
+        raise CryptoError(f"CTR nonce must be {BLOCK_SIZE} bytes")
+    cipher = Aes(key)
+    counter = int.from_bytes(nonce, "big")
+    stream = bytearray()
+    while len(stream) < length:
+        stream += cipher.encrypt_block(
+            (counter % (1 << 128)).to_bytes(BLOCK_SIZE, "big")
+        )
+        counter += 1
+    return bytes(stream[:length])
+
+
+def ctr_crypt(key: bytes, nonce: bytes, data: bytes) -> bytes:
+    """AES-CTR encryption/decryption (symmetric)."""
+    return xor_bytes(data, ctr_keystream(key, nonce, len(data)))

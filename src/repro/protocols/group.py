@@ -1,0 +1,183 @@
+"""Authenticated group keys on top of pairwise STS sessions (extension).
+
+The paper's related work cites Puellen et al. on using implicit
+certification to establish authenticated *group* keys for in-vehicle
+networks; the paper itself stays pairwise.  This extension composes the
+two: a group leader (typically the gateway) establishes a pairwise STS
+session with every member — inheriting mutual ECQV/ECDSA authentication
+and forward secrecy — and then distributes a random group key over those
+sessions::
+
+    GK1: GroupId(4), Epoch(4), WrappedKey(48), Tag(32)      (per member)
+
+``WrappedKey`` is the group key under AES-CTR with a per-member,
+per-epoch IV derived from the pairwise session key; ``Tag`` is an HMAC
+under the pairwise MAC key covering the header, so members also get
+leader authenticity.  Membership changes bump the epoch and redistribute,
+which (combined with fresh randomness per epoch) gives both backward
+secrecy for joiners and exclusion of revoked members.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import AuthenticationError, ProtocolError
+from ..primitives import ctr_crypt, hkdf, hmac
+from ..utils import constant_time_equal, int_to_bytes
+from .base import Message, SessionContext, run_protocol
+from .sts import make_sts_pair
+from .wire import SESSION_KEY_SIZE, enc_key, mac_key
+
+GROUP_MSG_SIZE = 4 + 4 + SESSION_KEY_SIZE + 32
+
+
+def _wrap_iv(pairwise_key: bytes, group_id: int, epoch: int) -> bytes:
+    """Per-member, per-epoch CTR IV for group-key wrapping."""
+    return hkdf(
+        pairwise_key,
+        info=b"group-wrap" + int_to_bytes(group_id, 4) + int_to_bytes(epoch, 4),
+        length=16,
+    )
+
+
+def _header(group_id: int, epoch: int) -> bytes:
+    return int_to_bytes(group_id, 4) + int_to_bytes(epoch, 4)
+
+
+@dataclass
+class GroupLeader:
+    """The distributing side of the group-key protocol.
+
+    Args:
+        ctx: the leader's session context (credential, CA key, DRBG).
+        group_id: 32-bit group identifier.
+    """
+
+    ctx: SessionContext
+    group_id: int
+    epoch: int = 0
+    group_key: bytes | None = None
+    _pairwise: dict[bytes, bytes] = field(default_factory=dict)
+
+    def establish_member(self, member_ctx: SessionContext) -> bytes:
+        """Run pairwise STS with a member; returns the member id."""
+        leader_party, member_party = make_sts_pair(self.ctx, member_ctx)
+        run_protocol(leader_party, member_party)
+        member_id = bytes(member_ctx.device_id)
+        self._pairwise[member_id] = leader_party.session_key
+        return member_id
+
+    def adopt_pairwise_key(self, member_id: bytes, session_key: bytes) -> None:
+        """Register an externally-established pairwise session key."""
+        if len(session_key) != SESSION_KEY_SIZE:
+            raise ProtocolError("pairwise key has wrong size")
+        self._pairwise[bytes(member_id)] = session_key
+
+    @property
+    def members(self) -> list[bytes]:
+        """Current member identities (sorted for determinism)."""
+        return sorted(self._pairwise)
+
+    def rekey(self) -> None:
+        """Draw a fresh group key and advance the epoch."""
+        self.group_key = self.ctx.rng.generate(SESSION_KEY_SIZE)
+        self.epoch += 1
+
+    def distribute(self) -> dict[bytes, Message]:
+        """Produce one GK1 message per member for the current epoch."""
+        if not self._pairwise:
+            raise ProtocolError("group has no members")
+        if self.group_key is None:
+            self.rekey()
+        header = _header(self.group_id, self.epoch)
+        messages: dict[bytes, Message] = {}
+        for member_id, pairwise in self._pairwise.items():
+            iv = _wrap_iv(pairwise, self.group_id, self.epoch)
+            wrapped = ctr_crypt(enc_key(pairwise), iv, self.group_key)
+            tag = hmac(mac_key(pairwise), b"group-key" + header + wrapped)
+            messages[member_id] = Message(
+                sender="L",
+                label="GK1",
+                fields=(
+                    ("GroupId", header[:4]),
+                    ("Epoch", header[4:]),
+                    ("WrappedKey", wrapped),
+                    ("Tag", tag),
+                ),
+            )
+        return messages
+
+    def revoke(self, member_id: bytes) -> dict[bytes, Message]:
+        """Remove a member and redistribute a fresh key to the rest."""
+        try:
+            del self._pairwise[bytes(member_id)]
+        except KeyError:
+            raise ProtocolError(
+                f"unknown group member {member_id.hex()}"
+            ) from None
+        self.rekey()
+        return self.distribute()
+
+
+@dataclass
+class GroupMember:
+    """The receiving side: unwraps group keys over its pairwise session."""
+
+    device_id: bytes
+    pairwise_key: bytes
+    group_id: int
+    epoch: int = 0
+    group_key: bytes | None = None
+
+    def accept(self, message: Message) -> bytes:
+        """Verify and unwrap a GK1 message; returns the group key."""
+        if message.label != "GK1":
+            raise ProtocolError(f"expected GK1, got {message.label}")
+        header = message.field_value("GroupId") + message.field_value("Epoch")
+        group_id = int.from_bytes(header[:4], "big")
+        epoch = int.from_bytes(header[4:], "big")
+        if group_id != self.group_id:
+            raise ProtocolError(
+                f"group id mismatch: {group_id} != {self.group_id}"
+            )
+        if epoch <= self.epoch and self.group_key is not None:
+            raise AuthenticationError(
+                f"stale group epoch {epoch} (have {self.epoch})"
+            )
+        wrapped = message.field_value("WrappedKey")
+        expected = hmac(
+            mac_key(self.pairwise_key), b"group-key" + header + wrapped
+        )
+        if not constant_time_equal(message.field_value("Tag"), expected):
+            raise AuthenticationError("group key distribution MAC failed")
+        iv = _wrap_iv(self.pairwise_key, group_id, epoch)
+        self.group_key = ctr_crypt(enc_key(self.pairwise_key), iv, wrapped)
+        self.epoch = epoch
+        return self.group_key
+
+
+def form_group(
+    leader_ctx: SessionContext,
+    member_ctxs: dict[bytes, SessionContext],
+    group_id: int = 1,
+) -> tuple[GroupLeader, dict[bytes, GroupMember]]:
+    """Establish pairwise sessions with every member and distribute a key.
+
+    Returns the leader and the members, all holding the same group key.
+    """
+    leader = GroupLeader(ctx=leader_ctx, group_id=group_id)
+    members: dict[bytes, GroupMember] = {}
+    for member_id, member_ctx in member_ctxs.items():
+        # Run STS pairwise - member side keeps its session key.
+        leader_party, member_party = make_sts_pair(leader.ctx, member_ctx)
+        run_protocol(leader_party, member_party)
+        leader.adopt_pairwise_key(member_id, leader_party.session_key)
+        members[bytes(member_id)] = GroupMember(
+            device_id=bytes(member_id),
+            pairwise_key=member_party.session_key,
+            group_id=group_id,
+        )
+    for member_id, message in leader.distribute().items():
+        members[member_id].accept(message)
+    return leader, members

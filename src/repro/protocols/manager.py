@@ -1,0 +1,191 @@
+"""Session lifecycle management: key-lifetime policy as an API.
+
+The paper's motivation is operational: "limitations in the system's
+architecture, constrained nature of the devices, or neglect from the
+developers can lead to longer than the intended use of the same session
+key".  :class:`SessionManager` turns the intended use into enforced
+policy — a downstream application gets fresh STS sessions automatically
+and can never keep using a stale key:
+
+* a session expires after ``max_age_seconds`` *or* ``max_records``
+  (whichever first, both paper-motivated bounds);
+* sending on an expired session raises :class:`SessionExpired`, and
+  :func:`connect_managers` re-establishes with a fresh protocol run;
+* expired key material is dropped from the manager immediately.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..errors import ProtocolError, ReproError
+from .base import SessionContext
+from .registry import get_protocol, run_named_protocol
+from .session import SecureSession
+
+
+class SessionExpired(ReproError):
+    """The session reached its age or record budget; re-establish."""
+
+
+@dataclass
+class ManagedSession:
+    """One live session with its usage accounting."""
+
+    peer_id: bytes
+    channel: SecureSession
+    established_at: float
+    records_used: int = 0
+    generation: int = 1
+
+
+@dataclass
+class SessionPolicy:
+    """Key-lifetime policy.
+
+    Attributes:
+        max_age_seconds: wall-clock budget of one session key.
+        max_records: record budget of one session key.
+    """
+
+    max_age_seconds: float = 3600.0
+    max_records: int = 10_000
+
+    def __post_init__(self) -> None:
+        if self.max_age_seconds <= 0 or self.max_records <= 0:
+            raise ProtocolError("session policy bounds must be positive")
+
+
+class SessionManager:
+    """Per-device manager of secure sessions keyed by peer identity.
+
+    Args:
+        context_factory: zero-argument callable producing a fresh
+            :class:`SessionContext` for each establishment (fresh DRBG
+            stream per session; :meth:`repro.testbed.TestBed.context`
+            bound with ``functools.partial`` is the usual source).
+        role: this endpoint's role in every session it manages.
+        protocol: registry name of the KD protocol to run.
+        policy: key-lifetime policy.
+        clock: injectable time source (seconds).
+    """
+
+    def __init__(
+        self,
+        context_factory: Callable[[], SessionContext],
+        role: str,
+        protocol: str = "sts",
+        policy: SessionPolicy | None = None,
+        clock: Callable[[], float] | None = None,
+    ) -> None:
+        get_protocol(protocol)  # fail fast on unknown names
+        self.context_factory = context_factory
+        self.role = role
+        self.protocol = protocol
+        self.policy = policy if policy is not None else SessionPolicy()
+        self._clock = clock if clock is not None else (lambda: 0.0)
+        self.sessions: dict[bytes, ManagedSession] = {}
+        self.established_count = 0
+        self._generations: dict[bytes, int] = {}
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def install(self, peer_id: bytes, session_key: bytes) -> ManagedSession:
+        """Install a freshly negotiated key for ``peer_id``."""
+        key = bytes(peer_id)
+        generation = self._generations.get(key, 0) + 1
+        self._generations[key] = generation
+        session = ManagedSession(
+            peer_id=key,
+            channel=SecureSession(session_key, self.role),
+            established_at=self._clock(),
+            generation=generation,
+        )
+        self.sessions[key] = session
+        self.established_count += 1
+        return session
+
+    def session_for(self, peer_id: bytes) -> ManagedSession:
+        """The live session for a peer; raises if absent or expired."""
+        try:
+            session = self.sessions[bytes(peer_id)]
+        except KeyError:
+            raise SessionExpired(
+                f"no session with peer {peer_id.hex()}"
+            ) from None
+        self._check_budget(session)
+        return session
+
+    def _check_budget(self, session: ManagedSession) -> None:
+        age = self._clock() - session.established_at
+        if age > self.policy.max_age_seconds:
+            self._drop(session)
+            raise SessionExpired(
+                f"session with {session.peer_id.hex()} exceeded"
+                f" {self.policy.max_age_seconds} s (age {age:.0f} s)"
+            )
+        if session.records_used >= self.policy.max_records:
+            self._drop(session)
+            raise SessionExpired(
+                f"session with {session.peer_id.hex()} exhausted its"
+                f" {self.policy.max_records}-record budget"
+            )
+
+    def _drop(self, session: ManagedSession) -> None:
+        self.sessions.pop(session.peer_id, None)
+
+    def needs_rekey(self, peer_id: bytes) -> bool:
+        """True if the peer has no live session under the policy."""
+        try:
+            self.session_for(peer_id)
+        except SessionExpired:
+            return True
+        return False
+
+    # -- traffic ----------------------------------------------------------------
+
+    def send(self, peer_id: bytes, plaintext: bytes) -> bytes:
+        """Encrypt one record to a peer (counts against the budget)."""
+        session = self.session_for(peer_id)
+        record = session.channel.encrypt(plaintext)
+        session.records_used += 1
+        return record
+
+    def receive(self, peer_id: bytes, record: bytes) -> bytes:
+        """Decrypt one record from a peer (counts against the budget)."""
+        session = self.session_for(peer_id)
+        plaintext = session.channel.decrypt(record)
+        session.records_used += 1
+        return plaintext
+
+
+def connect_managers(
+    manager_a: SessionManager, manager_b: SessionManager
+) -> tuple[bytes, bytes]:
+    """Establish (or re-establish) a session between two managers.
+
+    Runs the configured KD protocol between fresh contexts from both
+    sides and installs the resulting key on both managers.  Returns the
+    two peer identities ``(id_of_b_seen_by_a, id_of_a_seen_by_b)``.
+    """
+    if manager_a.protocol != manager_b.protocol:
+        raise ProtocolError("managers configured for different protocols")
+    if manager_a.role == manager_b.role:
+        raise ProtocolError("managers must take opposite roles")
+    ctx_a = manager_a.context_factory()
+    ctx_b = manager_b.context_factory()
+    initiator_mgr = manager_a if manager_a.role == "A" else manager_b
+    responder_mgr = manager_b if initiator_mgr is manager_a else manager_a
+    initiator_ctx = ctx_a if initiator_mgr is manager_a else ctx_b
+    responder_ctx = ctx_b if initiator_mgr is manager_a else ctx_a
+    transcript = run_named_protocol(
+        manager_a.protocol, initiator_ctx, responder_ctx
+    )
+    initiator_mgr.install(
+        responder_ctx.device_id, transcript.party_a.session_key
+    )
+    responder_mgr.install(
+        initiator_ctx.device_id, transcript.party_b.session_key
+    )
+    return responder_ctx.device_id, initiator_ctx.device_id

@@ -1,0 +1,174 @@
+"""Certificate provisioning over the network (paper Fig. 1, stages 1–2).
+
+The evaluation protocols assume credentials are already in place; in the
+prototype (§V-C) "the devices also communicate with a more powerful CA
+gateway (represented with a Raspberry Pi 4) to handle the initial device
+authentication and certificate distribution".  This module puts that
+stage on the wire:
+
+    Device -> CA   P1: ID(16), DevAuthMAC(32), ReqPoint(33)
+    CA -> Device   P2: Cert(101), PrivRecon(32), CaAuthMAC(32)
+
+Device authentication (stage 1) uses a factory-provisioned enrolment key
+shared between the device and the CA — the paper's "device authentication
+and deployment" phase depends on the main system architecture; a
+per-device enrolment secret is the common automotive choice.  The MAC in
+P1 authenticates the request point and freshness; the MAC in P2
+authenticates the CA response, so a forged gateway cannot plant
+certificates.  The ECQV math itself is :mod:`repro.ecqv`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..ec import Curve, decode_point, encode_point
+from ..ecqv import (
+    CertificateAuthority,
+    CertificateRequest,
+    CertificateRequester,
+    EcqvCredential,
+    IssuedCertificate,
+)
+from ..errors import AuthenticationError, ProtocolError
+from ..primitives import HmacDrbg, hmac
+from ..utils import bytes_to_int, constant_time_equal, int_to_bytes
+from .base import Message
+
+#: Wire sizes of the provisioning exchange on secp256r1.
+REQUEST_SIZE = 16 + 32 + 33   # ID + MAC + compressed point = 81 bytes
+RESPONSE_SIZE = 101 + 32 + 32  # cert + r + MAC = 165 bytes
+
+
+@dataclass
+class ProvisioningDevice:
+    """Device side of on-wire certificate provisioning.
+
+    Args:
+        curve: domain parameters.
+        device_id: 16-byte identity.
+        enrolment_key: factory-shared secret with the CA.
+        rng: the device's DRBG.
+    """
+
+    curve: Curve
+    device_id: bytes
+    enrolment_key: bytes
+    rng: HmacDrbg
+
+    def __post_init__(self) -> None:
+        self._requester = CertificateRequester(
+            self.curve, self.device_id, self.rng
+        )
+
+    def make_request(self) -> Message:
+        """Stage-1/2 request: identity, auth MAC, compressed request point."""
+        request = self._requester.create_request()
+        point_bytes = encode_point(request.request_point, compressed=True)
+        tag = hmac(
+            self.enrolment_key, b"enrol-req" + self.device_id + point_bytes
+        )
+        return Message(
+            sender="D",
+            label="P1",
+            fields=(
+                ("ID", self.device_id),
+                ("DevAuthMAC", tag),
+                ("ReqPoint", point_bytes),
+            ),
+        )
+
+    def process_response(self, response: Message, ca_public) -> EcqvCredential:
+        """Verify the CA MAC, then run SEC 4 key reconstruction."""
+        cert_bytes = response.field_value("Cert")
+        recon_bytes = response.field_value("PrivRecon")
+        expected = hmac(
+            self.enrolment_key,
+            b"enrol-resp" + self.device_id + cert_bytes + recon_bytes,
+        )
+        if not constant_time_equal(response.field_value("CaAuthMAC"), expected):
+            raise AuthenticationError(
+                "provisioning: CA response MAC verification failed"
+            )
+        from ..ecqv import Certificate
+
+        issued = IssuedCertificate(
+            certificate=Certificate.decode(cert_bytes),
+            private_reconstruction=bytes_to_int(recon_bytes),
+        )
+        return self._requester.process_response(issued, ca_public)
+
+
+@dataclass
+class ProvisioningGateway:
+    """CA-gateway side: authenticates devices and issues certificates.
+
+    Args:
+        ca: the certificate authority (typically on the high-end gateway).
+        enrolment_keys: device id → factory enrolment secret.
+    """
+
+    ca: CertificateAuthority
+    enrolment_keys: dict[bytes, bytes]
+
+    def handle_request(
+        self, request: Message, validity_seconds: int = 24 * 3600
+    ) -> Message:
+        """Authenticate the device (stage 1) and issue (stage 2)."""
+        if request.label != "P1":
+            raise ProtocolError(
+                f"provisioning gateway expected P1, got {request.label}"
+            )
+        device_id = request.field_value("ID")
+        try:
+            key = self.enrolment_keys[bytes(device_id)]
+        except KeyError:
+            raise AuthenticationError(
+                f"provisioning: unknown device {device_id.hex()}"
+            ) from None
+        point_bytes = request.field_value("ReqPoint")
+        expected = hmac(key, b"enrol-req" + device_id + point_bytes)
+        if not constant_time_equal(request.field_value("DevAuthMAC"), expected):
+            raise AuthenticationError(
+                "provisioning: device authentication MAC failed"
+            )
+        point = decode_point(self.ca.curve, point_bytes)
+        issued = self.ca.issue(
+            CertificateRequest(subject_id=device_id, request_point=point),
+            validity_seconds=validity_seconds,
+        )
+        cert_bytes = issued.certificate.encode()
+        recon_bytes = int_to_bytes(
+            issued.private_reconstruction, self.ca.curve.scalar_bytes
+        )
+        tag = hmac(key, b"enrol-resp" + device_id + cert_bytes + recon_bytes)
+        return Message(
+            sender="CA",
+            label="P2",
+            fields=(
+                ("Cert", cert_bytes),
+                ("PrivRecon", recon_bytes),
+                ("CaAuthMAC", tag),
+            ),
+        )
+
+
+def provision_over_network(
+    device: ProvisioningDevice,
+    gateway: ProvisioningGateway,
+    stack=None,
+) -> tuple[EcqvCredential, float]:
+    """Run the full provisioning round-trip, optionally over CAN-FD.
+
+    Returns the credential and the bus time in milliseconds (0.0 when no
+    network stack is supplied).
+    """
+    request = device.make_request()
+    bus_ms = 0.0
+    if stack is not None:
+        bus_ms += stack.transfer_ms(request.payload)
+    response = gateway.handle_request(request)
+    if stack is not None:
+        bus_ms += stack.transfer_ms(response.payload)
+    credential = device.process_response(response, gateway.ca.public_key)
+    return credential, bus_ms

@@ -1,0 +1,119 @@
+"""Intra-session key ratcheting (an extension beyond the paper).
+
+The paper motivates dynamic key derivation with the danger of "longer
+than the intended use of the same session key".  STS fixes this *between*
+sessions; this module adds the complementary in-session hygiene: a
+one-way HKDF ratchet that both endpoints advance in lockstep, so even the
+current session key's exposure does not reveal records from earlier
+epochs of the same session.
+
+The ratchet is deterministic (no extra messages): both sides derive
+
+    K_{i+1} = HKDF(K_i, info = "session-ratchet" || epoch)
+
+and discard ``K_i``.  :class:`RatchetingSession` advances automatically
+every ``records_per_epoch`` outbound/inbound records; epochs are bound
+into each record's associated data, so a peer that fails to ratchet
+cannot keep talking.
+"""
+
+from __future__ import annotations
+
+from ..errors import AuthenticationError, ProtocolError
+from ..primitives import hkdf
+from ..utils import int_to_bytes
+from .session import SecureSession
+from .wire import SESSION_KEY_SIZE
+
+
+def next_epoch_key(session_key: bytes, epoch: int) -> bytes:
+    """Derive the key material of ``epoch`` + 1 from the current key."""
+    if len(session_key) != SESSION_KEY_SIZE:
+        raise ProtocolError(
+            f"session key must be {SESSION_KEY_SIZE} bytes,"
+            f" got {len(session_key)}"
+        )
+    if epoch < 0:
+        raise ProtocolError(f"negative epoch {epoch}")
+    return hkdf(
+        session_key,
+        info=b"session-ratchet" + int_to_bytes(epoch + 1, 4),
+        length=SESSION_KEY_SIZE,
+    )
+
+
+class RatchetingSession:
+    """A :class:`SecureSession` that re-keys itself every N records.
+
+    Both endpoints must use the same ``records_per_epoch``.  The epoch is
+    prefixed to every record (2 bytes) so desynchronization is detected
+    rather than silently producing garbage.
+
+    Args:
+        session_key: the KD protocol output (epoch-0 key).
+        role: ``"A"`` or ``"B"``.
+        records_per_epoch: records sent+received before ratcheting.
+    """
+
+    EPOCH_PREFIX = 2
+
+    def __init__(
+        self, session_key: bytes, role: str, records_per_epoch: int = 16
+    ) -> None:
+        if records_per_epoch < 1:
+            raise ProtocolError("records_per_epoch must be >= 1")
+        self.role = role
+        self.records_per_epoch = records_per_epoch
+        self.epoch = 0
+        self._key = session_key
+        self._session = SecureSession(session_key, role)
+        self._records_this_epoch = 0
+
+    @property
+    def current_key(self) -> bytes:
+        """The active epoch key (exposed for tests/attack simulations)."""
+        return self._key
+
+    def _maybe_ratchet(self) -> None:
+        if self._records_this_epoch >= self.records_per_epoch:
+            self.ratchet()
+
+    def ratchet(self) -> None:
+        """Advance to the next epoch, discarding the old key material."""
+        self._key = next_epoch_key(self._key, self.epoch)
+        self.epoch += 1
+        self._session = SecureSession(self._key, self.role)
+        self._records_this_epoch = 0
+
+    def encrypt(self, plaintext: bytes) -> bytes:
+        """Encrypt under the current epoch; auto-ratchet when due."""
+        self._maybe_ratchet()
+        self._records_this_epoch += 1
+        return int_to_bytes(self.epoch, self.EPOCH_PREFIX) + self._session.encrypt(
+            plaintext
+        )
+
+    def decrypt(self, record: bytes) -> bytes:
+        """Verify the epoch tag and open the record."""
+        self._maybe_ratchet()
+        if len(record) < self.EPOCH_PREFIX:
+            raise AuthenticationError("ratchet record too short")
+        epoch = int.from_bytes(record[: self.EPOCH_PREFIX], "big")
+        if epoch != self.epoch:
+            raise AuthenticationError(
+                f"epoch mismatch: record {epoch}, local {self.epoch}"
+                " (peer out of ratchet sync)"
+            )
+        plaintext = self._session.decrypt(record[self.EPOCH_PREFIX :])
+        self._records_this_epoch += 1
+        return plaintext
+
+
+def ratcheting_pair(
+    session_key: bytes, records_per_epoch: int = 16
+) -> tuple[RatchetingSession, RatchetingSession]:
+    """Both endpoints of a ratcheting session (testing convenience)."""
+    return (
+        RatchetingSession(session_key, "A", records_per_epoch),
+        RatchetingSession(session_key, "B", records_per_epoch),
+    )

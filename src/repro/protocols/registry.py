@@ -1,0 +1,129 @@
+"""Protocol registry: the seven variants of the paper's evaluation.
+
+Names match the rows of Tables I–III:
+
+* ``s-ecdsa`` / ``s-ecdsa-ext`` — static ECDSA KD (Basic et al.), base and
+  authenticated-acknowledgement extension,
+* ``sts`` / ``sts-opt1`` / ``sts-opt2`` — this paper's dynamic KD, with the
+  §IV-C pipelining schedules (identical wire protocol),
+* ``scianc`` — Sciancalepore et al.,
+* ``poramb`` — Porambage et al.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..errors import ProtocolError
+from .base import Party, ProtocolTranscript, SessionContext, run_protocol
+from .poramb import make_poramb_pair
+from .s_ecdsa import make_s_ecdsa_pair
+from .scianc import make_scianc_pair
+from .sts import SCHEDULE_OPT1, SCHEDULE_OPT2, SCHEDULE_SEQUENTIAL, make_sts_pair
+
+PairFactory = Callable[[SessionContext, SessionContext], tuple[Party, Party]]
+
+
+@dataclass(frozen=True)
+class ProtocolInfo:
+    """Registry entry for one protocol variant.
+
+    Attributes:
+        name: registry key (Table I row).
+        display_name: label used in reports.
+        factory: builds an (initiator, responder) party pair.
+        dynamic: True if the protocol performs dynamic key derivation
+            (fresh ephemeral secret per communication session).
+        schedule: STS execution schedule tag (sequential for non-STS).
+        needs_pairwise_psk: True if pre-shared pairwise keys are required.
+    """
+
+    name: str
+    display_name: str
+    factory: PairFactory
+    dynamic: bool
+    schedule: str = SCHEDULE_SEQUENTIAL
+    needs_pairwise_psk: bool = False
+
+
+PROTOCOLS: dict[str, ProtocolInfo] = {
+    "s-ecdsa": ProtocolInfo(
+        name="s-ecdsa",
+        display_name="S-ECDSA",
+        factory=lambda a, b: make_s_ecdsa_pair(a, b, extended=False),
+        dynamic=False,
+    ),
+    "s-ecdsa-ext": ProtocolInfo(
+        name="s-ecdsa-ext",
+        display_name="S-ECDSA (ext.)",
+        factory=lambda a, b: make_s_ecdsa_pair(a, b, extended=True),
+        dynamic=False,
+    ),
+    "sts": ProtocolInfo(
+        name="sts",
+        display_name="STS",
+        factory=lambda a, b: make_sts_pair(a, b, SCHEDULE_SEQUENTIAL),
+        dynamic=True,
+    ),
+    "sts-opt1": ProtocolInfo(
+        name="sts-opt1",
+        display_name="STS (opt. I)",
+        factory=lambda a, b: make_sts_pair(a, b, SCHEDULE_OPT1),
+        dynamic=True,
+        schedule=SCHEDULE_OPT1,
+    ),
+    "sts-opt2": ProtocolInfo(
+        name="sts-opt2",
+        display_name="STS (opt. II)",
+        factory=lambda a, b: make_sts_pair(a, b, SCHEDULE_OPT2),
+        dynamic=True,
+        schedule=SCHEDULE_OPT2,
+    ),
+    "scianc": ProtocolInfo(
+        name="scianc",
+        display_name="SCIANC",
+        factory=make_scianc_pair,
+        dynamic=False,
+    ),
+    "poramb": ProtocolInfo(
+        name="poramb",
+        display_name="PORAMB",
+        factory=make_poramb_pair,
+        dynamic=False,
+        needs_pairwise_psk=True,
+    ),
+}
+
+#: The order Tables I/II list the protocols in.
+TABLE_ORDER = (
+    "s-ecdsa",
+    "s-ecdsa-ext",
+    "sts",
+    "sts-opt1",
+    "sts-opt2",
+    "scianc",
+    "poramb",
+)
+
+#: The four distinct protocols of the security analysis (Table III).
+SECURITY_ORDER = ("s-ecdsa", "sts", "scianc", "poramb")
+
+
+def get_protocol(name: str) -> ProtocolInfo:
+    """Look up a protocol variant by registry name."""
+    try:
+        return PROTOCOLS[name]
+    except KeyError:
+        raise ProtocolError(
+            f"unknown protocol {name!r}; known: {sorted(PROTOCOLS)}"
+        ) from None
+
+
+def run_named_protocol(
+    name: str, ctx_a: SessionContext, ctx_b: SessionContext
+) -> ProtocolTranscript:
+    """Instantiate and run a registered protocol to completion."""
+    info = get_protocol(name)
+    party_a, party_b = info.factory(ctx_a, ctx_b)
+    return run_protocol(party_a, party_b)

@@ -1,0 +1,166 @@
+"""SCIANC: the minimal-airtime baseline (Sciancalepore et al. [4]).
+
+Message flow (paper Table II)::
+
+    A -> B   A1: ID_A(16), Nonce_A(32), Cert_A(101)
+    B -> A   B1: ID_B(16), Nonce_B(32), Cert_B(101)
+    A -> B   A2: AuthMAC_A(32)
+    B -> A   B2: AuthMAC_B(32)
+
+Key derivation is static (SKD): the secret is ``d_own * Q_peer`` where
+``Q_peer`` is implicitly reconstructed from the peer certificate.  The
+implementation *fuses* reconstruction and derivation into one
+Strauss–Shamir double multiplication::
+
+    d * Q = d * (e * P + Q_CA) = (d*e) * P + d * Q_CA
+
+which is the trick that makes SCIANC the fastest protocol in Table I
+(~25 % of S-ECDSA's time) — at the price of the security gaps Table III
+records: nonces only diversify the KDF (they travel in clear), and mutual
+authentication is a MAC keyed *by the session key itself*, so a session
+key compromise breaks future authentication too (paper §V-D).
+"""
+
+from __future__ import annotations
+
+from ..ec import mul_double
+from ..ecqv import (
+    Certificate,
+    cert_digest_scalar,
+    validate_certificate,
+)
+from ..errors import AuthenticationError, ProtocolError
+from ..primitives import hmac
+from ..utils import constant_time_equal, int_to_bytes
+from .base import (
+    Message,
+    OP2,
+    OP_SYM,
+    Party,
+    ROLE_A,
+    ROLE_B,
+    SessionContext,
+)
+from .wire import NONCE_SIZE, derive_session_key, mac_key
+
+
+class SciancParty(Party):
+    """One station of the SCIANC key agreement protocol."""
+
+    protocol_name = "scianc"
+
+    def __init__(self, ctx: SessionContext, role: str) -> None:
+        super().__init__(ctx, role)
+        self._nonce_own: bytes | None = None
+        self._nonce_peer: bytes | None = None
+        self._peer_cert: Certificate | None = None
+
+    # -- building blocks ---------------------------------------------------------
+
+    def _nonces_ordered(self) -> bytes:
+        if self.role == ROLE_A:
+            return self._nonce_own + self._nonce_peer
+        return self._nonce_peer + self._nonce_own
+
+    def _fused_derive(self, cert_bytes: bytes) -> None:
+        """OP2: fused reconstruct-and-derive (single double multiplication)."""
+        with self.operation("fused_reconstruct_derive", OP2):
+            cert = Certificate.decode(cert_bytes)
+            validate_certificate(
+                cert, self.ctx.ca_public, self.ctx.now, self.ctx.policy
+            )
+            self._peer_cert = cert
+            curve = cert.curve
+            d = self.ctx.credential.private_key
+            e = cert_digest_scalar(cert.encode(), curve)
+            shared = mul_double(
+                (d * e) % curve.n,
+                cert.reconstruction_point,
+                d,
+                self.ctx.ca_public,
+            )
+            if shared.is_infinity:
+                raise ProtocolError("SCIANC: degenerate shared point")
+            secret = int_to_bytes(shared.x, curve.field_bytes)
+            self.session_key = derive_session_key(
+                secret, self._nonces_ordered()
+            )
+
+    def _auth_tag(self, role: str) -> bytes:
+        """Session-key-keyed authentication MAC (the protocol's weakness)."""
+        return hmac(
+            mac_key(self.session_key),
+            b"scianc-auth" + role.encode() + self._nonces_ordered(),
+        )
+
+    def _check_auth_tag(self, tag: bytes) -> None:
+        peer_role = ROLE_B if self.role == ROLE_A else ROLE_A
+        with self.operation("verify_auth_mac", OP_SYM):
+            if not constant_time_equal(tag, self._auth_tag(peer_role)):
+                raise AuthenticationError(
+                    f"SCIANC: auth MAC mismatch at {self.role}"
+                )
+            self.peer_authenticated = True
+
+    def _hello_message(self, label: str) -> Message:
+        return Message(
+            sender=self.role,
+            label=label,
+            fields=(
+                ("ID", self.ctx.device_id),
+                ("Nonce", self._nonce_own),
+                ("Cert", self.ctx.credential.certificate.encode()),
+            ),
+        )
+
+    # -- state machine -------------------------------------------------------------
+
+    def _advance(self, incoming: Message | None) -> Message | None:
+        if self.role == ROLE_A:
+            return self._advance_initiator(incoming)
+        return self._advance_responder(incoming)
+
+    def _advance_initiator(self, incoming: Message | None) -> Message | None:
+        if incoming is None:
+            with self.operation("nonce_generation", OP_SYM):
+                self._nonce_own = self.ctx.rng.generate(NONCE_SIZE)
+            return self._hello_message("A1")
+        if incoming.label == "B1":
+            self._nonce_peer = incoming.field_value("Nonce")
+            self._fused_derive(incoming.field_value("Cert"))
+            with self.operation("auth_mac_generation", OP_SYM):
+                tag = self._auth_tag(self.role)
+            return Message(
+                sender=self.role, label="A2", fields=(("AuthMAC", tag),)
+            )
+        if incoming.label == "B2":
+            self._check_auth_tag(incoming.field_value("AuthMAC"))
+            self._finish(self.session_key, self._peer_cert.subject_id)
+            return None
+        raise ProtocolError(f"SCIANC initiator: unexpected {incoming.label}")
+
+    def _advance_responder(self, incoming: Message | None) -> Message | None:
+        if incoming is None:
+            raise ProtocolError("SCIANC responder cannot initiate")
+        if incoming.label == "A1":
+            self._nonce_peer = incoming.field_value("Nonce")
+            with self.operation("nonce_generation", OP_SYM):
+                self._nonce_own = self.ctx.rng.generate(NONCE_SIZE)
+            self._fused_derive(incoming.field_value("Cert"))
+            return self._hello_message("B1")
+        if incoming.label == "A2":
+            self._check_auth_tag(incoming.field_value("AuthMAC"))
+            with self.operation("auth_mac_generation", OP_SYM):
+                tag = self._auth_tag(self.role)
+            self._finish(self.session_key, self._peer_cert.subject_id)
+            return Message(
+                sender=self.role, label="B2", fields=(("AuthMAC", tag),)
+            )
+        raise ProtocolError(f"SCIANC responder: unexpected {incoming.label}")
+
+
+def make_scianc_pair(
+    ctx_a: SessionContext, ctx_b: SessionContext
+) -> tuple[SciancParty, SciancParty]:
+    """Create an initiator/responder SCIANC pair."""
+    return SciancParty(ctx_a, ROLE_A), SciancParty(ctx_b, ROLE_B)

@@ -1,0 +1,117 @@
+"""Authenticated-encryption session channel over an established key.
+
+Once a KD protocol completes, both stations hold ``SESSION_KEY_SIZE`` bytes
+of key material.  :class:`SecureSession` turns that into a bidirectional
+encrypt-then-MAC record channel (AES-128-CTR + HMAC-SHA-256), the "Encrypted
+Session" of the paper's Fig. 1 and the App-Data traffic of the Fig. 6 CAN
+stack.  The security attack simulations decrypt recorded channels with
+recovered keys, so this layer must be byte-exact and deterministic.
+
+Record layout::
+
+    seq(4) || direction(1) || ciphertext(len(plaintext)) || tag(16)
+"""
+
+from __future__ import annotations
+
+from ..errors import AuthenticationError, ProtocolError
+from ..primitives import ctr_crypt, hmac
+from ..utils import constant_time_equal, int_to_bytes
+from .wire import SESSION_KEY_SIZE, enc_key, mac_key
+
+HEADER_SIZE = 5
+TAG_SIZE = 16
+_DIR = {"A": b"\x0a", "B": b"\x0b"}
+
+
+def record_overhead() -> int:
+    """Bytes a record adds over its plaintext."""
+    return HEADER_SIZE + TAG_SIZE
+
+
+class SecureSession:
+    """One endpoint of an established secure session.
+
+    Args:
+        session_key: the KD protocol output (:data:`SESSION_KEY_SIZE` bytes).
+        role: this endpoint's role, ``"A"`` or ``"B"``; the sender role is
+            bound into each record's nonce and MAC, preventing reflection.
+    """
+
+    def __init__(self, session_key: bytes, role: str) -> None:
+        if len(session_key) != SESSION_KEY_SIZE:
+            raise ProtocolError(
+                f"session key must be {SESSION_KEY_SIZE} bytes,"
+                f" got {len(session_key)}"
+            )
+        if role not in _DIR:
+            raise ProtocolError(f"role must be 'A' or 'B', got {role!r}")
+        self.role = role
+        self._enc_key = enc_key(session_key)
+        self._mac_key = mac_key(session_key)
+        self._send_seq = 0
+        self._recv_seq: dict[str, int] = {r: 0 for r in _DIR}
+
+    def _nonce(self, seq: int, direction: str) -> bytes:
+        """Per-record CTR nonce: direction byte, zero pad, 32-bit sequence."""
+        return _DIR[direction] + b"\x00" * 11 + int_to_bytes(seq, 4)
+
+    def encrypt(self, plaintext: bytes) -> bytes:
+        """Produce the next outbound record."""
+        seq = self._send_seq
+        self._send_seq += 1
+        header = int_to_bytes(seq, 4) + _DIR[self.role]
+        ciphertext = ctr_crypt(
+            self._enc_key, self._nonce(seq, self.role), plaintext
+        )
+        tag = hmac(self._mac_key, header + ciphertext)[:TAG_SIZE]
+        return header + ciphertext + tag
+
+    def decrypt(self, record: bytes) -> bytes:
+        """Verify and open an inbound record (enforces sequence order)."""
+        plaintext, seq, direction = open_record_with_key(
+            self._enc_key, self._mac_key, record
+        )
+        if direction == self.role:
+            raise AuthenticationError("record reflected from our own role")
+        expected = self._recv_seq[direction]
+        if seq != expected:
+            raise AuthenticationError(
+                f"out-of-order record: got seq {seq}, expected {expected}"
+            )
+        self._recv_seq[direction] = seq + 1
+        return plaintext
+
+
+def open_record_with_key(
+    encryption_key: bytes, authentication_key: bytes, record: bytes
+) -> tuple[bytes, int, str]:
+    """Open a record given raw keys (no endpoint state).
+
+    Used both by :class:`SecureSession` and by the attack simulations,
+    which model an adversary that recovered the keys later.
+
+    Returns:
+        ``(plaintext, sequence, sender_role)``.
+    """
+    if len(record) < HEADER_SIZE + TAG_SIZE:
+        raise AuthenticationError("record too short")
+    header = record[:HEADER_SIZE]
+    ciphertext = record[HEADER_SIZE:-TAG_SIZE]
+    tag = record[-TAG_SIZE:]
+    expected = hmac(authentication_key, header + ciphertext)[:TAG_SIZE]
+    if not constant_time_equal(tag, expected):
+        raise AuthenticationError("record MAC verification failed")
+    seq = int.from_bytes(header[:4], "big")
+    dir_byte = header[4:5]
+    direction = next((r for r, b in _DIR.items() if b == dir_byte), None)
+    if direction is None:
+        raise AuthenticationError("record has invalid direction byte")
+    nonce = _DIR[direction] + b"\x00" * 11 + header[:4]
+    plaintext = ctr_crypt(encryption_key, nonce, ciphertext)
+    return plaintext, seq, direction
+
+
+def session_pair(session_key: bytes) -> tuple[SecureSession, SecureSession]:
+    """Both endpoints of one established session (testing convenience)."""
+    return SecureSession(session_key, "A"), SecureSession(session_key, "B")

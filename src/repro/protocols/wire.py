@@ -1,0 +1,124 @@
+"""Wire-format helpers shared by the key-derivation protocols.
+
+The byte sizes here are the ones the paper's Table II assumes:
+
+* ``ID`` — 16 bytes,
+* ``Nonce`` — 32 bytes,
+* ``XG`` / ``Sign`` / ``Resp`` — 64 bytes on secp256r1 (raw ``X||Y`` point
+  and raw ``r||s`` signature, no ASN.1 framing),
+* ``Cert`` — 101 bytes (minimal ECQV encoding),
+* ``ACK`` — 1 byte.
+"""
+
+from __future__ import annotations
+
+from ..ec import Curve, Point
+from ..errors import ProtocolError
+from ..primitives import ctr_crypt, hkdf, x963_kdf
+from ..utils import bytes_to_int, int_to_bytes
+
+ID_SIZE = 16
+NONCE_SIZE = 32
+ACK_BYTE = b"\x06"  # classic ASCII ACK
+
+#: Session-key material layout: 16-byte AES-128 key || 32-byte HMAC key.
+ENC_KEY_SIZE = 16
+MAC_KEY_SIZE = 32
+SESSION_KEY_SIZE = ENC_KEY_SIZE + MAC_KEY_SIZE
+
+
+def encode_point_raw(point: Point) -> bytes:
+    """Raw ``X || Y`` encoding (64 bytes on secp256r1, Table II's XG(64))."""
+    if point.is_infinity:
+        raise ProtocolError("cannot wire-encode the point at infinity")
+    mlen = point.curve.field_bytes
+    return int_to_bytes(point.x, mlen) + int_to_bytes(point.y, mlen)
+
+
+def decode_point_raw(curve: Curve, data: bytes) -> Point:
+    """Decode a raw ``X || Y`` point, validating it lies on the curve."""
+    mlen = curve.field_bytes
+    if len(data) != 2 * mlen:
+        raise ProtocolError(
+            f"raw point must be {2 * mlen} bytes, got {len(data)}"
+        )
+    x = bytes_to_int(data[:mlen])
+    y = bytes_to_int(data[mlen:])
+    if not curve.contains(x, y):
+        raise ProtocolError("raw point is not on the curve")
+    return Point(curve, x, y)
+
+
+def point_raw_size(curve: Curve) -> int:
+    """Size of the raw point encoding (64 on secp256r1)."""
+    return 2 * curve.field_bytes
+
+
+def derive_session_key(premaster: bytes, salt: bytes) -> bytes:
+    """Paper Eq. 4: ``K_S = KDF(K_PM, salt)``.
+
+    Uses the ANSI X9.63 KDF that SEC 4 prescribes for EC shared secrets.
+    Returns :data:`SESSION_KEY_SIZE` bytes (AES-128 key || HMAC key).
+    """
+    return x963_kdf(premaster, shared_info=salt, length=SESSION_KEY_SIZE)
+
+
+def enc_key(session_key: bytes) -> bytes:
+    """AES-128 half of the session key material."""
+    _check_session_key(session_key)
+    return session_key[:ENC_KEY_SIZE]
+
+
+def mac_key(session_key: bytes) -> bytes:
+    """HMAC half of the session key material."""
+    _check_session_key(session_key)
+    return session_key[ENC_KEY_SIZE:]
+
+
+def _check_session_key(session_key: bytes) -> None:
+    if len(session_key) != SESSION_KEY_SIZE:
+        raise ProtocolError(
+            f"session key must be {SESSION_KEY_SIZE} bytes,"
+            f" got {len(session_key)}"
+        )
+
+
+def response_iv(session_key: bytes, direction: str) -> bytes:
+    """Deterministic per-direction CBC IV for the STS ``Resp`` field.
+
+    Both stations must derive the same IV without transmitting it (the
+    Table II ``Resp`` field is exactly the 64 ciphertext bytes).  The IV is
+    taken from HKDF of the fresh session key with a direction label, so it
+    is unique per session *and* per direction.
+    """
+    if direction not in ("A", "B"):
+        raise ProtocolError(f"direction must be 'A' or 'B', got {direction!r}")
+    return hkdf(
+        session_key, info=b"sts-resp-iv-" + direction.encode(), length=16
+    )
+
+
+def encrypt_response(session_key: bytes, direction: str, dsign: bytes) -> bytes:
+    """``Resp = encrypt(K_S, dsign)`` (paper Algorithm 1, line 6).
+
+    AES-CTR under the per-direction IV: length-preserving, so the
+    ciphertext is exactly the raw signature size — the ``Resp(64)`` field
+    of Table II on secp256r1, and the right size on every other curve
+    (e.g. 56 bytes on secp224r1, where unpadded CBC could not run).  The
+    key is fresh per session and each direction's IV is used exactly
+    once, so the CTR keystream never repeats.
+    """
+    if not dsign:
+        raise ProtocolError("dsign must be non-empty")
+    return ctr_crypt(
+        enc_key(session_key), response_iv(session_key, direction), dsign
+    )
+
+
+def decrypt_response(session_key: bytes, direction: str, resp: bytes) -> bytes:
+    """Inverse of :func:`encrypt_response` (paper Algorithm 2, line 1)."""
+    if not resp:
+        raise ProtocolError("response must be non-empty")
+    return ctr_crypt(
+        enc_key(session_key), response_iv(session_key, direction), resp
+    )

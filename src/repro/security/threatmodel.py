@@ -1,0 +1,96 @@
+"""Threat-model graph — the paper's Fig. 8 block diagram.
+
+Builds the asset → threat → countermeasure graph for the STS-ECQV design
+as a :mod:`networkx` digraph and renders it as text.  The node-capture
+threat (T3) points at the special partial-protection node ``R`` — forward
+secrecy shields previous messages only.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from .threats import (
+    COUNTERMEASURES,
+    MITIGATIONS,
+    THREATS,
+    THREATS_ON_ASSETS,
+)
+
+#: Node kinds used in the graph's ``kind`` attribute.
+KIND_ASSET = "asset"
+KIND_THREAT = "threat"
+KIND_COUNTERMEASURE = "countermeasure"
+KIND_PARTIAL = "partial"
+
+
+def build_threat_model() -> nx.DiGraph:
+    """Construct the Fig. 8 graph.
+
+    Edges run asset → threat ("is threatened by") and threat →
+    countermeasure ("is mitigated by").
+    """
+    graph = nx.DiGraph(name="sts-ecqv-threat-model")
+    for asset_name in THREATS_ON_ASSETS:
+        graph.add_node(asset_name, kind=KIND_ASSET)
+    for threat in THREATS.values():
+        graph.add_node(
+            threat.key, kind=KIND_THREAT, title=threat.title,
+            description=threat.description,
+        )
+    for cm in COUNTERMEASURES.values():
+        graph.add_node(
+            cm.key, kind=KIND_COUNTERMEASURE, title=cm.title,
+            description=cm.description,
+        )
+    graph.add_node(
+        "R",
+        kind=KIND_PARTIAL,
+        title="Partial Protection",
+        description="Node capture: only previous messages stay protected.",
+    )
+    for asset_name, threat_keys in THREATS_ON_ASSETS.items():
+        for tk in threat_keys:
+            graph.add_edge(asset_name, tk, relation="threatened-by")
+    for threat_key, cm_keys in MITIGATIONS.items():
+        for ck in cm_keys:
+            graph.add_edge(threat_key, ck, relation="mitigated-by")
+    return graph
+
+
+def coverage_summary(graph: nx.DiGraph | None = None) -> dict[str, list[str]]:
+    """Threat key → list of mitigating countermeasure keys."""
+    if graph is None:
+        graph = build_threat_model()
+    return {
+        node: sorted(graph.successors(node))
+        for node, data in graph.nodes(data=True)
+        if data.get("kind") == KIND_THREAT
+    }
+
+
+def uncovered_threats(graph: nx.DiGraph | None = None) -> list[str]:
+    """Threats with no countermeasure at all (must be empty for STS-ECQV)."""
+    return [t for t, cms in coverage_summary(graph).items() if not cms]
+
+
+def render_threat_model(graph: nx.DiGraph | None = None) -> str:
+    """ASCII rendering of the Fig. 8 block structure."""
+    if graph is None:
+        graph = build_threat_model()
+    lines = ["STS-ECQV key derivation threat model (paper Fig. 8)", ""]
+    for asset_name, threat_keys in THREATS_ON_ASSETS.items():
+        lines.append(f"[{asset_name}]")
+        for tk in threat_keys:
+            threat = THREATS[tk]
+            cms = sorted(graph.successors(tk))
+            labels = []
+            for ck in cms:
+                data = graph.nodes[ck]
+                labels.append(f"{ck}:{data.get('title', ck)}")
+            lines.append(
+                f"  <- [{threat.key}] {threat.title:28s} "
+                f"mitigated by {', '.join(labels)}"
+            )
+        lines.append("")
+    return "\n".join(lines).rstrip()

@@ -1,0 +1,142 @@
+"""Threat and countermeasure definitions (paper §IV-A and Fig. 8).
+
+The design targets five threats against two assets:
+
+* assets — session data, security credentials;
+* threats — T1 past data exposure, T2 man-in-the-middle, T3 node
+  capturing, T4 key data reuse, T5 key derivation exploitation;
+* countermeasures (STS-ECQV) — C1 forward secrecy, C2 ECDSA
+  authentication, C3 the combined STS & ECQV construction; node capture
+  is only partially covered (the "R" box of Fig. 8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+
+class Asset(Enum):
+    """System assets the design protects (paper §IV-A)."""
+
+    SESSION_DATA = "Session Data"
+    SECURITY_CREDENTIALS = "Security Credentials"
+
+
+@dataclass(frozen=True)
+class Threat:
+    """One threat from the paper's model."""
+
+    key: str
+    title: str
+    description: str
+    assets: tuple[Asset, ...]
+
+
+@dataclass(frozen=True)
+class Countermeasure:
+    """One countermeasure provided by the STS-ECQV design."""
+
+    key: str
+    title: str
+    description: str
+
+
+T1 = Threat(
+    key="T1",
+    title="Past Data Exposure",
+    description=(
+        "Recorded traffic of earlier sessions becomes readable once a "
+        "long-term key leaks, because the session keys can be recomputed."
+    ),
+    assets=(Asset.SESSION_DATA,),
+)
+
+T2 = Threat(
+    key="T2",
+    title="MitM Attacks",
+    description=(
+        "An active adversary inserts itself into session establishment, "
+        "including key-compromise-impersonation (KCI) variants."
+    ),
+    assets=(Asset.SESSION_DATA, Asset.SECURITY_CREDENTIALS),
+)
+
+T3 = Threat(
+    key="T3",
+    title="Node Capture",
+    description=(
+        "A legitimate device is physically compromised and its stored "
+        "credentials (keys, certificates, PSKs) extracted."
+    ),
+    assets=(Asset.SESSION_DATA, Asset.SECURITY_CREDENTIALS),
+)
+
+T4 = Threat(
+    key="T4",
+    title="Key Data Reuse",
+    description=(
+        "The same underlying secret feeds multiple communication "
+        "sessions, so one exposure spans many sessions."
+    ),
+    assets=(Asset.SESSION_DATA,),
+)
+
+T5 = Threat(
+    key="T5",
+    title="Key Derivation Exploitation",
+    description=(
+        "The derivation process itself is exploitable: insufficient "
+        "entropy, derivable inputs, or keys recoverable by parties that "
+        "should not hold them."
+    ),
+    assets=(Asset.SESSION_DATA, Asset.SECURITY_CREDENTIALS),
+)
+
+C1 = Countermeasure(
+    key="C1",
+    title="Forward Secrecy",
+    description=(
+        "Fresh ephemeral STS exponents per communication session; "
+        "compromise of long-term keys does not reveal past session keys."
+    ),
+)
+
+C2 = Countermeasure(
+    key="C2",
+    title="ECDSA Authentication",
+    description=(
+        "Mutual authentication by ECDSA signatures over the session "
+        "ephemerals, verified against implicitly-reconstructed keys."
+    ),
+)
+
+C3 = Countermeasure(
+    key="C3",
+    title="STS & ECQV Property",
+    description=(
+        "The combined construction: signatures encrypted under the fresh "
+        "session key bind key agreement and authentication together."
+    ),
+)
+
+THREATS: dict[str, Threat] = {t.key: t for t in (T1, T2, T3, T4, T5)}
+COUNTERMEASURES: dict[str, Countermeasure] = {
+    c.key: c for c in (C1, C2, C3)
+}
+
+#: Fig. 8 edges: which countermeasures answer which threats for STS-ECQV.
+#: T3 maps to the partial-protection node "R" (past sessions only).
+MITIGATIONS: dict[str, tuple[str, ...]] = {
+    "T1": ("C1",),
+    "T2": ("C2", "C3"),
+    "T3": ("R",),
+    "T4": ("C1", "C3"),
+    "T5": ("C1", "C2", "C3"),
+}
+
+#: Which threats target which assets (Fig. 8 left-hand edges).
+THREATS_ON_ASSETS: dict[str, tuple[str, ...]] = {
+    Asset.SESSION_DATA.value: ("T1", "T2", "T4", "T5"),
+    Asset.SECURITY_CREDENTIALS.value: ("T2", "T3", "T5"),
+}

@@ -1,0 +1,30 @@
+"""Discrete-event simulation: engine, STS schedules, session timelines."""
+
+from .engine import Resource, Simulator
+from .schedule import (
+    OpTimes,
+    op_times_for,
+    optimized_total_ms,
+    protocol_total_ms,
+    schedule_savings_ms,
+    sequential_total_ms,
+)
+from .timeline import (
+    SessionTimeline,
+    TimelineSegment,
+    simulate_session_timeline,
+)
+
+__all__ = [
+    "OpTimes",
+    "Resource",
+    "SessionTimeline",
+    "Simulator",
+    "TimelineSegment",
+    "op_times_for",
+    "optimized_total_ms",
+    "protocol_total_ms",
+    "schedule_savings_ms",
+    "sequential_total_ms",
+    "simulate_session_timeline",
+]

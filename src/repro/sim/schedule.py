@@ -1,0 +1,118 @@
+"""STS execution schedules: the paper's Eqs. 5–8.
+
+§IV-C decomposes the STS run into four operations per device
+(Op1 request-point generation, Op2 public-key + premaster derivation,
+Op3 signature + encryption, Op4 decryption + verification) and derives
+two pipelined schedules:
+
+* sequential (Eq. 5):  τ  = Σ_i T_OpA_i + Σ_i T_OpB_i
+* Opt. I (Eq. 7):      τ' = 2·T_Op1 + T_Op2 + 2·T_Op3 + 2·T_Op4
+* Opt. II (Eq. 8):     τ″ = 2·T_Op1 + T_Op2 + T_Op3 + 2·T_Op4
+
+For *non-identical* devices Eq. 6 states that an overlapped operation
+contributes ``|T_OpA_x − T_OpB_x|`` extra beyond the larger side — i.e.
+the pair pays ``max(A_x, B_x)`` instead of ``A_x + B_x``.  Both cases are
+covered by subtracting ``min(A_x, B_x)`` from the sequential total for
+each overlapped operation class, which is how this module computes them.
+
+The paper notes the optimizations keep the transmitted data identical;
+their price is flexibility (failed authentications are detected only
+after the overlapped computation has already been spent — see the
+Opt. II caveat in §IV-C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import SimulationError
+from ..hardware.devices import DeviceModel
+from ..hardware.timing import op_class_times
+from ..protocols.base import Party, ProtocolTranscript
+from ..protocols.sts import SCHEDULE_OPT1, SCHEDULE_OPT2, SCHEDULE_SEQUENTIAL
+
+
+@dataclass(frozen=True)
+class OpTimes:
+    """Per-device times of the four STS operation classes (ms).
+
+    ``sym`` collects the residual symmetric-only bookkeeping not assigned
+    to Op1–Op4 (never overlapped).
+    """
+
+    op1: float
+    op2: float
+    op3: float
+    op4: float
+    sym: float = 0.0
+
+    @property
+    def total(self) -> float:
+        """Sequential single-device total."""
+        return self.op1 + self.op2 + self.op3 + self.op4 + self.sym
+
+
+def op_times_for(party: Party, device: DeviceModel) -> OpTimes:
+    """Extract the §IV-C operation times of one party on one device."""
+    classes = op_class_times(party, device)
+    return OpTimes(
+        op1=classes.get("op1", 0.0),
+        op2=classes.get("op2", 0.0),
+        op3=classes.get("op3", 0.0),
+        op4=classes.get("op4", 0.0),
+        sym=classes.get("sym", 0.0),
+    )
+
+
+def sequential_total_ms(a: OpTimes, b: OpTimes) -> float:
+    """Eq. 5: both stations' operations, strictly serialized."""
+    return a.total + b.total
+
+
+def optimized_total_ms(a: OpTimes, b: OpTimes, schedule: str) -> float:
+    """Eqs. 6–8: pair total under an overlap schedule.
+
+    Each overlapped operation class saves ``min(A_x, B_x)`` against the
+    sequential total (Eq. 6's ``|A_x − B_x|`` residual for differing
+    devices; full overlap for identical ones).
+    """
+    total = sequential_total_ms(a, b)
+    if schedule == SCHEDULE_SEQUENTIAL:
+        return total
+    if schedule == SCHEDULE_OPT1:
+        return total - min(a.op2, b.op2)
+    if schedule == SCHEDULE_OPT2:
+        return total - min(a.op2, b.op2) - min(a.op3, b.op3)
+    raise SimulationError(f"unknown schedule {schedule!r}")
+
+
+def protocol_total_ms(
+    transcript: ProtocolTranscript,
+    device_a: DeviceModel,
+    device_b: DeviceModel | None = None,
+    schedule: str | None = None,
+) -> float:
+    """Pair KD time under the protocol's (or an explicit) schedule.
+
+    For STS transcripts the schedule defaults to the one the parties were
+    created with; non-STS protocols are always sequential.
+    """
+    if device_b is None:
+        device_b = device_a
+    if schedule is None:
+        schedule = getattr(transcript.party_a, "schedule", SCHEDULE_SEQUENTIAL)
+    a = op_times_for(transcript.party_a, device_a)
+    b = op_times_for(transcript.party_b, device_b)
+    return optimized_total_ms(a, b, schedule)
+
+
+def schedule_savings_ms(
+    a: OpTimes, b: OpTimes
+) -> dict[str, float]:
+    """Savings of each schedule vs. sequential (positive = faster)."""
+    seq = sequential_total_ms(a, b)
+    return {
+        SCHEDULE_SEQUENTIAL: 0.0,
+        SCHEDULE_OPT1: seq - optimized_total_ms(a, b, SCHEDULE_OPT1),
+        SCHEDULE_OPT2: seq - optimized_total_ms(a, b, SCHEDULE_OPT2),
+    }

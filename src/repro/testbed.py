@@ -1,0 +1,112 @@
+"""Deterministic test-bed construction: CA, devices, session contexts.
+
+Reproduces the paper's Fig. 1 architecture in memory: a central authority
+issues ECQV credentials to a set of devices, which then establish sessions
+pairwise.  Everything is seeded, so two test beds built with the same seed
+are byte-for-byte identical — the property all experiments rely on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .ec import Curve, SECP256R1
+from .ecqv import CertificateAuthority, EcqvCredential, issue_credential
+from .errors import ReproError
+from .primitives import HmacDrbg
+from .protocols import SessionContext, install_pairwise_key
+from .protocols.base import Party
+from .protocols.registry import get_protocol
+
+#: Default epoch used as "now" by test beds (fixed for reproducibility).
+DEFAULT_NOW = 1_700_000_000
+
+
+def device_id(name: str) -> bytes:
+    """Derive a 16-byte device identity from a human-readable name."""
+    raw = name.encode()
+    if len(raw) > 16:
+        raise ReproError(f"device name too long: {name!r}")
+    return raw.ljust(16, b"-")
+
+
+@dataclass
+class TestBed:
+    """A provisioned network: one CA plus named device credentials."""
+
+    curve: Curve
+    ca: CertificateAuthority
+    credentials: dict[str, EcqvCredential]
+    seed: bytes
+    now: int = DEFAULT_NOW
+    _ctx_counter: int = field(default=0, repr=False)
+
+    def context(self, name: str) -> SessionContext:
+        """Fresh :class:`SessionContext` for a named device.
+
+        Each context gets its own DRBG stream (device name + a counter in
+        the personalization) so repeated sessions draw fresh randomness
+        while the overall experiment stays deterministic.
+        """
+        try:
+            credential = self.credentials[name]
+        except KeyError:
+            raise ReproError(
+                f"unknown device {name!r}; have {sorted(self.credentials)}"
+            ) from None
+        self._ctx_counter += 1
+        rng = HmacDrbg(
+            self.seed,
+            personalization=b"session|%s|%d" % (name.encode(), self._ctx_counter),
+        )
+        return SessionContext(
+            credential=credential,
+            ca_public=self.ca.public_key,
+            rng=rng,
+            now=self.now,
+        )
+
+    def context_pair(
+        self, name_a: str, name_b: str, protocol: str | None = None
+    ) -> tuple[SessionContext, SessionContext]:
+        """Context pair for two devices, with PSKs installed if needed."""
+        ctx_a = self.context(name_a)
+        ctx_b = self.context(name_b)
+        if protocol is None or get_protocol(protocol).needs_pairwise_psk:
+            psk_rng = HmacDrbg(
+                self.seed,
+                personalization=b"psk|%s|%s"
+                % (min(name_a, name_b).encode(), max(name_a, name_b).encode()),
+            )
+            install_pairwise_key(ctx_a, ctx_b, psk_rng.generate(32))
+        return ctx_a, ctx_b
+
+    def party_pair(
+        self, protocol: str, name_a: str, name_b: str
+    ) -> tuple[Party, Party]:
+        """Instantiate a protocol between two named devices."""
+        ctx_a, ctx_b = self.context_pair(name_a, name_b, protocol)
+        return get_protocol(protocol).factory(ctx_a, ctx_b)
+
+
+def make_testbed(
+    device_names: tuple[str, ...] = ("alice", "bob"),
+    curve: Curve = SECP256R1,
+    seed: bytes = b"repro-testbed",
+    now: int = DEFAULT_NOW,
+    validity_seconds: int = 7 * 24 * 3600,
+) -> TestBed:
+    """Provision a CA and issue one ECQV credential per named device."""
+    ca_rng = HmacDrbg(seed, personalization=b"ca")
+    ca = CertificateAuthority(
+        curve, device_id("central-ca"), ca_rng, clock=lambda: now
+    )
+    credentials: dict[str, EcqvCredential] = {}
+    for name in device_names:
+        dev_rng = HmacDrbg(seed, personalization=b"issue|" + name.encode())
+        credentials[name] = issue_credential(
+            ca, device_id(name), dev_rng, validity_seconds=validity_seconds
+        )
+    return TestBed(
+        curve=curve, ca=ca, credentials=credentials, seed=seed, now=now
+    )

@@ -1,0 +1,117 @@
+"""Primitive-operation cost tracing.
+
+The paper measures protocol execution time on four embedded boards.  We run
+the *real* cryptography (pure Python) and, instead of wall-clock time, count
+how often each costly primitive is invoked.  A device model
+(:mod:`repro.hardware`) then prices each event class to reconstruct the
+embedded execution time.  This mirrors how embedded engineers budget
+cycle counts before measuring on silicon.
+
+Every traced primitive calls :func:`record` with a stable event name, e.g.::
+
+    ec.mul_base      scalar multiplication of the curve base point
+    ec.mul_point     scalar multiplication of an arbitrary point
+    ec.mul_double    Shamir/Strauss double multiplication (u*P + v*Q)
+    ec.add           stand-alone affine point addition
+    mod.inv          stand-alone modular inversion
+    sha2.block       one 64-byte (SHA-256) / 128-byte (SHA-512) compression
+    aes.block        one AES block encryption/decryption
+    hmac.call        one HMAC computation (excl. its hash blocks)
+    kdf.call         one KDF invocation (excl. its hash blocks)
+    drbg.generate    one DRBG generate call
+    rng.bytes        random byte generation request
+
+Tracing is nestable: multiple :class:`CostTrace` objects may be active at
+once (e.g. a per-operation trace inside a per-protocol trace) and each
+records every event.  When no trace is active, :func:`record` is a cheap
+no-op, so the primitives stay usable as an ordinary crypto library.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import Iterator
+
+_ACTIVE: ContextVar[tuple["CostTrace", ...]] = ContextVar(
+    "repro_active_traces", default=()
+)
+
+
+class CostTrace:
+    """A counter of primitive-operation events.
+
+    Attributes:
+        counts: mapping of event name to number of occurrences.
+        label: optional human-readable label (used in reports).
+    """
+
+    __slots__ = ("counts", "label")
+
+    def __init__(self, label: str = "") -> None:
+        self.counts: Counter[str] = Counter()
+        self.label = label
+
+    def record(self, event: str, n: int = 1) -> None:
+        """Add ``n`` occurrences of ``event`` to this trace."""
+        self.counts[event] += n
+
+    def merge(self, other: "CostTrace") -> None:
+        """Fold another trace's counts into this one."""
+        self.counts.update(other.counts)
+
+    def copy(self) -> "CostTrace":
+        """Return an independent copy of this trace."""
+        dup = CostTrace(self.label)
+        dup.counts = Counter(self.counts)
+        return dup
+
+    def __getitem__(self, event: str) -> int:
+        return self.counts.get(event, 0)
+
+    def total(self, prefix: str = "") -> int:
+        """Total event count, optionally restricted to a name prefix."""
+        return sum(
+            n for name, n in self.counts.items() if name.startswith(prefix)
+        )
+
+    def as_dict(self) -> dict[str, int]:
+        """Snapshot the counts as a plain dict (sorted by event name)."""
+        return dict(sorted(self.counts.items()))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        inner = ", ".join(f"{k}={v}" for k, v in sorted(self.counts.items()))
+        label = f" {self.label!r}" if self.label else ""
+        return f"<CostTrace{label} {inner}>"
+
+
+def record(event: str, n: int = 1) -> None:
+    """Record ``n`` occurrences of ``event`` on every active trace."""
+    traces = _ACTIVE.get()
+    if traces:
+        for t in traces:
+            t.record(event, n)
+
+
+def tracing_active() -> bool:
+    """Return True if at least one :class:`CostTrace` is active."""
+    return bool(_ACTIVE.get())
+
+
+@contextmanager
+def trace(label: str = "") -> Iterator[CostTrace]:
+    """Context manager that activates a fresh :class:`CostTrace`.
+
+    Example::
+
+        with trace("sts-op1") as t:
+            curve.mul_base(secret)
+        assert t["ec.mul_base"] == 1
+    """
+    t = CostTrace(label)
+    token = _ACTIVE.set(_ACTIVE.get() + (t,))
+    try:
+        yield t
+    finally:
+        _ACTIVE.reset(token)

@@ -1,0 +1,62 @@
+"""Tests for the Table II transmission-overhead accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import (
+    PAPER_TABLE2,
+    measure_overhead,
+    overhead_table,
+    render_overhead_table,
+    verify_against_paper,
+)
+from repro.errors import AnalysisError
+
+
+@pytest.fixture(scope="module")
+def table():
+    return overhead_table()
+
+
+class TestTable2:
+    def test_all_rows_match_paper(self, table):
+        verify_against_paper(table)  # raises on mismatch
+
+    @pytest.mark.parametrize(
+        "protocol,steps,total", [(k, *v) for k, v in PAPER_TABLE2.items()]
+    )
+    def test_individual_rows(self, table, protocol, steps, total):
+        row = table[protocol]
+        assert row.n_steps == steps
+        assert row.total_bytes == total
+
+    def test_scianc_smallest_sts_close_to_s_ecdsa(self, table):
+        # The §V-B narrative: SCIANC smallest, S-ECDSA/STS similar,
+        # PORAMB largest.
+        assert table["scianc"].total_bytes < table["s-ecdsa"].total_bytes
+        assert table["poramb"].total_bytes > table["sts"].total_bytes
+        assert abs(table["sts"].total_bytes - table["s-ecdsa"].total_bytes) <= 64
+
+    def test_frame_counts_positive(self, table):
+        for row in table.values():
+            assert row.total_frames >= row.n_steps
+
+    def test_measure_from_transcript(self, transcripts):
+        overhead = measure_overhead(transcripts["sts"])
+        assert overhead.n_steps == 4
+        assert overhead.total_bytes == 491
+        assert overhead.messages[0].layout == "A1: ID(16), XG(64)"
+
+    def test_render(self, table):
+        text = render_overhead_table(table)
+        assert "MATCH" in text
+        assert "MISMATCH" not in text
+
+    def test_verify_raises_on_bad_row(self, table):
+        import copy
+
+        broken = copy.deepcopy(table)
+        broken["sts"].messages.pop()
+        with pytest.raises(AnalysisError, match="Table II mismatch"):
+            verify_against_paper(broken)

@@ -1,0 +1,36 @@
+"""Tests for the machine-generated reproduction report."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import build_report, write_report
+
+
+@pytest.fixture(scope="module")
+def report():
+    return build_report()
+
+
+class TestReport:
+    def test_all_experiments_pass(self, report):
+        assert report.all_pass, report.verdicts
+
+    def test_sections_complete(self, report):
+        assert set(report.sections) == set(report.verdicts) == {
+            "tab1", "fig3", "fig4", "tab2", "fig7", "tab3", "fig8",
+        }
+
+    def test_markdown_structure(self, report):
+        text = report.to_markdown()
+        assert text.startswith("# Reproduction report")
+        assert text.count("\n## ") == 7  # bars in bodies also contain '#'
+        assert "PASS" in text and "FAIL" not in text
+
+    def test_write_report(self, report, tmp_path):
+        path = tmp_path / "report.md"
+        written = write_report(str(path))
+        assert written.all_pass
+        content = path.read_text()
+        assert "Table III" in content
+        assert "BMS" in content  # the fig7 timeline made it in

@@ -1,0 +1,37 @@
+"""Shared fixtures for the test suite.
+
+The session-scoped ``testbed`` provisions one CA and a handful of devices;
+tests needing isolated randomness build their own contexts from it (each
+``context()`` call draws a fresh DRBG stream).  Protocol transcripts that
+many tests inspect are cached per protocol, since transcripts are immutable
+once the run completes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.protocols import TABLE_ORDER, run_protocol
+from repro.testbed import make_testbed
+
+
+@pytest.fixture(scope="session")
+def testbed():
+    """One provisioned network shared by the whole test session."""
+    return make_testbed(("alice", "bob", "carol"), seed=b"pytest-testbed")
+
+
+@pytest.fixture(scope="session")
+def transcripts(testbed):
+    """One completed transcript per protocol variant (read-only)."""
+    result = {}
+    for name in TABLE_ORDER:
+        party_a, party_b = testbed.party_pair(name, "alice", "bob")
+        result[name] = run_protocol(party_a, party_b)
+    return result
+
+
+@pytest.fixture()
+def fresh_testbed():
+    """A testbed private to one test (safe to mutate contexts)."""
+    return make_testbed(("alice", "bob"), seed=b"pytest-fresh")

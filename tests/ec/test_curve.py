@@ -1,0 +1,108 @@
+"""Tests for curve domain parameters and the named-curve registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ec import (
+    BRAINPOOLP256R1,
+    BRAINPOOLP384R1,
+    CURVES,
+    Curve,
+    SECP192R1,
+    SECP224R1,
+    SECP256K1,
+    SECP256R1,
+    SECP384R1,
+    curve_by_id,
+    curve_id,
+    get_curve,
+)
+from repro.errors import CurveError
+
+ALL_CURVES = [
+    SECP192R1,
+    SECP224R1,
+    SECP256R1,
+    SECP256K1,
+    SECP384R1,
+    BRAINPOOLP256R1,
+    BRAINPOOLP384R1,
+]
+
+
+class TestNamedCurves:
+    @pytest.mark.parametrize("curve", ALL_CURVES, ids=lambda c: c.name)
+    def test_parameters_validate(self, curve):
+        curve.validate()
+
+    @pytest.mark.parametrize("curve", ALL_CURVES, ids=lambda c: c.name)
+    def test_generator_on_curve(self, curve):
+        assert curve.contains(curve.gx, curve.gy)
+
+    def test_field_bytes(self):
+        assert SECP192R1.field_bytes == 24
+        assert SECP224R1.field_bytes == 28
+        assert SECP256R1.field_bytes == 32
+        assert SECP384R1.field_bytes == 48
+
+    def test_scalar_bytes_secp256r1(self):
+        assert SECP256R1.scalar_bytes == 32
+
+    def test_bits(self):
+        assert SECP256R1.bits == 256
+        assert SECP192R1.bits == 192
+
+    def test_rhs_matches_generator(self):
+        rhs = SECP256R1.rhs(SECP256R1.gx)
+        assert rhs == SECP256R1.gy * SECP256R1.gy % SECP256R1.p
+
+
+class TestRegistry:
+    def test_lookup_by_name(self):
+        assert get_curve("secp256r1") is SECP256R1
+
+    def test_unknown_name(self):
+        with pytest.raises(CurveError, match="unknown curve"):
+            get_curve("secp512r1")
+
+    def test_ids_roundtrip(self):
+        for curve in ALL_CURVES:
+            assert curve_by_id(curve_id(curve)) is curve
+
+    def test_unknown_id(self):
+        with pytest.raises(CurveError):
+            curve_by_id(200)
+
+    def test_registry_complete(self):
+        assert set(CURVES) == {c.name for c in ALL_CURVES}
+
+
+class TestValidation:
+    def test_singular_curve_rejected(self):
+        # y^2 = x^3 (a=0, b=0) has discriminant 0.
+        bad = Curve("bad", 23, 0, 0, 1, 1, 19)
+        with pytest.raises(CurveError, match="singular"):
+            bad.validate()
+
+    def test_off_curve_generator_rejected(self):
+        bad = Curve(
+            "bad-gen",
+            SECP256R1.p,
+            SECP256R1.a,
+            SECP256R1.b,
+            SECP256R1.gx,
+            SECP256R1.gy ^ 1,
+            SECP256R1.n,
+        )
+        with pytest.raises(CurveError, match="base point"):
+            bad.validate()
+
+    def test_composite_field_rejected(self):
+        bad = Curve("bad-p", 15, 1, 1, 2, 3, 7)
+        with pytest.raises(CurveError):
+            bad.validate()
+
+    def test_contains_rejects_out_of_range(self):
+        assert not SECP256R1.contains(-1, 0)
+        assert not SECP256R1.contains(SECP256R1.p, 0)

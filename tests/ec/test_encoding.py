@@ -1,0 +1,113 @@
+"""Tests for SEC 1 point encoding/decoding."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ec import (
+    SECP192R1,
+    SECP256R1,
+    Point,
+    decode_point,
+    encode_point,
+    mul_point,
+    point_size,
+)
+from repro.errors import PointDecodingError
+
+C = SECP256R1
+G = C.generator
+
+#: SEC 1 encoding of the P-256 base point (well-known constant).
+G_UNCOMPRESSED = bytes.fromhex(
+    "046b17d1f2e12c4247f8bce6e563a440f277037d812deb33a0f4a13945d898c296"
+    "4fe342e2fe1a7f9b8ee7eb4a7c0f9e162bce33576b315ececbb6406837bf51f5"
+)
+G_COMPRESSED = bytes.fromhex(
+    "036b17d1f2e12c4247f8bce6e563a440f277037d812deb33a0f4a13945d898c296"
+)
+
+
+class TestKnownVectors:
+    def test_generator_uncompressed(self):
+        assert encode_point(G, compressed=False) == G_UNCOMPRESSED
+
+    def test_generator_compressed(self):
+        assert encode_point(G, compressed=True) == G_COMPRESSED
+
+    def test_decode_known(self):
+        assert decode_point(C, G_UNCOMPRESSED) == G
+        assert decode_point(C, G_COMPRESSED) == G
+
+
+class TestRoundTrips:
+    @given(st.integers(1, SECP192R1.n - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_roundtrip_both_forms(self, k):
+        p = mul_point(k, SECP192R1.generator)
+        for compressed in (True, False):
+            assert decode_point(SECP192R1, encode_point(p, compressed)) == p
+
+    def test_infinity_roundtrip(self):
+        inf = Point.infinity(C)
+        assert encode_point(inf) == b"\x00"
+        assert decode_point(C, b"\x00").is_infinity
+
+    def test_even_and_odd_y_parities(self):
+        # Find points of both parities and check the prefix drives parity.
+        for k in range(1, 12):
+            p = mul_point(k, G)
+            enc = encode_point(p, compressed=True)
+            assert enc[0] == (0x03 if p.y & 1 else 0x02)
+            assert decode_point(C, enc) == p
+
+
+class TestSizes:
+    def test_point_size(self):
+        assert point_size(C, compressed=True) == 33
+        assert point_size(C, compressed=False) == 65
+        assert point_size(SECP192R1, compressed=True) == 25
+
+    def test_encoded_lengths(self):
+        assert len(encode_point(G, True)) == 33
+        assert len(encode_point(G, False)) == 65
+
+
+class TestDecodingErrors:
+    def test_empty(self):
+        with pytest.raises(PointDecodingError):
+            decode_point(C, b"")
+
+    def test_unknown_prefix(self):
+        with pytest.raises(PointDecodingError, match="prefix"):
+            decode_point(C, b"\x05" + b"\x00" * 32)
+
+    def test_bad_infinity_length(self):
+        with pytest.raises(PointDecodingError):
+            decode_point(C, b"\x00\x00")
+
+    def test_wrong_uncompressed_length(self):
+        with pytest.raises(PointDecodingError, match="uncompressed"):
+            decode_point(C, G_UNCOMPRESSED[:-1])
+
+    def test_wrong_compressed_length(self):
+        with pytest.raises(PointDecodingError, match="compressed"):
+            decode_point(C, G_COMPRESSED + b"\x00")
+
+    def test_off_curve_uncompressed(self):
+        bad = bytearray(G_UNCOMPRESSED)
+        bad[-1] ^= 1
+        with pytest.raises(PointDecodingError, match="not on curve"):
+            decode_point(C, bytes(bad))
+
+    def test_compressed_x_not_on_curve(self):
+        # x = 5 has no point on P-256 (rhs is a non-residue).
+        candidate = b"\x02" + (5).to_bytes(32, "big")
+        try:
+            decode_point(C, candidate)
+        except PointDecodingError:
+            pass  # expected for non-residue x
+        # Whichever x we chose, an x >= p must always fail:
+        with pytest.raises(PointDecodingError):
+            decode_point(C, b"\x02" + C.p.to_bytes(32, "big"))

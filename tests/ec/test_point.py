@@ -1,0 +1,166 @@
+"""Tests for affine points and the Jacobian helpers: group laws, edge cases."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ec import SECP192R1, SECP256K1, SECP256R1, Point, mul_point
+from repro.ec.point import (
+    JAC_INFINITY,
+    from_jacobian,
+    jac_add,
+    jac_add_mixed,
+    jac_double,
+    jac_negate,
+    to_jacobian,
+)
+from repro.errors import CurveError
+from repro import trace
+
+C = SECP192R1  # smaller curve keeps property tests quick
+G = C.generator
+
+scalars = st.integers(1, C.n - 1)
+
+
+def pt(k: int) -> Point:
+    return mul_point(k, G)
+
+
+class TestPointBasics:
+    def test_infinity_identity(self):
+        inf = Point.infinity(C)
+        assert inf.is_infinity
+        assert (G + inf) == G
+        assert (inf + G) == G
+        assert (inf + inf).is_infinity
+
+    def test_inverse_sums_to_infinity(self):
+        assert (G + (-G)).is_infinity
+
+    def test_double_matches_add(self):
+        assert G.double() == G + G
+
+    def test_negation_involution(self):
+        assert -(-G) == G
+
+    def test_subtraction(self):
+        assert (G + G) - G == G
+
+    def test_cross_curve_addition_rejected(self):
+        with pytest.raises(CurveError):
+            G + SECP256R1.generator
+
+    def test_off_curve_construction_rejected(self):
+        with pytest.raises(CurveError):
+            Point(C, C.gx, (C.gy + 1) % C.p)
+
+    def test_half_infinity_rejected(self):
+        with pytest.raises(CurveError):
+            Point(C, C.gx, None)
+
+    def test_immutability(self):
+        with pytest.raises(AttributeError):
+            G.x = 1
+
+    def test_equality_and_hash(self):
+        g2 = Point(C, C.gx, C.gy)
+        assert g2 == G
+        assert hash(g2) == hash(G)
+        assert G != SECP256R1.generator
+        assert G != "not a point"
+
+    def test_repr(self):
+        assert "secp192r1" in repr(G)
+        assert "infinity" in repr(Point.infinity(C))
+
+
+class TestGroupLaws:
+    @given(scalars, scalars)
+    @settings(max_examples=25, deadline=None)
+    def test_commutativity(self, a, b):
+        assert pt(a) + pt(b) == pt(b) + pt(a)
+
+    @given(scalars, scalars, scalars)
+    @settings(max_examples=20, deadline=None)
+    def test_associativity(self, a, b, c):
+        p, q, r = pt(a), pt(b), pt(c)
+        assert (p + q) + r == p + (q + r)
+
+    @given(scalars)
+    @settings(max_examples=25, deadline=None)
+    def test_inverse_law(self, a):
+        assert (pt(a) + (-pt(a))).is_infinity
+
+    @given(scalars)
+    @settings(max_examples=25, deadline=None)
+    def test_result_on_curve(self, a):
+        p = pt(a) + G
+        assert p.is_infinity or C.contains(p.x, p.y)
+
+
+class TestJacobian:
+    def test_roundtrip(self):
+        assert from_jacobian(C, to_jacobian(G)) == G
+
+    def test_infinity_roundtrip(self):
+        assert from_jacobian(C, JAC_INFINITY).is_infinity
+        assert to_jacobian(Point.infinity(C)) == JAC_INFINITY
+
+    def test_double_matches_affine(self):
+        assert from_jacobian(C, jac_double(C, to_jacobian(G))) == G.double()
+
+    def test_add_matches_affine(self):
+        p = pt(7)
+        got = from_jacobian(C, jac_add(C, to_jacobian(G), to_jacobian(p)))
+        assert got == G + p
+
+    def test_add_mixed_matches_affine(self):
+        p = pt(9)
+        got = from_jacobian(C, jac_add_mixed(C, to_jacobian(p), G))
+        assert got == p + G
+
+    def test_add_equal_points_doubles(self):
+        got = from_jacobian(C, jac_add(C, to_jacobian(G), to_jacobian(G)))
+        assert got == G.double()
+
+    def test_add_opposite_points_is_infinity(self):
+        got = jac_add(C, to_jacobian(G), to_jacobian(-G))
+        assert from_jacobian(C, got).is_infinity
+
+    def test_negate(self):
+        got = from_jacobian(C, jac_negate(C, to_jacobian(G)))
+        assert got == -G
+
+    def test_nonunit_z_representations(self):
+        # The same point in a different Jacobian representation must
+        # normalize identically.
+        x, y, _ = to_jacobian(G)
+        z = 12345
+        scaled = (x * z * z % C.p, y * z * z * z % C.p, z)
+        assert from_jacobian(C, scaled) == G
+
+    @given(scalars)
+    @settings(max_examples=20, deadline=None)
+    def test_secp256k1_a_zero_doubling(self, a):
+        # a == 0 exercises a different branch weight in the doubling math.
+        g = SECP256K1.generator
+        p = mul_point(a, g)
+        if p.is_infinity:
+            return
+        jac = jac_double(SECP256K1, to_jacobian(p))
+        assert from_jacobian(SECP256K1, jac) == p.double()
+
+
+class TestTracing:
+    def test_public_add_records_event(self):
+        with trace.trace() as t:
+            G + G
+        assert t["ec.add"] == 1
+
+    def test_internal_jacobian_silent(self):
+        with trace.trace() as t:
+            jac_add(C, to_jacobian(G), to_jacobian(pt(3)))
+            jac_double(C, to_jacobian(G))
+        assert t["ec.add"] == 0

@@ -1,0 +1,57 @@
+"""Tests for ECDH: symmetry, SKD vs DKD semantics, degenerate inputs."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ec import SECP192R1, Point, mul_base
+from repro.ecdsa import (
+    ephemeral_shared_secret,
+    shared_point,
+    shared_secret_bytes,
+    static_shared_secret,
+)
+from repro.errors import CryptoError
+
+C = SECP192R1
+
+
+class TestSymmetry:
+    @given(st.integers(1, C.n - 1), st.integers(1, C.n - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_dh_symmetry(self, a, b):
+        pub_a, pub_b = mul_base(a, C), mul_base(b, C)
+        assert static_shared_secret(a, pub_b) == static_shared_secret(b, pub_a)
+
+    def test_ephemeral_equals_static_math(self):
+        # Same computation, different *inputs* - the point of the paper.
+        a, b = 1234, 5678
+        assert ephemeral_shared_secret(a, mul_base(b, C)) == static_shared_secret(
+            a, mul_base(b, C)
+        )
+
+
+class TestOutputs:
+    def test_secret_is_x_coordinate(self):
+        a, b = 7, 11
+        point = shared_point(a, mul_base(b, C))
+        expected = point.x.to_bytes(C.field_bytes, "big")
+        assert shared_secret_bytes(a, mul_base(b, C)) == expected
+
+    def test_secret_length(self):
+        assert len(static_shared_secret(3, mul_base(9, C))) == C.field_bytes
+
+
+class TestErrors:
+    def test_infinity_peer_rejected(self):
+        with pytest.raises(CryptoError):
+            shared_point(5, Point.infinity(C))
+
+    def test_zero_scalar_rejected(self):
+        with pytest.raises(CryptoError):
+            shared_point(0, mul_base(3, C))
+
+    def test_order_scalar_rejected(self):
+        with pytest.raises(CryptoError):
+            shared_point(C.n, mul_base(3, C))

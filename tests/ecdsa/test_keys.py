@@ -1,0 +1,64 @@
+"""Tests for key pairs and DRBG-driven key generation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ec import SECP256R1, decode_point, mul_base
+from repro.ecdsa import KeyPair, generate_keypair, keypair_from_private
+from repro.errors import CryptoError
+from repro.primitives import HmacDrbg
+
+
+class TestKeyPair:
+    def test_from_private(self):
+        kp = keypair_from_private(SECP256R1, 12345)
+        assert kp.public == mul_base(12345, SECP256R1)
+
+    def test_mismatched_public_rejected(self):
+        with pytest.raises(CryptoError):
+            KeyPair(SECP256R1, 5, mul_base(6, SECP256R1))
+
+    @pytest.mark.parametrize("bad", [0, -1])
+    def test_out_of_range_private_rejected(self, bad):
+        with pytest.raises(CryptoError):
+            keypair_from_private(SECP256R1, bad)
+
+    def test_order_private_rejected(self):
+        with pytest.raises(CryptoError):
+            keypair_from_private(SECP256R1, SECP256R1.n)
+
+    def test_public_bytes(self):
+        kp = keypair_from_private(SECP256R1, 7)
+        assert len(kp.public_bytes(compressed=True)) == 33
+        assert len(kp.public_bytes(compressed=False)) == 65
+        assert decode_point(SECP256R1, kp.public_bytes()) == kp.public
+
+    def test_private_bytes(self):
+        kp = keypair_from_private(SECP256R1, 7)
+        raw = kp.private_bytes()
+        assert len(raw) == 32
+        assert int.from_bytes(raw, "big") == 7
+
+    def test_repr_hides_private(self):
+        kp = keypair_from_private(SECP256R1, 987654321)
+        assert "987654321" not in repr(kp)
+
+
+class TestGeneration:
+    def test_deterministic_generation(self):
+        a = generate_keypair(SECP256R1, HmacDrbg(b"seed"))
+        b = generate_keypair(SECP256R1, HmacDrbg(b"seed"))
+        assert a.private == b.private
+
+    def test_distinct_draws(self):
+        rng = HmacDrbg(b"seed")
+        a = generate_keypair(SECP256R1, rng)
+        b = generate_keypair(SECP256R1, rng)
+        assert a.private != b.private
+
+    def test_valid_range(self):
+        rng = HmacDrbg(b"range")
+        for _ in range(5):
+            kp = generate_keypair(SECP256R1, rng)
+            assert 1 <= kp.private < SECP256R1.n

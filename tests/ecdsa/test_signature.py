@@ -1,0 +1,142 @@
+"""Tests for ECDSA: RFC 6979 signature vectors, verification, negatives."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import trace
+from repro.ec import SECP192R1, SECP256R1, mul_base
+from repro.ecdsa import Signature, keypair_from_private, sign, verify, verify_strict
+from repro.errors import SignatureError
+
+# RFC 6979 A.2.5 (P-256).
+X = 0xC9AFA9D845BA75166B5C215767B1D6934E50C3DB36E89B127B8A622B120F6721
+Q_PUB = keypair_from_private(SECP256R1, X).public
+
+RFC6979_P256_SHA256 = [
+    (
+        b"sample",
+        0xEFD48B2AACB6A8FD1140DD9CD45E81D69D2C877B56AAF991C34D0EA84EAF3716,
+        0xF7CB1C942D657C41D436C7A1B6E29F65F3E900DBB9AFF4064DC4AB2F843ACDA8,
+    ),
+    (
+        b"test",
+        0xF1ABB023518351CD71D881567B1EA663ED3EFCF6C5132B354F28D3B0B7D38367,
+        0x019F4113742A2B14BD25926B49C649155F267E60D3814B4C0CC84250E46F0083,
+    ),
+]
+
+
+class TestRfc6979Vectors:
+    @pytest.mark.parametrize("message,r,s", RFC6979_P256_SHA256)
+    def test_deterministic_signature(self, message, r, s):
+        sig = sign(SECP256R1, X, message)
+        assert (sig.r, sig.s) == (r, s)
+
+    @pytest.mark.parametrize("message,r,s", RFC6979_P256_SHA256)
+    def test_vector_verifies(self, message, r, s):
+        assert verify(Q_PUB, message, Signature(SECP256R1, r, s))
+
+    def test_sha512_vector(self):
+        sig = sign(SECP256R1, X, b"sample", hash_name="sha512")
+        assert sig.r == 0x8496A60B5E9B47C825488827E0495B0E3FA109EC4568FD3F8D1097678EB97F00
+        assert sig.s == 0x2362AB1ADBE2B8ADF9CB9EDAB740EA6049C028114F2460F96554F61FAE3302FE
+
+
+class TestSignVerify:
+    @given(st.integers(1, SECP192R1.n - 1), st.binary(max_size=64))
+    @settings(max_examples=20, deadline=None)
+    def test_roundtrip(self, private, message):
+        sig = sign(SECP192R1, private, message)
+        public = mul_base(private, SECP192R1)
+        assert verify(public, message, sig)
+
+    def test_wrong_message_rejected(self):
+        sig = sign(SECP256R1, X, b"original")
+        assert not verify(Q_PUB, b"tampered", sig)
+
+    def test_wrong_key_rejected(self):
+        sig = sign(SECP256R1, X, b"message")
+        other = mul_base(X + 1, SECP256R1)
+        assert not verify(other, b"message", sig)
+
+    def test_tampered_r_rejected(self):
+        sig = sign(SECP256R1, X, b"message")
+        bad = Signature(SECP256R1, (sig.r + 1) % SECP256R1.n or 1, sig.s)
+        assert not verify(Q_PUB, b"message", bad)
+
+    def test_tampered_s_rejected(self):
+        sig = sign(SECP256R1, X, b"message")
+        bad = Signature(SECP256R1, sig.r, (sig.s + 1) % SECP256R1.n or 1)
+        assert not verify(Q_PUB, b"message", bad)
+
+    def test_cross_curve_rejected(self):
+        sig = sign(SECP192R1, 12345, b"msg")
+        assert not verify(Q_PUB, b"msg", sig)
+
+    def test_infinity_key_rejected(self):
+        from repro.ec import Point
+
+        sig = sign(SECP256R1, X, b"msg")
+        assert not verify(Point.infinity(SECP256R1), b"msg", sig)
+
+    def test_extra_entropy_changes_signature_but_still_verifies(self):
+        base = sign(SECP256R1, X, b"msg")
+        alt = sign(SECP256R1, X, b"msg", extra_entropy=b"salt")
+        assert (base.r, base.s) != (alt.r, alt.s)
+        assert verify(Q_PUB, b"msg", alt)
+
+    def test_private_key_out_of_range(self):
+        with pytest.raises(SignatureError):
+            sign(SECP256R1, 0, b"msg")
+        with pytest.raises(SignatureError):
+            sign(SECP256R1, SECP256R1.n, b"msg")
+
+    def test_unknown_hash(self):
+        with pytest.raises(SignatureError):
+            sign(SECP256R1, X, b"msg", hash_name="sha1")
+
+    def test_verify_strict_raises(self):
+        sig = sign(SECP256R1, X, b"msg")
+        verify_strict(Q_PUB, b"msg", sig)
+        with pytest.raises(SignatureError):
+            verify_strict(Q_PUB, b"other", sig)
+
+
+class TestSignatureEncoding:
+    def test_fixed_width_roundtrip(self):
+        sig = sign(SECP256R1, X, b"enc")
+        raw = sig.to_bytes()
+        assert len(raw) == 64
+        assert Signature.from_bytes(SECP256R1, raw) == sig
+
+    def test_wire_size(self):
+        assert sign(SECP256R1, X, b"x").wire_size == 64
+        assert sign(SECP192R1, 7, b"x").wire_size == 48
+
+    def test_bad_length_rejected(self):
+        with pytest.raises(SignatureError):
+            Signature.from_bytes(SECP256R1, b"\x01" * 63)
+
+    def test_out_of_range_components_rejected(self):
+        with pytest.raises(SignatureError):
+            Signature(SECP256R1, 0, 1)
+        with pytest.raises(SignatureError):
+            Signature(SECP256R1, 1, SECP256R1.n)
+
+    def test_zero_bytes_rejected(self):
+        with pytest.raises(SignatureError):
+            Signature.from_bytes(SECP256R1, b"\x00" * 64)
+
+
+class TestTracing:
+    def test_sign_and_verify_events(self):
+        with trace.trace() as t:
+            sig = sign(SECP256R1, X, b"traced")
+        assert t["ecdsa.sign"] == 1
+        assert t["ec.mul_base"] == 1
+        with trace.trace() as t:
+            verify(Q_PUB, b"traced", sig)
+        assert t["ecdsa.verify"] == 1
+        assert t["ec.mul_double"] == 1

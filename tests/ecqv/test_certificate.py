@@ -1,0 +1,179 @@
+"""Tests for ECQV certificate encoding and public-key reconstruction."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import trace
+from repro.ec import SECP192R1, SECP256R1, mul_base, mul_point
+from repro.ecqv import (
+    Certificate,
+    CertificateAuthority,
+    authority_key_identifier,
+    cert_digest_scalar,
+    issue_credential,
+    minimal_cert_size,
+    reconstruct_public_key,
+)
+from repro.errors import CertificateError
+from repro.primitives import HmacDrbg
+from repro.testbed import device_id
+
+
+def make_cert(curve=SECP256R1, **overrides):
+    defaults = dict(
+        curve=curve,
+        serial=42,
+        issuer_id=b"I" * 16,
+        subject_id=b"S" * 16,
+        valid_from=1000,
+        valid_to=2000,
+        authority_key_id=b"K" * 16,
+        reconstruction_point=mul_base(7, curve),
+    )
+    defaults.update(overrides)
+    return Certificate(**defaults)
+
+
+class TestEncoding:
+    def test_minimal_size_is_101_on_p256(self):
+        assert minimal_cert_size(SECP256R1) == 101
+        assert len(make_cert().encode()) == 101
+
+    def test_other_curve_sizes(self):
+        assert minimal_cert_size(SECP192R1) == 68 + 25
+        cert = make_cert(SECP192R1, reconstruction_point=mul_base(3, SECP192R1))
+        assert len(cert.encode()) == minimal_cert_size(SECP192R1)
+
+    def test_roundtrip(self):
+        cert = make_cert()
+        assert Certificate.decode(cert.encode()) == cert
+
+    @given(st.integers(1, SECP256R1.n - 1), st.integers(0, 2**32 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_roundtrip_random_contents(self, k, serial):
+        cert = make_cert(
+            serial=serial, reconstruction_point=mul_base(k, SECP256R1)
+        )
+        assert Certificate.decode(cert.encode()) == cert
+
+    def test_decode_rejects_short(self):
+        with pytest.raises(CertificateError):
+            Certificate.decode(b"\x01" * 10)
+
+    def test_decode_rejects_bad_version(self):
+        raw = bytearray(make_cert().encode())
+        raw[0] = 99
+        with pytest.raises(CertificateError, match="version"):
+            Certificate.decode(bytes(raw))
+
+    def test_decode_rejects_bad_profile(self):
+        raw = bytearray(make_cert().encode())
+        raw[1] = 99
+        with pytest.raises(CertificateError, match="profile"):
+            Certificate.decode(bytes(raw))
+
+    def test_decode_rejects_bad_length(self):
+        with pytest.raises(CertificateError):
+            Certificate.decode(make_cert().encode() + b"\x00")
+
+    def test_decode_rejects_corrupt_point(self):
+        raw = bytearray(make_cert().encode())
+        raw[68] = 0x07  # invalid point prefix
+        with pytest.raises(CertificateError, match="reconstruction point"):
+            Certificate.decode(bytes(raw))
+
+
+class TestValidation:
+    def test_bad_id_lengths(self):
+        with pytest.raises(CertificateError):
+            make_cert(issuer_id=b"short")
+        with pytest.raises(CertificateError):
+            make_cert(subject_id=b"s" * 17)
+        with pytest.raises(CertificateError):
+            make_cert(authority_key_id=b"")
+
+    def test_empty_validity_window(self):
+        with pytest.raises(CertificateError):
+            make_cert(valid_from=2000, valid_to=1000)
+
+    def test_serial_range(self):
+        with pytest.raises(CertificateError):
+            make_cert(serial=1 << 64)
+
+    def test_is_valid_at(self):
+        cert = make_cert()
+        assert cert.is_valid_at(1000)
+        assert cert.is_valid_at(1500)
+        assert cert.is_valid_at(2000)
+        assert not cert.is_valid_at(999)
+        assert not cert.is_valid_at(2001)
+
+    def test_wrong_curve_point(self):
+        with pytest.raises(CertificateError):
+            make_cert(reconstruction_point=mul_base(3, SECP192R1))
+
+
+class TestDigestScalar:
+    def test_in_range(self):
+        e = cert_digest_scalar(make_cert().encode(), SECP256R1)
+        assert 1 <= e < SECP256R1.n
+
+    def test_deterministic(self):
+        enc = make_cert().encode()
+        assert cert_digest_scalar(enc, SECP256R1) == cert_digest_scalar(
+            enc, SECP256R1
+        )
+
+    def test_content_sensitivity(self):
+        a = cert_digest_scalar(make_cert(serial=1).encode(), SECP256R1)
+        b = cert_digest_scalar(make_cert(serial=2).encode(), SECP256R1)
+        assert a != b
+
+
+class TestReconstruction:
+    def test_matches_equation_1(self):
+        rng = HmacDrbg(b"ca")
+        ca = CertificateAuthority(SECP256R1, device_id("ca"), rng)
+        cred = issue_credential(ca, device_id("dev"), HmacDrbg(b"dev"))
+        cert = cred.certificate
+        e = cert_digest_scalar(cert.encode(), SECP256R1)
+        manual = mul_point(e, cert.reconstruction_point) + ca.public_key
+        assert manual == reconstruct_public_key(cert, ca.public_key)
+
+    def test_cert_tampering_changes_key(self):
+        rng = HmacDrbg(b"ca2")
+        ca = CertificateAuthority(SECP256R1, device_id("ca"), rng)
+        cred = issue_credential(ca, device_id("dev"), HmacDrbg(b"dev"))
+        tampered = cred.certificate.with_subject(device_id("mallory"))
+        q_orig = reconstruct_public_key(cred.certificate, ca.public_key)
+        q_tampered = reconstruct_public_key(tampered, ca.public_key)
+        # The implicit binding: any change to cert bytes moves the key.
+        assert q_orig != q_tampered
+
+    def test_wrong_ca_curve_rejected(self):
+        cert = make_cert()
+        with pytest.raises(CertificateError):
+            reconstruct_public_key(cert, SECP192R1.generator)
+
+    def test_cost_profile(self):
+        # Reconstruction = 1 general mult + 1 standalone add (the Op2 half).
+        cert = make_cert()
+        with trace.trace() as t:
+            reconstruct_public_key(cert, mul_base(99, SECP256R1))
+        assert t["ec.mul_point"] == 1
+        assert t["ec.add"] == 1
+
+
+class TestAuthorityKeyId:
+    def test_length_and_determinism(self):
+        q = mul_base(5, SECP256R1)
+        akid = authority_key_identifier(q)
+        assert len(akid) == 16
+        assert akid == authority_key_identifier(q)
+
+    def test_distinct_keys_distinct_ids(self):
+        assert authority_key_identifier(
+            mul_base(5, SECP256R1)
+        ) != authority_key_identifier(mul_base(6, SECP256R1))

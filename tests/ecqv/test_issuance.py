@@ -1,0 +1,149 @@
+"""Tests for the ECQV issuance protocol (CA + requester sides)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ec import SECP192R1, SECP256R1, mul_base
+from repro.ecqv import (
+    CertificateAuthority,
+    CertificateRequest,
+    CertificateRequester,
+    issue_credential,
+    reconstruct_public_key,
+)
+from repro.errors import CertificateError
+from repro.primitives import HmacDrbg
+from repro.testbed import device_id
+
+
+@pytest.fixture()
+def ca():
+    return CertificateAuthority(
+        SECP256R1, device_id("test-ca"), HmacDrbg(b"ca-seed"), clock=lambda: 5000
+    )
+
+
+class TestIssuance:
+    def test_key_consistency(self, ca):
+        cred = issue_credential(ca, device_id("alice"), HmacDrbg(b"alice"))
+        assert mul_base(cred.private_key, SECP256R1) == cred.public_key
+        assert reconstruct_public_key(
+            cred.certificate, ca.public_key
+        ) == cred.public_key
+
+    def test_third_party_reconstruction(self, ca):
+        # A verifier with only cert + CA key derives the same public key.
+        cred = issue_credential(ca, device_id("bob"), HmacDrbg(b"bob"))
+        raw = cred.certificate.encode()
+        from repro.ecqv import Certificate
+
+        assert (
+            reconstruct_public_key(Certificate.decode(raw), ca.public_key)
+            == cred.public_key
+        )
+
+    def test_serials_increment(self, ca):
+        c1 = issue_credential(ca, device_id("d1"), HmacDrbg(b"d1"))
+        c2 = issue_credential(ca, device_id("d2"), HmacDrbg(b"d2"))
+        assert c2.certificate.serial == c1.certificate.serial + 1
+        assert set(ca.issued) == {c1.certificate.serial, c2.certificate.serial}
+
+    def test_distinct_devices_distinct_keys(self, ca):
+        c1 = issue_credential(ca, device_id("d1"), HmacDrbg(b"d1"))
+        c2 = issue_credential(ca, device_id("d2"), HmacDrbg(b"d2"))
+        assert c1.private_key != c2.private_key
+        assert c1.public_key != c2.public_key
+
+    def test_same_device_reissue_rotates_keys(self, ca):
+        rng = HmacDrbg(b"same-device")
+        c1 = issue_credential(ca, device_id("dev"), rng)
+        c2 = issue_credential(ca, device_id("dev"), rng)
+        assert c1.private_key != c2.private_key
+
+    def test_validity_window(self, ca):
+        cred = issue_credential(
+            ca, device_id("dev"), HmacDrbg(b"dev"), validity_seconds=3600
+        )
+        cert = cred.certificate
+        assert cert.valid_from == 5000
+        assert cert.valid_to == 5000 + 3600
+
+    def test_metadata(self, ca):
+        cred = issue_credential(ca, device_id("meta"), HmacDrbg(b"meta"))
+        cert = cred.certificate
+        assert cert.issuer_id == device_id("test-ca")
+        assert cert.subject_id == device_id("meta")
+        assert cert.authority_key_id == ca.authority_key_id
+
+    @given(st.binary(min_size=1, max_size=16))
+    @settings(max_examples=15, deadline=None)
+    def test_issuance_always_consistent(self, seed):
+        # Property: key confirmation holds for arbitrary DRBG streams.
+        ca = CertificateAuthority(SECP192R1, device_id("pca"), HmacDrbg(seed))
+        cred = issue_credential(ca, device_id("pdev"), HmacDrbg(seed + b"x"))
+        assert mul_base(cred.private_key, SECP192R1) == cred.public_key
+
+
+class TestRequesterErrors:
+    def test_response_before_request(self, ca):
+        requester = CertificateRequester(
+            SECP256R1, device_id("dev"), HmacDrbg(b"dev")
+        )
+        request = CertificateRequest(device_id("dev"), mul_base(3, SECP256R1))
+        issued = ca.issue(request)
+        with pytest.raises(CertificateError, match="before create_request"):
+            requester.process_response(issued, ca.public_key)
+
+    def test_subject_mismatch(self, ca):
+        requester = CertificateRequester(
+            SECP256R1, device_id("dev"), HmacDrbg(b"dev")
+        )
+        requester.create_request()
+        other = CertificateRequest(device_id("other"), mul_base(3, SECP256R1))
+        issued = ca.issue(other)
+        with pytest.raises(CertificateError, match="subject"):
+            requester.process_response(issued, ca.public_key)
+
+    def test_corrupted_reconstruction_data_caught(self, ca):
+        # Key confirmation must reject a flipped private reconstruction r.
+        requester = CertificateRequester(
+            SECP256R1, device_id("dev"), HmacDrbg(b"dev")
+        )
+        request = requester.create_request()
+        issued = ca.issue(request)
+        from repro.ecqv import IssuedCertificate
+
+        corrupted = IssuedCertificate(
+            certificate=issued.certificate,
+            private_reconstruction=(issued.private_reconstruction + 1)
+            % SECP256R1.n,
+        )
+        with pytest.raises(CertificateError, match="confirmation"):
+            requester.process_response(corrupted, ca.public_key)
+
+    def test_wrong_ca_key_caught(self, ca):
+        requester = CertificateRequester(
+            SECP256R1, device_id("dev"), HmacDrbg(b"dev")
+        )
+        request = requester.create_request()
+        issued = ca.issue(request)
+        with pytest.raises(CertificateError, match="confirmation"):
+            requester.process_response(issued, mul_base(99, SECP256R1))
+
+
+class TestCaErrors:
+    def test_bad_ca_id(self):
+        with pytest.raises(CertificateError):
+            CertificateAuthority(SECP256R1, b"short", HmacDrbg(b"x"))
+
+    def test_wrong_curve_request(self, ca):
+        request = CertificateRequest(device_id("dev"), mul_base(3, SECP192R1))
+        with pytest.raises(CertificateError, match="curve"):
+            ca.issue(request)
+
+    def test_nonpositive_validity(self, ca):
+        request = CertificateRequest(device_id("dev"), mul_base(3, SECP256R1))
+        with pytest.raises(CertificateError):
+            ca.issue(request, validity_seconds=0)

@@ -1,0 +1,78 @@
+"""Tests for the derived energy and capability-sweep experiments."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import run_energy, run_sweep
+from repro.experiments.sweep import BUDGETS_MS
+from repro.protocols import TABLE_ORDER
+
+
+class TestEnergy:
+    @pytest.fixture(scope="class")
+    def energy(self):
+        return run_energy()
+
+    def test_all_combinations_present(self, energy):
+        assert len(energy.estimates) == len(TABLE_ORDER) * 4
+
+    def test_ordering_matches_time(self, energy):
+        assert energy.orderings_match_time()
+
+    def test_sts_premium_positive_everywhere(self, energy):
+        for device in ("atmega2560", "s32k144", "stm32f767", "rpi4"):
+            assert energy.sts_premium_mj(device) > 0
+
+    def test_schedules_do_not_change_energy(self, energy):
+        # Opt. I/II reduce latency, not work.
+        for device in ("s32k144", "stm32f767"):
+            assert energy.total_mj("sts", device) == pytest.approx(
+                energy.total_mj("sts-opt2", device)
+            )
+
+    def test_high_end_device_uses_less_energy_despite_more_power(self, energy):
+        # The RPi4 draws ~25x the ATmega's power but finishes ~2000x
+        # faster, so per-session energy is far lower.
+        assert energy.total_mj("sts", "rpi4") < energy.total_mj(
+            "sts", "atmega2560"
+        ) / 10
+
+    def test_render(self, energy):
+        text = energy.render()
+        assert "mJ" in text and "premium" in text
+
+
+class TestSweep:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        return run_sweep()
+
+    def test_relative_premium_structural(self, sweep):
+        assert sweep.ratio_is_structural()
+        for point in sweep.points:
+            assert 0.20 < point.premium_ratio < 0.28
+
+    def test_absolute_premium_scales_linearly(self, sweep):
+        by_cost = {p.scalar_mult_ms: p.premium_ms for p in sweep.points}
+        assert by_cost[1000.0] / by_cost[100.0] == pytest.approx(10.0, rel=0.01)
+
+    def test_crossovers_monotone(self, sweep):
+        fast = sweep.crossover_ms(BUDGETS_MS["startup-100ms"])
+        slow = sweep.crossover_ms(BUDGETS_MS["diagnostic-1s"])
+        assert fast is not None and slow is not None
+        assert fast < slow
+
+    def test_opt2_always_beats_s_ecdsa(self, sweep):
+        for point in sweep.points:
+            assert point.sts_opt2_ms < point.s_ecdsa_ms
+
+    def test_render(self, sweep):
+        text = sweep.render()
+        assert "premium" in text and "budget" in text
+
+    def test_cli_includes_new_experiments(self, capsys):
+        from repro.experiments.__main__ import main
+
+        assert main(["sweep"]) == 0
+        assert "capability sweep" in capsys.readouterr().out

@@ -1,0 +1,126 @@
+"""End-to-end tests of every experiment runner against the paper's claims."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import (
+    run_fig3,
+    run_fig4,
+    run_fig7,
+    run_fig8,
+    run_table1,
+    run_table2,
+    run_table3,
+)
+
+
+@pytest.fixture(scope="module")
+def table1():
+    return run_table1()
+
+
+class TestTable1:
+    def test_all_cells_within_tolerance(self, table1):
+        # One fitted parameter per device: every cell (including the
+        # schedule-derived opt. rows) within 15 %, the directly-fitted
+        # rows within 7 %.
+        assert table1.max_abs_delta() < 0.15
+        for protocol in ("s-ecdsa", "sts", "scianc", "poramb"):
+            for device in ("atmega2560", "s32k144", "stm32f767", "rpi4"):
+                assert abs(table1.cell(protocol, device).delta) < 0.07
+
+    def test_headline_sts_overhead(self, table1):
+        # ~20 % claim (Table I shows ~25 % on the boards, 21.67 % in the
+        # prototype; our model lands in between).
+        assert 0.15 < table1.sts_overhead_vs_s_ecdsa() < 0.30
+
+    def test_orderings_hold(self, table1):
+        assert table1.orderings_hold()
+
+    def test_render(self, table1):
+        text = table1.render()
+        assert "ATMega2560" in text
+        assert "sts-opt2" in text
+
+
+class TestFig3:
+    def test_shape(self):
+        result = run_fig3()
+        assert result.ordering_holds()
+        assert result.device_label == "STM32F767"
+
+    def test_op2_roughly_double_op1(self):
+        # Op2 = reconstruction + premaster ≈ 2 multiplications.
+        result = run_fig3()
+        ratio = result.mean_ms("op2") / result.mean_ms("op1")
+        assert 1.8 < ratio < 2.2
+
+    def test_render(self):
+        assert "Op1" in run_fig3().render()
+
+
+class TestFig4:
+    def test_orderings(self, table1):
+        result = run_fig4(table1=table1)
+        assert result.orderings_agree()
+        assert result.ordering()[0] == "scianc"
+        assert result.ordering()[-1] == "sts"
+
+    def test_render(self, table1):
+        text = run_fig4(table1=table1).render()
+        assert "paper" in text
+
+
+class TestTable2:
+    def test_matches(self):
+        result = run_table2()
+        assert result.all_match_paper()
+
+
+class TestFig7:
+    @pytest.fixture(scope="class")
+    def fig7(self):
+        return run_fig7()
+
+    def test_overhead_close_to_paper(self, fig7):
+        assert 15.0 < fig7.overhead_percent < 30.0  # paper: 21.67 %
+
+    def test_totals_in_seconds_range(self, fig7):
+        # Paper: 3.257 s vs 2.677 s on the S32K144 pair.
+        assert 2.5 < fig7.sts_total_s < 4.0
+        assert 2.2 < fig7.s_ecdsa_total_s < 3.3
+        assert fig7.sts_total_s > fig7.s_ecdsa_total_s
+
+    def test_transfer_negligible(self, fig7):
+        assert fig7.max_transfer_ms < 2.0
+
+    def test_render(self, fig7):
+        text = fig7.render()
+        assert "BMS" in text and "EVCC" in text
+        assert "paper" in text
+
+
+class TestTable3AndFig8:
+    def test_security_matrix(self):
+        assert run_table3().matches_paper()
+
+    def test_threat_model(self):
+        result = run_fig8()
+        assert result.fully_covered
+        assert result.coverage["T1"] == ["C1"]
+        assert "Fig. 8" in result.render()
+
+
+class TestCli:
+    def test_main_subset(self, capsys):
+        from repro.experiments.__main__ import main
+
+        assert main(["fig8"]) == 0
+        out = capsys.readouterr().out
+        assert "Experiment fig8" in out
+
+    def test_main_unknown(self, capsys):
+        from repro.experiments.__main__ import main
+
+        assert main(["nope"]) == 2

@@ -1,0 +1,99 @@
+"""Tests for the security-module/accelerator study (paper future work)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import HardwareModelError
+from repro.hardware import (
+    ACCELERATORS,
+    Accelerator,
+    ECC_ACCEL,
+    FULL_HSM,
+    NO_ACCELERATOR,
+    SHE_AES,
+    STM32F767,
+    accelerate,
+    accelerator_study,
+    pair_time_ms,
+    render_accelerator_study,
+)
+
+
+class TestAccelerate:
+    def test_none_is_identity(self, transcripts):
+        model = accelerate(STM32F767, NO_ACCELERATOR)
+        assert pair_time_ms(transcripts["sts"], model) == pytest.approx(
+            pair_time_ms(transcripts["sts"], STM32F767)
+        )
+
+    def test_ecc_accel_speeds_up_ec_protocols(self, transcripts):
+        model = accelerate(STM32F767, ECC_ACCEL)
+        base = pair_time_ms(transcripts["sts"], STM32F767)
+        fast = pair_time_ms(transcripts["sts"], model)
+        assert fast < base / 8  # ~10x minus call overheads
+
+    def test_she_barely_moves_ec_protocols(self, transcripts):
+        model = accelerate(STM32F767, SHE_AES)
+        base = pair_time_ms(transcripts["sts"], STM32F767)
+        she = pair_time_ms(transcripts["sts"], model)
+        assert abs(she / base - 1) < 0.01  # AES is negligible in STS
+
+    def test_aes_price_actually_reduced(self):
+        model = accelerate(STM32F767, SHE_AES)
+        assert model.cost.price_of("aes.block") == pytest.approx(
+            STM32F767.cost.price_of("aes.block") / 20.0
+        )
+
+    def test_full_hsm_reduces_everything(self):
+        model = accelerate(STM32F767, FULL_HSM)
+        base_mul = STM32F767.cost.price_of("ec.mul_point")
+        # ~10x plus the fixed call overhead.
+        assert model.cost.price_of("ec.mul_point") == pytest.approx(
+            base_mul / 10.0 + 0.05
+        )
+        assert model.cost.price_of("sha2.block") == pytest.approx(
+            STM32F767.cost.price_of("sha2.block") / 10.0
+        )
+
+    def test_name_suffix(self):
+        assert accelerate(STM32F767, FULL_HSM).name == "stm32f767+full-hsm"
+
+    def test_invalid_speedup_rejected(self):
+        with pytest.raises(HardwareModelError):
+            Accelerator(name="bad", description="", ec_speedup=0.5)
+        with pytest.raises(HardwareModelError):
+            Accelerator(name="bad", description="", fixed_call_overhead_ms=-1)
+
+
+class TestStudy:
+    @pytest.fixture(scope="class")
+    def study(self):
+        return accelerator_study(STM32F767)
+
+    def test_all_presets_present(self, study):
+        assert set(study) == set(ACCELERATORS)
+
+    def test_relative_overhead_stable(self, study):
+        # The headline finding: crypto offload shrinks the *absolute* STS
+        # cost by ~10x but the ~20-25 % relative overhead persists -
+        # forward secrecy's price is structural, not an artifact of slow
+        # software EC.
+        for row in study.values():
+            ratio = row["sts"] / row["s-ecdsa"]
+            assert 1.15 < ratio < 1.30
+
+    def test_ordering_preserved_under_acceleration(self, study):
+        for row in study.values():
+            assert row["scianc"] < row["poramb"] < row["s-ecdsa"] < row["sts"]
+            assert row["sts-opt2"] < row["s-ecdsa"]
+
+    def test_absolute_gap_shrinks(self, study):
+        gap_sw = study["none"]["sts"] - study["none"]["s-ecdsa"]
+        gap_hsm = study["full-hsm"]["sts"] - study["full-hsm"]["s-ecdsa"]
+        assert gap_hsm < gap_sw / 8
+
+    def test_render(self, study):
+        text = render_accelerator_study(study, "STM32F767")
+        assert "full-hsm" in text
+        assert "STS/S-ECDSA" in text

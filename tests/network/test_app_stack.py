@@ -1,0 +1,77 @@
+"""Tests for the application layer and the composed network stack."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.network import (
+    AppMessage,
+    COMM_APP_DATA,
+    COMM_KEY_DERIVATION,
+    NetworkStack,
+    data_message,
+    decode_kd_payload,
+    kd_message,
+)
+
+
+class TestAppMessage:
+    def test_roundtrip(self):
+        msg = kd_message(7, "B1", b"payload-bytes")
+        decoded = AppMessage.decode(msg.encode())
+        assert decoded == msg
+        assert decoded.label == "B1"
+        assert decoded.session_id == 7
+
+    def test_header_size(self):
+        msg = kd_message(1, "A1", b"")
+        assert len(msg.encode()) == 4
+
+    def test_data_message(self):
+        msg = data_message(3, b"record")
+        assert msg.comm_code == COMM_APP_DATA
+        assert msg.label == "DATA"
+
+    def test_unknown_label_rejected(self):
+        with pytest.raises(NetworkError):
+            kd_message(1, "Z9", b"")
+
+    def test_invalid_fields_rejected(self):
+        with pytest.raises(NetworkError):
+            AppMessage(0x99, 1, 1, b"")
+        with pytest.raises(NetworkError):
+            AppMessage(COMM_KEY_DERIVATION, 1 << 16, 1, b"")
+
+    def test_decode_short_rejected(self):
+        with pytest.raises(NetworkError):
+            AppMessage.decode(b"\x10\x00")
+
+    def test_unknown_op_label_formatting(self):
+        msg = AppMessage(COMM_KEY_DERIVATION, 1, 0x99, b"")
+        assert msg.label == "op0x99"
+
+
+class TestNetworkStack:
+    def test_loopback(self):
+        stack = NetworkStack()
+        payload = kd_message(2, "B1", b"p" * 245).encode()
+        assert stack.loopback(payload) == payload
+
+    def test_kd_transfer_timing(self):
+        stack = NetworkStack()
+        timing = stack.kd_transfer(1, "B1", b"x" * 245)
+        assert timing.total_ms < 3.0
+        assert stack.bus.frames_sent == timing.n_frames + timing.n_flow_controls
+
+    def test_frames_for_kd(self):
+        stack = NetworkStack()
+        frames = stack.frames_for_kd(1, "A1", b"x" * 80)
+        assert len(frames) == 2  # 84 bytes with header -> FF + CF
+
+    def test_decode_kd_payload(self):
+        stack = NetworkStack()
+        raw = stack.loopback(kd_message(9, "A2", b"cert||resp").encode())
+        decoded = decode_kd_payload(raw)
+        assert decoded.session_id == 9
+        assert decoded.data == b"cert||resp"

@@ -1,0 +1,127 @@
+"""Tests for the CAN-FD frame and bit-time model."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import FrameError
+from repro.network import (
+    CANFD_DATA_LENGTHS,
+    CanFdBus,
+    CanFdBusConfig,
+    CanFdFrame,
+    dlc_for_length,
+    make_frame,
+    padded_length,
+)
+
+
+class TestDlc:
+    def test_valid_lengths(self):
+        assert CANFD_DATA_LENGTHS == (0, 1, 2, 3, 4, 5, 6, 7, 8, 12, 16, 20, 24, 32, 48, 64)
+
+    @given(st.integers(0, 64))
+    def test_padded_length_covers(self, n):
+        padded = padded_length(n)
+        assert padded >= n
+        assert padded in CANFD_DATA_LENGTHS
+
+    def test_padded_length_exact_for_valid(self):
+        for n in CANFD_DATA_LENGTHS:
+            assert padded_length(n) == n
+
+    def test_out_of_range(self):
+        with pytest.raises(FrameError):
+            padded_length(65)
+        with pytest.raises(FrameError):
+            padded_length(-1)
+
+    def test_dlc_codes(self):
+        assert dlc_for_length(0) == 0
+        assert dlc_for_length(8) == 8
+        assert dlc_for_length(64) == 15
+        with pytest.raises(FrameError):
+            dlc_for_length(9)
+
+
+class TestFrames:
+    def test_make_frame_pads(self):
+        frame = make_frame(0x18, b"x" * 10)
+        assert len(frame.data) == 12
+        assert frame.data == b"x" * 10 + b"\x00\x00"
+
+    def test_id_range(self):
+        make_frame(0x7FF, b"")
+        with pytest.raises(FrameError):
+            CanFdFrame(0x800, b"")
+        make_frame(0x1FFFFFFF, b"", extended_id=True)
+        with pytest.raises(FrameError):
+            CanFdFrame(0x2000_0000, b"", extended_id=True)
+
+    def test_unpadded_data_rejected(self):
+        with pytest.raises(FrameError, match="pad"):
+            CanFdFrame(1, b"x" * 9)
+
+    def test_dlc_property(self):
+        assert make_frame(1, b"x" * 64).dlc == 15
+
+
+class TestBitTime:
+    def test_paper_configuration_defaults(self):
+        config = CanFdBusConfig()
+        assert config.nominal_bitrate == 500_000
+        assert config.data_bitrate == 2_000_000
+
+    def test_frame_time_under_1ms_for_64_bytes(self):
+        # The paper's observation: physical transfer is negligible.
+        bus = CanFdBus()
+        frame = make_frame(0x18, b"x" * 64)
+        assert bus.frame_time_ms(frame) < 1.0
+
+    def test_longer_payload_takes_longer(self):
+        bus = CanFdBus()
+        times = [
+            bus.frame_time_ms(make_frame(1, b"x" * n))
+            for n in (0, 8, 16, 32, 64)
+        ]
+        assert times == sorted(times)
+        assert times[0] > 0
+
+    def test_brs_speeds_up_data_phase(self):
+        bus = CanFdBus()
+        fast = CanFdFrame(1, b"x" * 64, bit_rate_switch=True)
+        slow = CanFdFrame(1, b"x" * 64, bit_rate_switch=False)
+        assert bus.frame_time_ms(fast) < bus.frame_time_ms(slow)
+
+    def test_extended_id_costs_more(self):
+        bus = CanFdBus()
+        base = make_frame(1, b"x" * 8)
+        ext = make_frame(1, b"x" * 8, extended_id=True)
+        assert bus.frame_time_ms(ext) > bus.frame_time_ms(base)
+
+    def test_faster_bitrate_shortens(self):
+        slow = CanFdBus(CanFdBusConfig(nominal_bitrate=125_000, data_bitrate=500_000))
+        fast = CanFdBus()
+        frame = make_frame(1, b"x" * 32)
+        assert fast.frame_time_ms(frame) < slow.frame_time_ms(frame)
+
+    def test_stuffing_increases_time(self):
+        none = CanFdBus(CanFdBusConfig(stuff_ratio=0.0))
+        worst = CanFdBus(CanFdBusConfig(stuff_ratio=0.2))
+        frame = make_frame(1, b"x" * 32)
+        assert worst.frame_time_ms(frame) > none.frame_time_ms(frame)
+
+    def test_config_validation(self):
+        with pytest.raises(FrameError):
+            CanFdBusConfig(nominal_bitrate=0)
+        with pytest.raises(FrameError):
+            CanFdBusConfig(stuff_ratio=0.5)
+
+    def test_transmit_accounting(self):
+        bus = CanFdBus()
+        frame = make_frame(1, b"x" * 16)
+        duration = bus.transmit(frame)
+        assert bus.frames_sent == 1
+        assert bus.bytes_sent == 16
+        assert bus.busy_ms == pytest.approx(duration)

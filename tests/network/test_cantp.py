@@ -1,0 +1,172 @@
+"""Tests for ISO-TP segmentation, reassembly, flow control and timing."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import SegmentationError
+from repro.network import (
+    CanFdBus,
+    IsoTpChannel,
+    Reassembler,
+    TpFrameType,
+    flow_control_frame,
+    segment_message,
+)
+
+
+def roundtrip(data: bytes) -> bytes:
+    reassembler = Reassembler()
+    out = None
+    for frame in segment_message(data):
+        out = reassembler.accept(frame)
+    assert out is not None
+    return out
+
+
+class TestSegmentation:
+    def test_classic_single_frame(self):
+        frames = segment_message(b"short")
+        assert len(frames) == 1
+        assert frames[0].frame_type == TpFrameType.SINGLE
+        assert frames[0].payload[0] == 5
+
+    def test_escape_single_frame(self):
+        frames = segment_message(b"x" * 40)
+        assert len(frames) == 1
+        assert frames[0].payload[:2] == bytes([0x00, 40])
+
+    def test_single_frame_boundary(self):
+        assert len(segment_message(b"x" * 62)) == 1
+        assert len(segment_message(b"x" * 63)) > 1
+
+    def test_multi_frame_structure(self):
+        frames = segment_message(b"x" * 245)  # STS B1 size + header
+        assert frames[0].frame_type == TpFrameType.FIRST
+        assert all(
+            f.frame_type == TpFrameType.CONSECUTIVE for f in frames[1:]
+        )
+        # FF carries 62, CFs 63 each: 62 + 3*63 = 251 >= 245.
+        assert len(frames) == 4
+
+    def test_first_frame_length_encoding(self):
+        frames = segment_message(b"x" * 300)
+        pci = frames[0].payload
+        assert ((pci[0] & 0xF) << 8) | pci[1] == 300
+
+    def test_sequence_numbers_roll(self):
+        frames = segment_message(b"x" * 1200)
+        sequences = [f.payload[0] & 0xF for f in frames[1:]]
+        assert sequences[:16] == list(range(1, 16)) + [0]
+
+    def test_empty_message_rejected(self):
+        with pytest.raises(SegmentationError):
+            segment_message(b"")
+
+    def test_oversized_rejected(self):
+        with pytest.raises(SegmentationError):
+            segment_message(b"x" * 4096)
+
+    def test_bad_tx_dl(self):
+        with pytest.raises(SegmentationError):
+            segment_message(b"x" * 100, tx_dl=7)
+
+
+class TestReassembly:
+    @given(st.binary(min_size=1, max_size=2000))
+    @settings(max_examples=40)
+    def test_roundtrip_any_size(self, data):
+        assert roundtrip(data) == data
+
+    @pytest.mark.parametrize("n", [1, 7, 8, 62, 63, 124, 125, 126, 245, 4095])
+    def test_boundary_sizes(self, n):
+        data = bytes(range(256)) * 16
+        assert roundtrip(data[:n]) == data[:n]
+
+    def test_sequence_error_detected(self):
+        frames = segment_message(b"x" * 200)
+        reassembler = Reassembler()
+        reassembler.accept(frames[0])
+        with pytest.raises(SegmentationError, match="sequence"):
+            reassembler.accept(frames[2])  # skip frames[1]
+
+    def test_cf_without_ff_rejected(self):
+        frames = segment_message(b"x" * 200)
+        with pytest.raises(SegmentationError, match="without first"):
+            Reassembler().accept(frames[1])
+
+    def test_nested_ff_rejected(self):
+        frames = segment_message(b"x" * 200)
+        reassembler = Reassembler()
+        reassembler.accept(frames[0])
+        with pytest.raises(SegmentationError, match="nested"):
+            reassembler.accept(frames[0])
+
+    def test_fc_to_reassembler_rejected(self):
+        with pytest.raises(SegmentationError):
+            Reassembler().accept(flow_control_frame())
+
+    def test_in_progress_flag(self):
+        frames = segment_message(b"x" * 200)
+        reassembler = Reassembler()
+        assert not reassembler.in_progress
+        reassembler.accept(frames[0])
+        assert reassembler.in_progress
+        for frame in frames[1:]:
+            reassembler.accept(frame)
+        assert not reassembler.in_progress
+
+
+class TestFlowControl:
+    def test_frame_encoding(self):
+        frame = flow_control_frame(0, 4, 10)
+        assert frame.payload == bytes([0x30, 4, 10])
+
+    def test_invalid_args(self):
+        with pytest.raises(SegmentationError):
+            flow_control_frame(status=7)
+        with pytest.raises(SegmentationError):
+            flow_control_frame(block_size=300)
+        with pytest.raises(SegmentationError):
+            flow_control_frame(st_min_ms=0x80)
+
+
+class TestChannelTiming:
+    def test_single_frame_no_fc(self):
+        channel = IsoTpChannel(bus=CanFdBus())
+        timing = channel.transfer(b"x" * 40)
+        assert timing.n_frames == 1
+        assert timing.n_flow_controls == 0
+        assert timing.total_ms == pytest.approx(timing.data_ms)
+
+    def test_segmented_has_one_fc(self):
+        channel = IsoTpChannel(bus=CanFdBus())
+        timing = channel.transfer(b"x" * 245)
+        assert timing.n_frames == 4
+        assert timing.n_flow_controls == 1
+        assert timing.flow_control_ms > 0
+
+    def test_block_size_adds_fcs(self):
+        channel = IsoTpChannel(bus=CanFdBus(), block_size=1)
+        timing = channel.transfer(b"x" * 245)  # FF + 3 CFs
+        assert timing.n_flow_controls == 1 + 2
+
+    def test_st_min_gaps(self):
+        quick = IsoTpChannel(bus=CanFdBus(), st_min_ms=0)
+        slow = IsoTpChannel(bus=CanFdBus(), st_min_ms=5)
+        fast_t = quick.transfer(b"x" * 245)
+        slow_t = slow.transfer(b"x" * 245)
+        assert slow_t.total_ms > fast_t.total_ms
+        assert slow_t.st_min_gap_ms == 5 * 2  # 3 CFs -> 2 gaps
+
+    def test_kd_messages_transfer_under_3ms(self):
+        # All KD protocol messages are small; with the paper's bit rates
+        # each transfers in low single-digit milliseconds at most.
+        channel = IsoTpChannel(bus=CanFdBus())
+        for size in (48, 80, 165, 213, 245, 197):
+            assert channel.transfer(b"x" * size).total_ms < 3.0
+
+    def test_roundtrip_check_helper(self):
+        channel = IsoTpChannel(bus=CanFdBus())
+        assert channel.roundtrip_check(b"y" * 500) == b"y" * 500

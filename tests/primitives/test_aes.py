@@ -1,0 +1,123 @@
+"""Tests for the from-scratch AES against FIPS 197 and derived properties."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import trace
+from repro.errors import CryptoError
+from repro.primitives import Aes
+from repro.primitives.aes import INV_SBOX, SBOX, _gf_mul
+
+FIPS_PLAINTEXT = bytes.fromhex("00112233445566778899aabbccddeeff")
+
+FIPS_CASES = [
+    ("000102030405060708090a0b0c0d0e0f", "69c4e0d86a7b0430d8cdb78070b4c55a"),
+    (
+        "000102030405060708090a0b0c0d0e0f1011121314151617",
+        "dda97ca4864cdfe06eaf70a0ec0d7191",
+    ),
+    (
+        "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f",
+        "8ea2b7ca516745bfeafc49904b496089",
+    ),
+]
+
+
+class TestFips197:
+    @pytest.mark.parametrize("key_hex,ct_hex", FIPS_CASES)
+    def test_encrypt(self, key_hex, ct_hex):
+        cipher = Aes(bytes.fromhex(key_hex))
+        assert cipher.encrypt_block(FIPS_PLAINTEXT).hex() == ct_hex
+
+    @pytest.mark.parametrize("key_hex,ct_hex", FIPS_CASES)
+    def test_decrypt(self, key_hex, ct_hex):
+        cipher = Aes(bytes.fromhex(key_hex))
+        assert cipher.decrypt_block(bytes.fromhex(ct_hex)) == FIPS_PLAINTEXT
+
+    def test_aes128_appendix_b(self):
+        cipher = Aes(bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c"))
+        ct = cipher.encrypt_block(bytes.fromhex("3243f6a8885a308d313198a2e0370734"))
+        assert ct.hex() == "3925841d02dc09fbdc118597196a0b32"
+
+
+class TestSbox:
+    def test_known_entries(self):
+        assert SBOX[0x00] == 0x63
+        assert SBOX[0x01] == 0x7C
+        assert SBOX[0x53] == 0xED
+        assert SBOX[0xFF] == 0x16
+
+    def test_is_permutation(self):
+        assert sorted(SBOX) == list(range(256))
+
+    def test_inverse_consistency(self):
+        for value in range(256):
+            assert INV_SBOX[SBOX[value]] == value
+
+    def test_no_fixed_points(self):
+        for value in range(256):
+            assert SBOX[value] != value
+            assert SBOX[value] != value ^ 0xFF
+
+
+class TestGf:
+    def test_known_products(self):
+        assert _gf_mul(0x57, 0x83) == 0xC1  # FIPS 197 example
+        assert _gf_mul(0x57, 0x13) == 0xFE
+
+    @given(st.integers(0, 255), st.integers(0, 255))
+    @settings(max_examples=60)
+    def test_commutativity(self, a, b):
+        assert _gf_mul(a, b) == _gf_mul(b, a)
+
+    @given(st.integers(0, 255))
+    def test_identity(self, a):
+        assert _gf_mul(a, 1) == a
+        assert _gf_mul(a, 0) == 0
+
+
+class TestRoundTrips:
+    @given(st.binary(min_size=16, max_size=16), st.binary(min_size=16, max_size=16))
+    @settings(max_examples=40)
+    def test_aes128_roundtrip(self, key, block):
+        cipher = Aes(key)
+        assert cipher.decrypt_block(cipher.encrypt_block(block)) == block
+
+    @given(st.binary(min_size=32, max_size=32))
+    @settings(max_examples=15)
+    def test_aes256_roundtrip(self, key):
+        cipher = Aes(key)
+        block = b"\xa5" * 16
+        assert cipher.decrypt_block(cipher.encrypt_block(block)) == block
+
+    def test_encryption_is_not_identity(self):
+        cipher = Aes(b"\x00" * 16)
+        assert cipher.encrypt_block(b"\x00" * 16) != b"\x00" * 16
+
+
+class TestInterface:
+    @pytest.mark.parametrize("bad_len", [0, 8, 15, 17, 31, 33])
+    def test_bad_key_length(self, bad_len):
+        with pytest.raises(CryptoError):
+            Aes(b"\x00" * bad_len)
+
+    def test_bad_block_length(self):
+        cipher = Aes(b"\x00" * 16)
+        with pytest.raises(CryptoError):
+            cipher.encrypt_block(b"short")
+        with pytest.raises(CryptoError):
+            cipher.decrypt_block(b"\x00" * 17)
+
+    def test_rounds(self):
+        assert Aes(b"\x00" * 16).rounds == 10
+        assert Aes(b"\x00" * 24).rounds == 12
+        assert Aes(b"\x00" * 32).rounds == 14
+
+    def test_trace_counts_blocks(self):
+        cipher = Aes(b"\x00" * 16)
+        with trace.trace() as t:
+            cipher.encrypt_block(b"\x11" * 16)
+            cipher.decrypt_block(b"\x22" * 16)
+        assert t["aes.block"] == 2

@@ -1,0 +1,85 @@
+"""Tests for AES-CMAC against the RFC 4493 vectors."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import trace
+from repro.errors import CryptoError
+from repro.primitives import cmac, cmac_verify
+
+KEY = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+MSG64 = bytes.fromhex(
+    "6bc1bee22e409f96e93d7e117393172aae2d8a571e03ac9c9eb76fac45af8e51"
+    "30c81c46a35ce411e5fbc1191a0a52eff69f2445df4f9b17ad2b417be66c3710"
+)
+
+RFC4493 = [
+    (b"", "bb1d6929e95937287fa37d129b756746"),
+    (MSG64[:16], "070a16b46b4d4144f79bdd9dd04a287c"),
+    (MSG64[:40], "dfa66747de9ae63030ca32611497c827"),
+    (MSG64, "51f0bebf7e3b9d92fc49741779363cfe"),
+]
+
+
+class TestRfc4493:
+    @pytest.mark.parametrize("message,expected", RFC4493)
+    def test_vectors(self, message, expected):
+        assert cmac(KEY, message).hex() == expected
+
+
+class TestProperties:
+    @given(st.binary(max_size=100))
+    @settings(max_examples=30)
+    def test_deterministic(self, message):
+        assert cmac(KEY, message) == cmac(KEY, message)
+
+    def test_key_separation(self):
+        other = bytes.fromhex("603deb1015ca71be2b73aef0857d7781")
+        assert cmac(KEY, b"msg") != cmac(other, b"msg")
+
+    def test_message_sensitivity(self):
+        assert cmac(KEY, b"msg0") != cmac(KEY, b"msg1")
+
+    def test_block_boundary_distinction(self):
+        # Complete vs incomplete final block use different subkeys.
+        assert cmac(KEY, b"a" * 16) != cmac(KEY, b"a" * 15 + b"\x80")
+
+    def test_truncation(self):
+        full = cmac(KEY, b"message")
+        assert cmac(KEY, b"message", tag_length=8) == full[:8]
+
+    def test_bad_tag_length(self):
+        with pytest.raises(CryptoError):
+            cmac(KEY, b"m", tag_length=0)
+        with pytest.raises(CryptoError):
+            cmac(KEY, b"m", tag_length=17)
+
+    def test_aes256_key(self):
+        tag = cmac(b"\x01" * 32, b"message")
+        assert len(tag) == 16
+
+
+class TestVerify:
+    def test_accepts_valid(self):
+        tag = cmac(KEY, b"payload")
+        assert cmac_verify(KEY, b"payload", tag)
+
+    def test_accepts_truncated(self):
+        tag = cmac(KEY, b"payload", tag_length=12)
+        assert cmac_verify(KEY, b"payload", tag)
+
+    def test_rejects_tampered(self):
+        tag = bytearray(cmac(KEY, b"payload"))
+        tag[5] ^= 1
+        assert not cmac_verify(KEY, b"payload", bytes(tag))
+
+    def test_rejects_wrong_message(self):
+        assert not cmac_verify(KEY, b"other", cmac(KEY, b"payload"))
+
+    def test_trace_event(self):
+        with trace.trace() as t:
+            cmac(KEY, b"x" * 32)
+        assert t["cmac.call"] == 1
+        assert t["aes.block"] >= 3  # subkey derivation + 2 blocks

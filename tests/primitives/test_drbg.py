@@ -1,0 +1,130 @@
+"""Tests for HMAC-DRBG and RFC 6979 deterministic nonce generation."""
+
+from __future__ import annotations
+
+import hashlib
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ec import SECP256R1
+from repro.errors import CryptoError
+from repro.primitives import HmacDrbg, rfc6979_nonce
+
+Q = SECP256R1.n
+X = 0xC9AFA9D845BA75166B5C215767B1D6934E50C3DB36E89B127B8A622B120F6721
+
+
+class TestHmacDrbg:
+    def test_determinism(self):
+        a, b = HmacDrbg(b"seed"), HmacDrbg(b"seed")
+        assert a.generate(64) == b.generate(64)
+        assert a.generate(7) == b.generate(7)
+
+    def test_personalization_separates_streams(self):
+        a = HmacDrbg(b"seed", personalization=b"alice")
+        b = HmacDrbg(b"seed", personalization=b"bob")
+        assert a.generate(32) != b.generate(32)
+
+    def test_seed_separates_streams(self):
+        assert HmacDrbg(b"s1").generate(32) != HmacDrbg(b"s2").generate(32)
+
+    def test_sequential_outputs_differ(self):
+        drbg = HmacDrbg(b"seed")
+        assert drbg.generate(32) != drbg.generate(32)
+
+    def test_generate_sizes(self):
+        drbg = HmacDrbg(b"seed")
+        for n in (0, 1, 31, 32, 33, 100):
+            assert len(drbg.generate(n)) == n
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(CryptoError):
+            HmacDrbg(b"seed").generate(-1)
+
+    def test_empty_seed_rejected(self):
+        with pytest.raises(CryptoError):
+            HmacDrbg(b"")
+
+    def test_unknown_hash_rejected(self):
+        with pytest.raises(CryptoError):
+            HmacDrbg(b"seed", hash_name="md5")
+
+    def test_additional_input_changes_output(self):
+        a, b = HmacDrbg(b"seed"), HmacDrbg(b"seed")
+        assert a.generate(32, additional=b"x") != b.generate(32)
+
+    def test_reseed_changes_stream(self):
+        a, b = HmacDrbg(b"seed"), HmacDrbg(b"seed")
+        a.reseed(b"fresh entropy")
+        assert a.generate(32) != b.generate(32)
+
+    def test_reseed_requires_entropy(self):
+        with pytest.raises(CryptoError):
+            HmacDrbg(b"seed").reseed(b"")
+
+    def test_sha512_variant(self):
+        drbg = HmacDrbg(b"seed", hash_name="sha512")
+        assert len(drbg.generate(100)) == 100
+
+
+class TestRandomScalar:
+    @given(st.binary(min_size=1, max_size=32))
+    @settings(max_examples=30)
+    def test_in_range(self, seed):
+        drbg = HmacDrbg(seed)
+        for _ in range(3):
+            k = drbg.random_scalar(Q)
+            assert 1 <= k < Q
+
+    def test_small_orders(self):
+        drbg = HmacDrbg(b"seed")
+        for order in (3, 5, 17, 257):
+            for _ in range(10):
+                assert 1 <= drbg.random_scalar(order) < order
+
+    def test_order_too_small(self):
+        with pytest.raises(CryptoError):
+            HmacDrbg(b"seed").random_scalar(2)
+
+    def test_distribution_covers_range(self):
+        # Weak sanity check: scalars should not cluster in one half.
+        drbg = HmacDrbg(b"dist-check")
+        draws = [drbg.random_scalar(Q) for _ in range(40)]
+        low = sum(1 for d in draws if d < Q // 2)
+        assert 5 <= low <= 35
+
+
+class TestRfc6979:
+    def test_p256_sha256_sample(self):
+        h1 = hashlib.sha256(b"sample").digest()
+        k = rfc6979_nonce(X, h1, Q, "sha256")
+        assert k == 0xA6E3C57DD01ABE90086538398355DD4C3B17AA873382B0F24D6129493D8AAD60
+
+    def test_p256_sha256_test(self):
+        h1 = hashlib.sha256(b"test").digest()
+        k = rfc6979_nonce(X, h1, Q, "sha256")
+        assert k == 0xD16B6AE827F17175E040871A1C7EC3500192C4C92677336EC2537ACAEE0008E0
+
+    def test_p256_sha512_sample(self):
+        h1 = hashlib.sha512(b"sample").digest()
+        k = rfc6979_nonce(X, h1, Q, "sha512")
+        assert k == 0x5FA81C63109BADB88C1F367B47DA606DA28CAD69AA22C4FE6AD7DF73A7173AA5
+
+    def test_deterministic(self):
+        h1 = hashlib.sha256(b"msg").digest()
+        assert rfc6979_nonce(X, h1, Q) == rfc6979_nonce(X, h1, Q)
+
+    def test_extra_entropy_changes_nonce(self):
+        h1 = hashlib.sha256(b"msg").digest()
+        assert rfc6979_nonce(X, h1, Q) != rfc6979_nonce(X, h1, Q, extra_entropy=b"x")
+
+    def test_key_separation(self):
+        h1 = hashlib.sha256(b"msg").digest()
+        assert rfc6979_nonce(X, h1, Q) != rfc6979_nonce(X + 1, h1, Q)
+
+    @given(st.integers(1, Q - 1))
+    @settings(max_examples=20)
+    def test_nonce_in_range(self, private):
+        h1 = hashlib.sha256(b"range").digest()
+        assert 1 <= rfc6979_nonce(private, h1, Q) < Q

@@ -1,0 +1,106 @@
+"""Tests for HMAC against RFC 4231 vectors and the stdlib."""
+
+from __future__ import annotations
+
+import hashlib
+import hmac as py_hmac
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import CryptoError
+from repro.primitives import Hmac, hmac, hmac_verify
+
+# RFC 4231 test cases (SHA-256 and SHA-512 tags).
+RFC4231 = [
+    (
+        b"\x0b" * 20,
+        b"Hi There",
+        "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7",
+        "87aa7cdea5ef619d4ff0b4241a1d6cb02379f4e2ce4ec2787ad0b30545e17cde"
+        "daa833b7d6b8a702038b274eaea3f4e4be9d914eeb61f1702e696c203a126854",
+    ),
+    (
+        b"Jefe",
+        b"what do ya want for nothing?",
+        "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843",
+        "164b7a7bfcf819e2e395fbe73b56e0a387bd64222e831fd610270cd7ea250554"
+        "9758bf75c05a994a6d034f65f8f0e6fdcaeab1a34d4a6b4b636e070a38bce737",
+    ),
+    (
+        b"\xaa" * 20,
+        b"\xdd" * 50,
+        "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe",
+        "fa73b0089d56a284efb0f0756c890be9b1b5dbdd8ee81a3655f83e33b2279d39"
+        "bf3e848279a722c806b485a47e67c807b946a337bee8942674278859e13292fb",
+    ),
+    (
+        b"\xaa" * 131,
+        b"Test Using Larger Than Block-Size Key - Hash Key First",
+        "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54",
+        "80b24263c7c1a3ebb71493c1dd7be8b49b46d1f41b4aeec1121b013783f8f352"
+        "6b56d037e05f2598bd0fd2215d6a1e5295e64f73f63f0aec8b915a985d786598",
+    ),
+]
+
+
+class TestRfc4231:
+    @pytest.mark.parametrize("key,msg,tag256,tag512", RFC4231)
+    def test_sha256(self, key, msg, tag256, tag512):
+        assert hmac(key, msg, "sha256").hex() == tag256
+
+    @pytest.mark.parametrize("key,msg,tag256,tag512", RFC4231)
+    def test_sha512(self, key, msg, tag256, tag512):
+        assert hmac(key, msg, "sha512").hex() == tag512
+
+
+class TestAgainstStdlib:
+    @given(st.binary(max_size=200), st.binary(max_size=400))
+    @settings(max_examples=40)
+    def test_sha256_matches(self, key, msg):
+        assert hmac(key, msg) == py_hmac.new(key, msg, hashlib.sha256).digest()
+
+    @pytest.mark.parametrize("hash_name", ["sha224", "sha256", "sha384", "sha512"])
+    def test_all_variants(self, hash_name):
+        key, msg = b"key-material", b"the message"
+        expected = py_hmac.new(key, msg, getattr(hashlib, hash_name)).digest()
+        assert hmac(key, msg, hash_name) == expected
+
+    def test_exact_blocksize_key(self):
+        key = b"k" * 64
+        assert hmac(key, b"m") == py_hmac.new(key, b"m", hashlib.sha256).digest()
+
+
+class TestStreamingAndVerify:
+    def test_streaming_matches_oneshot(self):
+        mac = Hmac(b"key")
+        mac.update(b"part one ")
+        mac.update(b"part two")
+        assert mac.digest() == hmac(b"key", b"part one part two")
+
+    def test_digest_idempotent(self):
+        mac = Hmac(b"key").update(b"data")
+        assert mac.digest() == mac.digest()
+
+    def test_hexdigest(self):
+        assert Hmac(b"k").update(b"m").hexdigest() == hmac(b"k", b"m").hex()
+
+    def test_verify_accepts_valid(self):
+        tag = hmac(b"key", b"msg")
+        assert hmac_verify(b"key", b"msg", tag)
+
+    def test_verify_rejects_tampered(self):
+        tag = bytearray(hmac(b"key", b"msg"))
+        tag[0] ^= 1
+        assert not hmac_verify(b"key", b"msg", bytes(tag))
+
+    def test_verify_rejects_truncated(self):
+        assert not hmac_verify(b"key", b"msg", hmac(b"key", b"msg")[:-1])
+
+    def test_unknown_hash_rejected(self):
+        with pytest.raises(CryptoError):
+            Hmac(b"key", "sha1")
+
+    def test_digest_size_attribute(self):
+        assert Hmac(b"k").digest_size == 32
+        assert Hmac(b"k", "sha512").digest_size == 64

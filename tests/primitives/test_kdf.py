@@ -1,0 +1,107 @@
+"""Tests for HKDF (RFC 5869 vectors) and the ANSI X9.63 KDF."""
+
+from __future__ import annotations
+
+import hashlib
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import CryptoError
+from repro.primitives import hkdf, hkdf_expand, hkdf_extract, x963_kdf
+
+
+class TestHkdfRfc5869:
+    def test_case_1(self):
+        okm = hkdf(
+            ikm=bytes.fromhex("0b" * 22),
+            salt=bytes.fromhex("000102030405060708090a0b0c"),
+            info=bytes.fromhex("f0f1f2f3f4f5f6f7f8f9"),
+            length=42,
+        )
+        assert okm.hex() == (
+            "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf"
+            "34007208d5b887185865"
+        )
+
+    def test_case_2_long_inputs(self):
+        ikm = bytes(range(0x00, 0x50))
+        salt = bytes(range(0x60, 0xB0))
+        info = bytes(range(0xB0, 0x100))
+        okm = hkdf(ikm, salt, info, 82)
+        assert okm.hex() == (
+            "b11e398dc80327a1c8e7f78c596a49344f012eda2d4efad8a050cc4c19afa97c"
+            "59045a99cac7827271cb41c65e590e09da3275600c2f09b8367793a9aca3db71"
+            "cc30c58179ec3e87c14c01d5c1f3434f1d87"
+        )
+
+    def test_case_3_empty_salt_and_info(self):
+        okm = hkdf(bytes.fromhex("0b" * 22), b"", b"", 42)
+        assert okm.hex() == (
+            "8da4e775a563c18f715f802a063c5a31b8a11f5c5ee1879ec3454e5f3c738d2d"
+            "9d201395faa4b61a96c8"
+        )
+
+    def test_extract_then_expand_equals_hkdf(self):
+        prk = hkdf_extract(b"salt", b"ikm")
+        assert hkdf_expand(prk, b"info", 32) == hkdf(b"ikm", b"salt", b"info", 32)
+
+
+class TestHkdfProperties:
+    @given(st.integers(1, 255 * 32))
+    @settings(max_examples=25)
+    def test_output_length(self, n):
+        assert len(hkdf(b"ikm", b"salt", b"info", n)) == n
+
+    def test_prefix_property(self):
+        long = hkdf(b"ikm", b"s", b"i", 64)
+        short = hkdf(b"ikm", b"s", b"i", 32)
+        assert long[:32] == short
+
+    def test_salt_changes_output(self):
+        assert hkdf(b"ikm", b"salt1") != hkdf(b"ikm", b"salt2")
+
+    def test_info_changes_output(self):
+        assert hkdf(b"ikm", b"s", b"info1") != hkdf(b"ikm", b"s", b"info2")
+
+    def test_zero_length_rejected(self):
+        with pytest.raises(CryptoError):
+            hkdf(b"ikm", length=0)
+
+    def test_too_long_rejected(self):
+        with pytest.raises(CryptoError):
+            hkdf_expand(b"\x00" * 32, b"", 255 * 32 + 1)
+
+
+class TestX963:
+    def test_reference_construction(self):
+        # X9.63: block_i = Hash(Z || counter_i || SharedInfo).
+        z, info = b"shared-secret", b"context"
+        expected = (
+            hashlib.sha256(z + (1).to_bytes(4, "big") + info).digest()
+            + hashlib.sha256(z + (2).to_bytes(4, "big") + info).digest()
+        )[:48]
+        assert x963_kdf(z, info, 48) == expected
+
+    @given(st.integers(1, 200))
+    @settings(max_examples=25)
+    def test_output_length(self, n):
+        assert len(x963_kdf(b"z", b"", n)) == n
+
+    def test_prefix_property(self):
+        assert x963_kdf(b"z", b"i", 64)[:16] == x963_kdf(b"z", b"i", 16)
+
+    def test_shared_info_separates(self):
+        assert x963_kdf(b"z", b"a", 32) != x963_kdf(b"z", b"b", 32)
+
+    def test_secret_separates(self):
+        assert x963_kdf(b"z1", b"", 32) != x963_kdf(b"z2", b"", 32)
+
+    def test_zero_length_rejected(self):
+        with pytest.raises(CryptoError):
+            x963_kdf(b"z", length=0)
+
+    def test_sha512_variant(self):
+        out = x963_kdf(b"z", b"", 32, hash_name="sha512")
+        expected = hashlib.sha512(b"z" + (1).to_bytes(4, "big")).digest()[:32]
+        assert out == expected

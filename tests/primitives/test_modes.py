@@ -1,0 +1,138 @@
+"""Tests for block modes (ECB/CBC/CTR) and PKCS#7 padding."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import CryptoError
+from repro.primitives import (
+    cbc_decrypt,
+    cbc_encrypt,
+    ctr_crypt,
+    ctr_keystream,
+    ecb_decrypt,
+    ecb_encrypt,
+    pkcs7_pad,
+    pkcs7_unpad,
+)
+
+KEY = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+IV = bytes.fromhex("000102030405060708090a0b0c0d0e0f")
+# NIST SP 800-38A F.2.1 (CBC-AES128) first two blocks.
+NIST_PT = bytes.fromhex(
+    "6bc1bee22e409f96e93d7e117393172aae2d8a571e03ac9c9eb76fac45af8e51"
+)
+NIST_CBC_CT = bytes.fromhex(
+    "7649abac8119b246cee98e9b12e9197d5086cb9b507219ee95db113a917678b2"
+)
+# NIST SP 800-38A F.5.1 (CTR-AES128) first block.
+NIST_CTR_IV = bytes.fromhex("f0f1f2f3f4f5f6f7f8f9fafbfcfdfeff")
+NIST_CTR_CT = bytes.fromhex("874d6191b620e3261bef6864990db6ce")
+
+
+class TestPkcs7:
+    def test_pad_lengths(self):
+        assert pkcs7_pad(b"") == b"\x10" * 16
+        assert pkcs7_pad(b"a" * 15) == b"a" * 15 + b"\x01"
+        assert pkcs7_pad(b"a" * 16) == b"a" * 16 + b"\x10" * 16
+
+    @given(st.binary(max_size=100))
+    @settings(max_examples=40)
+    def test_roundtrip(self, data):
+        assert pkcs7_unpad(pkcs7_pad(data)) == data
+
+    def test_unpad_rejects_bad_length(self):
+        with pytest.raises(CryptoError):
+            pkcs7_unpad(b"12345")
+
+    def test_unpad_rejects_zero_byte(self):
+        with pytest.raises(CryptoError):
+            pkcs7_unpad(b"a" * 15 + b"\x00")
+
+    def test_unpad_rejects_inconsistent(self):
+        with pytest.raises(CryptoError):
+            pkcs7_unpad(b"a" * 13 + b"\x01\x02\x03")
+
+    def test_bad_block_size(self):
+        with pytest.raises(CryptoError):
+            pkcs7_pad(b"x", 0)
+
+
+class TestCbc:
+    def test_nist_vector(self):
+        assert cbc_encrypt(KEY, IV, NIST_PT, pad=False) == NIST_CBC_CT
+        assert cbc_decrypt(KEY, IV, NIST_CBC_CT, pad=False) == NIST_PT
+
+    @given(st.binary(max_size=130))
+    @settings(max_examples=30)
+    def test_padded_roundtrip(self, data):
+        assert cbc_decrypt(KEY, IV, cbc_encrypt(KEY, IV, data)) == data
+
+    def test_iv_affects_ciphertext(self):
+        other_iv = bytes(16)
+        assert cbc_encrypt(KEY, IV, b"x" * 16) != cbc_encrypt(KEY, other_iv, b"x" * 16)
+
+    def test_chaining_propagates(self):
+        # Same plaintext blocks encrypt differently under CBC.
+        ct = cbc_encrypt(KEY, IV, b"A" * 32, pad=False)
+        assert ct[:16] != ct[16:]
+
+    def test_bad_iv_length(self):
+        with pytest.raises(CryptoError):
+            cbc_encrypt(KEY, b"short", b"x" * 16)
+
+    def test_unpadded_requires_whole_blocks(self):
+        with pytest.raises(CryptoError):
+            cbc_encrypt(KEY, IV, b"x" * 15, pad=False)
+
+    def test_decrypt_empty_rejected(self):
+        with pytest.raises(CryptoError):
+            cbc_decrypt(KEY, IV, b"")
+
+    def test_tampered_padding_detected(self):
+        ct = bytearray(cbc_encrypt(KEY, IV, b"hello"))
+        ct[-1] ^= 0xFF
+        with pytest.raises(CryptoError):
+            cbc_decrypt(KEY, IV, bytes(ct))
+
+
+class TestCtr:
+    def test_nist_vector(self):
+        pt = NIST_PT[:16]
+        assert ctr_crypt(KEY, NIST_CTR_IV, pt) == NIST_CTR_CT
+
+    @given(st.binary(max_size=200))
+    @settings(max_examples=30)
+    def test_involution(self, data):
+        assert ctr_crypt(KEY, IV, ctr_crypt(KEY, IV, data)) == data
+
+    def test_keystream_length(self):
+        assert len(ctr_keystream(KEY, IV, 100)) == 100
+        assert len(ctr_keystream(KEY, IV, 0)) == 0
+
+    def test_counter_wraps(self):
+        nonce = b"\xff" * 16  # increments wrap modulo 2^128
+        stream = ctr_keystream(KEY, nonce, 32)
+        assert stream[16:] == ctr_keystream(KEY, b"\x00" * 16, 16)
+
+    def test_bad_nonce_length(self):
+        with pytest.raises(CryptoError):
+            ctr_crypt(KEY, b"short", b"data")
+
+
+class TestEcb:
+    def test_roundtrip(self):
+        data = b"B" * 48
+        assert ecb_decrypt(KEY, ecb_encrypt(KEY, data)) == data
+
+    def test_identical_blocks_leak(self):
+        # The well-known ECB weakness - also a correctness check.
+        ct = ecb_encrypt(KEY, b"A" * 32)
+        assert ct[:16] == ct[16:]
+
+    def test_partial_block_rejected(self):
+        with pytest.raises(CryptoError):
+            ecb_encrypt(KEY, b"x" * 20)
+        with pytest.raises(CryptoError):
+            ecb_decrypt(KEY, b"x" * 20)

@@ -1,0 +1,117 @@
+"""Tests for the protocol framework: messages, transcripts, driver."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.protocols import (
+    Message,
+    ROLE_A,
+    ROLE_B,
+    run_protocol,
+)
+from repro.protocols.base import Party, SessionContext
+from repro.errors import ProtocolError
+
+
+class TestMessage:
+    def test_field_access(self):
+        msg = Message("A", "A1", (("ID", b"x" * 16), ("Nonce", b"n" * 32)))
+        assert msg.field_value("ID") == b"x" * 16
+        assert msg.has_field("Nonce")
+        assert not msg.has_field("Cert")
+
+    def test_missing_field_raises(self):
+        msg = Message("A", "A1", (("ID", b"x" * 16),))
+        with pytest.raises(ProtocolError, match="no field"):
+            msg.field_value("Nope")
+
+    def test_payload_and_size(self):
+        msg = Message("A", "A1", (("a", b"123"), ("b", b"45")))
+        assert msg.payload == b"12345"
+        assert msg.size == 5
+
+    def test_summary(self):
+        msg = Message("A", "A1", (("ID", b"x" * 16), ("XG", b"y" * 64)))
+        assert msg.summary() == "A1: ID(16), XG(64)"
+
+
+class _EchoParty(Party):
+    """Minimal two-step protocol used to exercise the driver."""
+
+    protocol_name = "echo"
+
+    def _advance(self, incoming):
+        if self.role == ROLE_A:
+            if incoming is None:
+                return Message(self.role, "A1", (("X", b"ping"),))
+            self._finish(b"k" * 48, b"peer")
+            return None
+        self._finish(b"k" * 48, b"peer")
+        return Message(self.role, "B1", (("X", incoming.field_value("X")),))
+
+
+class _NeverFinishes(_EchoParty):
+    def _advance(self, incoming):
+        return Message(self.role, "loop", (("X", b"x"),))
+
+
+def _ctx(testbed, name):
+    return testbed.context(name)
+
+
+class TestDriver:
+    def test_simple_run(self, testbed):
+        a = _EchoParty(_ctx(testbed, "alice"), ROLE_A)
+        b = _EchoParty(_ctx(testbed, "bob"), ROLE_B)
+        transcript = run_protocol(a, b)
+        assert transcript.n_steps == 2
+        assert transcript.total_bytes == 8
+        assert a.complete and b.complete
+
+    def test_mismatched_protocols_rejected(self, testbed):
+        a = _EchoParty(_ctx(testbed, "alice"), ROLE_A)
+
+        class Other(_EchoParty):
+            protocol_name = "other"
+
+        b = Other(_ctx(testbed, "bob"), ROLE_B)
+        with pytest.raises(ProtocolError, match="different protocols"):
+            run_protocol(a, b)
+
+    def test_runaway_protocol_detected(self, testbed):
+        a = _NeverFinishes(_ctx(testbed, "alice"), ROLE_A)
+        b = _NeverFinishes(_ctx(testbed, "bob"), ROLE_B)
+        with pytest.raises(ProtocolError, match="convergence"):
+            run_protocol(a, b)
+
+    def test_invalid_role_rejected(self, testbed):
+        with pytest.raises(ProtocolError):
+            _EchoParty(_ctx(testbed, "alice"), "C")
+
+    def test_advance_after_completion_rejected(self, testbed):
+        a = _EchoParty(_ctx(testbed, "alice"), ROLE_A)
+        b = _EchoParty(_ctx(testbed, "bob"), ROLE_B)
+        run_protocol(a, b)
+        with pytest.raises(ProtocolError, match="complete"):
+            a.advance(None)
+
+
+class TestTranscriptViews:
+    def test_layout(self, transcripts):
+        layout = transcripts["sts"].layout()
+        assert layout[0] == "A1: ID(16), XG(64)"
+        assert layout[-1] == "B2: ACK(1)"
+
+    def test_all_steps_ordering(self, transcripts):
+        steps = transcripts["sts"].all_steps()
+        roles = [s.role for s in steps]
+        assert roles[0] == ROLE_A
+        # Strict alternation for the sequential protocols.
+        assert all(r1 != r2 for r1, r2 in zip(roles, roles[1:]))
+
+    def test_operations_carry_traces(self, transcripts):
+        for step in transcripts["sts"].all_steps():
+            for op in step.operations:
+                assert op.cost.total() >= 0
+                assert op.op_class in ("op1", "op2", "op3", "op4", "sym")

@@ -1,0 +1,150 @@
+"""Tests for the group-key extension over pairwise STS sessions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import AuthenticationError, ProtocolError
+from repro.protocols import Message
+from repro.protocols.group import (
+    GROUP_MSG_SIZE,
+    GroupLeader,
+    GroupMember,
+    form_group,
+)
+from repro.testbed import make_testbed
+
+NAMES = ("bms", "evcc", "inverter")
+
+
+@pytest.fixture()
+def group():
+    testbed = make_testbed(("gateway",) + NAMES, seed=b"group-test")
+    leader_ctx = testbed.context("gateway")
+    member_ctxs = {
+        testbed.credentials[name].subject_id: testbed.context(name)
+        for name in NAMES
+    }
+    leader, members = form_group(leader_ctx, member_ctxs, group_id=7)
+    return leader, members
+
+
+class TestFormation:
+    def test_everyone_holds_the_same_key(self, group):
+        leader, members = group
+        assert leader.group_key is not None
+        for member in members.values():
+            assert member.group_key == leader.group_key
+
+    def test_member_list(self, group):
+        leader, members = group
+        assert leader.members == sorted(members)
+
+    def test_message_size(self, group):
+        leader, _ = group
+        for message in leader.distribute().values():
+            assert message.size == GROUP_MSG_SIZE == 88
+
+    def test_epoch_starts_at_one(self, group):
+        leader, members = group
+        assert leader.epoch == 1
+        # distribute() in test_message_size bumped nothing: epoch stable.
+        assert all(m.epoch == 1 for m in members.values())
+
+
+class TestRekeyAndRevocation:
+    def test_rekey_changes_key(self, group):
+        leader, members = group
+        old_key = leader.group_key
+        leader.rekey()
+        for member_id, message in leader.distribute().items():
+            members[member_id].accept(message)
+        assert leader.group_key != old_key
+        for member in members.values():
+            assert member.group_key == leader.group_key
+
+    def test_revoked_member_excluded(self, group):
+        leader, members = group
+        revoked_id = leader.members[0]
+        revoked = members[revoked_id]
+        messages = leader.revoke(revoked_id)
+        assert revoked_id not in messages
+        for member_id, message in messages.items():
+            members[member_id].accept(message)
+        # The revoked member cannot unwrap the new epoch: it never gets a
+        # message, and replaying another member's message fails its MAC.
+        other_id = leader.members[0]
+        with pytest.raises(AuthenticationError):
+            revoked.accept(messages[other_id])
+        assert revoked.group_key != leader.group_key
+
+    def test_revoking_unknown_member(self, group):
+        leader, _ = group
+        with pytest.raises(ProtocolError, match="unknown group member"):
+            leader.revoke(b"\x00" * 16)
+
+
+class TestMemberChecks:
+    def test_stale_epoch_rejected(self, group):
+        leader, members = group
+        member_id = leader.members[0]
+        stale = leader.distribute()[member_id]  # epoch 1 again
+        with pytest.raises(AuthenticationError, match="stale"):
+            members[member_id].accept(stale)
+
+    def test_tampered_wrapped_key_rejected(self, group):
+        leader, members = group
+        leader.rekey()
+        member_id = leader.members[0]
+        message = leader.distribute()[member_id]
+        fields = tuple(
+            (n, bytes(48) if n == "WrappedKey" else v)
+            for n, v in message.fields
+        )
+        with pytest.raises(AuthenticationError, match="MAC"):
+            members[member_id].accept(Message("L", "GK1", fields))
+
+    def test_wrong_group_id_rejected(self, group):
+        _, members = group
+        member = next(iter(members.values()))
+        bogus = Message(
+            "L",
+            "GK1",
+            (
+                ("GroupId", (99).to_bytes(4, "big")),
+                ("Epoch", (2).to_bytes(4, "big")),
+                ("WrappedKey", bytes(48)),
+                ("Tag", bytes(32)),
+            ),
+        )
+        with pytest.raises(ProtocolError, match="group id"):
+            member.accept(bogus)
+
+    def test_wrong_label_rejected(self, group):
+        _, members = group
+        member = next(iter(members.values()))
+        with pytest.raises(ProtocolError, match="GK1"):
+            member.accept(Message("L", "XX", (("GroupId", bytes(4)),)))
+
+    def test_cross_member_message_rejected(self, group):
+        leader, members = group
+        leader.rekey()
+        messages = leader.distribute()
+        ids = leader.members
+        # Message wrapped for member 0 fails member 1's pairwise MAC.
+        with pytest.raises(AuthenticationError):
+            members[ids[1]].accept(messages[ids[0]])
+
+
+class TestEmptyGroup:
+    def test_distribute_without_members(self):
+        testbed = make_testbed(("gateway",), seed=b"empty-group")
+        leader = GroupLeader(ctx=testbed.context("gateway"), group_id=1)
+        with pytest.raises(ProtocolError, match="no members"):
+            leader.distribute()
+
+    def test_adopt_rejects_bad_key(self):
+        testbed = make_testbed(("gateway",), seed=b"bad-key")
+        leader = GroupLeader(ctx=testbed.context("gateway"), group_id=1)
+        with pytest.raises(ProtocolError):
+            leader.adopt_pairwise_key(b"m" * 16, b"short")

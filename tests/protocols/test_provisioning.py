@@ -1,0 +1,156 @@
+"""Tests for on-wire certificate provisioning (Fig. 1 stages 1-2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ec import SECP256R1, mul_base
+from repro.ecqv import CertificateAuthority, reconstruct_public_key
+from repro.errors import AuthenticationError, ProtocolError
+from repro.network import NetworkStack
+from repro.primitives import HmacDrbg
+from repro.protocols import (
+    Message,
+    ProvisioningDevice,
+    ProvisioningGateway,
+    provision_over_network,
+)
+from repro.protocols.provisioning import REQUEST_SIZE, RESPONSE_SIZE
+from repro.testbed import device_id
+
+ENROL_KEY = b"factory-enrolment-key-32-bytes!!"
+
+
+@pytest.fixture()
+def gateway():
+    ca = CertificateAuthority(
+        SECP256R1, device_id("gateway-ca"), HmacDrbg(b"gw-seed")
+    )
+    return ProvisioningGateway(
+        ca, {bytes(device_id("ecu1")): ENROL_KEY}
+    )
+
+
+@pytest.fixture()
+def device():
+    return ProvisioningDevice(
+        SECP256R1, device_id("ecu1"), ENROL_KEY, HmacDrbg(b"ecu1-seed")
+    )
+
+
+class TestHappyPath:
+    def test_in_memory_provisioning(self, device, gateway):
+        credential, bus_ms = provision_over_network(device, gateway)
+        assert bus_ms == 0.0
+        assert mul_base(credential.private_key, SECP256R1) == credential.public_key
+        assert (
+            reconstruct_public_key(
+                credential.certificate, gateway.ca.public_key
+            )
+            == credential.public_key
+        )
+
+    def test_over_can_fd(self, device, gateway):
+        credential, bus_ms = provision_over_network(
+            device, gateway, NetworkStack()
+        )
+        assert credential.subject_id == device_id("ecu1")
+        assert 0.0 < bus_ms < 5.0  # two small ISO-TP transfers
+
+    def test_wire_sizes(self, device, gateway):
+        request = device.make_request()
+        assert request.size == REQUEST_SIZE == 81
+        response = gateway.handle_request(request)
+        assert response.size == RESPONSE_SIZE == 165
+
+    def test_validity_override(self, device, gateway):
+        request = device.make_request()
+        response = gateway.handle_request(request, validity_seconds=60)
+        credential = device.process_response(response, gateway.ca.public_key)
+        cert = credential.certificate
+        assert cert.valid_to - cert.valid_from == 60
+
+
+class TestAuthentication:
+    def test_unknown_device_rejected(self, gateway):
+        stranger = ProvisioningDevice(
+            SECP256R1, device_id("mallory"), ENROL_KEY, HmacDrbg(b"m")
+        )
+        with pytest.raises(AuthenticationError, match="unknown device"):
+            gateway.handle_request(stranger.make_request())
+
+    def test_wrong_enrolment_key_rejected(self, gateway):
+        impostor = ProvisioningDevice(
+            SECP256R1, device_id("ecu1"), b"wrong-key" * 4, HmacDrbg(b"i")
+        )
+        with pytest.raises(AuthenticationError, match="MAC"):
+            gateway.handle_request(impostor.make_request())
+
+    def test_tampered_request_point_rejected(self, device, gateway):
+        request = device.make_request()
+        fields = tuple(
+            (
+                name,
+                value if name != "ReqPoint" else b"\x02" + b"\x11" * 32,
+            )
+            for name, value in request.fields
+        )
+        with pytest.raises(AuthenticationError):
+            gateway.handle_request(Message("D", "P1", fields))
+
+    def test_forged_gateway_response_rejected(self, device, gateway):
+        request = device.make_request()
+        response = gateway.handle_request(request)
+        fields = tuple(
+            (name, bytes(32) if name == "CaAuthMAC" else value)
+            for name, value in response.fields
+        )
+        with pytest.raises(AuthenticationError, match="CA response"):
+            device.process_response(
+                Message("CA", "P2", fields), gateway.ca.public_key
+            )
+
+    def test_swapped_certificate_caught_by_key_confirmation(
+        self, device, gateway
+    ):
+        # Even with a valid MAC (insider CA bug), a certificate that does
+        # not match the device's request fails SEC 4 key confirmation.
+        request = device.make_request()
+        response = gateway.handle_request(request)
+        other_dev = ProvisioningDevice(
+            SECP256R1, device_id("ecu1"), ENROL_KEY, HmacDrbg(b"other")
+        )
+        other_req = other_dev.make_request()
+        other_resp = gateway.handle_request(other_req)
+        # Device processes the response meant for the other request.
+        with pytest.raises(Exception):
+            device.process_response(other_resp, gateway.ca.public_key)
+
+    def test_wrong_label_rejected(self, gateway):
+        with pytest.raises(ProtocolError, match="expected P1"):
+            gateway.handle_request(Message("D", "XX", (("ID", b"x" * 16),)))
+
+
+class TestEndToEnd:
+    def test_provisioned_credential_runs_sts(self, device, gateway):
+        """The full paper pipeline: enrol on the wire, then establish."""
+        from repro.protocols import SessionContext, make_sts_pair, run_protocol
+        from repro.ecqv import issue_credential
+
+        credential, _ = provision_over_network(device, gateway, NetworkStack())
+        peer_credential = issue_credential(
+            gateway.ca, device_id("ecu2"), HmacDrbg(b"ecu2")
+        )
+        ctx_a = SessionContext(
+            credential=credential,
+            ca_public=gateway.ca.public_key,
+            rng=HmacDrbg(b"sess-a"),
+        )
+        ctx_b = SessionContext(
+            credential=peer_credential,
+            ca_public=gateway.ca.public_key,
+            rng=HmacDrbg(b"sess-b"),
+        )
+        party_a, party_b = make_sts_pair(ctx_a, ctx_b)
+        transcript = run_protocol(party_a, party_b)
+        assert transcript.party_a.session_key == transcript.party_b.session_key

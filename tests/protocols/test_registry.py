@@ -1,0 +1,70 @@
+"""Tests for the protocol registry and cross-protocol invariants."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.protocols import (
+    PROTOCOLS,
+    SECURITY_ORDER,
+    SESSION_KEY_SIZE,
+    TABLE_ORDER,
+    get_protocol,
+    run_named_protocol,
+)
+
+
+class TestRegistry:
+    def test_all_variants_present(self):
+        assert set(TABLE_ORDER) == set(PROTOCOLS)
+        assert set(SECURITY_ORDER) <= set(PROTOCOLS)
+
+    def test_dynamic_flags(self):
+        assert get_protocol("sts").dynamic
+        assert get_protocol("sts-opt1").dynamic
+        assert not get_protocol("s-ecdsa").dynamic
+        assert not get_protocol("scianc").dynamic
+        assert not get_protocol("poramb").dynamic
+
+    def test_psk_requirement(self):
+        assert get_protocol("poramb").needs_pairwise_psk
+        assert not get_protocol("sts").needs_pairwise_psk
+
+    def test_unknown_protocol(self):
+        with pytest.raises(ProtocolError, match="unknown protocol"):
+            get_protocol("tls13")
+
+    def test_display_names(self):
+        assert get_protocol("s-ecdsa-ext").display_name == "S-ECDSA (ext.)"
+        assert get_protocol("sts-opt2").display_name == "STS (opt. II)"
+
+
+class TestCrossProtocolInvariants:
+    @pytest.mark.parametrize("name", TABLE_ORDER)
+    def test_every_protocol_completes(self, testbed, name):
+        ctx_a, ctx_b = testbed.context_pair("alice", "bob", name)
+        transcript = run_named_protocol(name, ctx_a, ctx_b)
+        assert transcript.party_a.complete
+        assert transcript.party_b.complete
+        assert len(transcript.party_a.session_key) == SESSION_KEY_SIZE
+
+    @pytest.mark.parametrize("name", TABLE_ORDER)
+    def test_session_keys_differ_across_protocols(self, testbed, name):
+        ctx_a, ctx_b = testbed.context_pair("alice", "bob", name)
+        transcript = run_named_protocol(name, ctx_a, ctx_b)
+        other_ctx = testbed.context_pair("alice", "bob", name)
+        other = run_named_protocol(name, *other_ctx)
+        assert transcript.party_a.session_key != other.party_a.session_key
+
+    def test_only_sts_has_op1_class(self, transcripts):
+        for name, transcript in transcripts.items():
+            classes = {
+                op.op_class
+                for s in transcript.all_steps()
+                for op in s.operations
+            }
+            if name.startswith("sts"):
+                assert "op1" in classes
+            else:
+                assert "op1" not in classes

@@ -1,0 +1,159 @@
+"""Tests for the SCIANC and PORAMB baselines."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import AuthenticationError, ProtocolError
+from repro.protocols import (
+    Message,
+    SESSION_KEY_SIZE,
+    install_pairwise_key,
+    make_poramb_pair,
+    make_scianc_pair,
+    run_protocol,
+)
+
+
+class TestScianc:
+    def test_key_agreement(self, transcripts):
+        tr = transcripts["scianc"]
+        assert tr.party_a.session_key == tr.party_b.session_key
+        assert len(tr.party_a.session_key) == SESSION_KEY_SIZE
+
+    def test_wire_layout(self, transcripts):
+        tr = transcripts["scianc"]
+        assert tr.layout() == [
+            "A1: ID(16), Nonce(32), Cert(101)",
+            "B1: ID(16), Nonce(32), Cert(101)",
+            "A2: AuthMAC(32)",
+            "B2: AuthMAC(32)",
+        ]
+        assert tr.total_bytes == 362
+
+    def test_single_fused_ec_operation_per_device(self, transcripts):
+        tr = transcripts["scianc"]
+        for party in (tr.party_a, tr.party_b):
+            cost = party.total_cost()
+            assert cost["ec.mul_double"] == 1
+            assert cost["ec.mul_point"] == 0
+            assert cost["ec.mul_base"] == 0
+
+    def test_fused_equals_unfused_derivation(self, testbed):
+        # The Shamir fusion must compute exactly d * Q_peer.
+        from repro.ec import mul_point
+        from repro.ecqv import reconstruct_public_key
+        from repro.protocols.wire import derive_session_key
+        from repro.utils import int_to_bytes
+
+        a, b = testbed.party_pair("scianc", "alice", "bob")
+        tr = run_protocol(a, b)
+        q_b = reconstruct_public_key(
+            b.ctx.credential.certificate, b.ctx.ca_public
+        )
+        shared = mul_point(a.ctx.credential.private_key, q_b)
+        secret = int_to_bytes(shared.x, testbed.curve.field_bytes)
+        nonces = tr.messages[0].field_value("Nonce") + tr.messages[
+            1
+        ].field_value("Nonce")
+        assert a.session_key == derive_session_key(secret, nonces)
+
+    def test_tampered_mac_rejected(self, testbed):
+        a, b = testbed.party_pair("scianc", "alice", "bob")
+        a1 = a.advance(None)
+        b1 = b.advance(a1)
+        a2 = a.advance(b1)
+        bad = Message(a2.sender, a2.label, (("AuthMAC", bytes(32)),))
+        with pytest.raises(AuthenticationError):
+            b.advance(bad)
+
+    def test_responder_cannot_initiate(self, testbed):
+        ctx_a, ctx_b = testbed.context_pair("alice", "bob")
+        _, b = make_scianc_pair(ctx_a, ctx_b)
+        with pytest.raises(ProtocolError):
+            b.advance(None)
+
+
+class TestPoramb:
+    def test_key_agreement(self, transcripts):
+        tr = transcripts["poramb"]
+        assert tr.party_a.session_key == tr.party_b.session_key
+
+    def test_wire_layout(self, transcripts):
+        tr = transcripts["poramb"]
+        assert tr.n_steps == 6
+        assert tr.total_bytes == 820
+        assert tr.layout()[0] == "A1: Hello(32), ID(16)"
+        assert tr.layout()[2] == "A2: Cert(101), Nonce(32), MAC(32)"
+        assert (
+            tr.layout()[4]
+            == "A3: Cert(101), ConfNonce(32), AuthTag(32), KeyConfTag(32)"
+        )
+
+    def test_two_fused_ec_operations_per_device(self, transcripts):
+        tr = transcripts["poramb"]
+        for party in (tr.party_a, tr.party_b):
+            assert party.total_cost()["ec.mul_double"] == 2
+
+    def test_missing_psk_aborts(self, testbed):
+        ctx_a, ctx_b = testbed.context_pair("alice", "bob")
+        ctx_a.pre_shared_keys.clear()
+        ctx_b.pre_shared_keys.clear()
+        a, b = make_poramb_pair(ctx_a, ctx_b)
+        with pytest.raises(AuthenticationError, match="pre-shared"):
+            run_protocol(a, b)
+
+    def test_wrong_psk_aborts(self, testbed):
+        ctx_a, ctx_b = testbed.context_pair("alice", "bob")
+        # Overwrite with mismatched keys.
+        ctx_a.pre_shared_keys[bytes(ctx_b.device_id)] = b"k1" * 16
+        ctx_b.pre_shared_keys[bytes(ctx_a.device_id)] = b"k2" * 16
+        a, b = make_poramb_pair(ctx_a, ctx_b)
+        with pytest.raises(AuthenticationError, match="MAC"):
+            run_protocol(a, b)
+
+    def test_tampered_phase1_mac_rejected(self, testbed):
+        a, b = testbed.party_pair("poramb", "alice", "bob")
+        a1 = a.advance(None)
+        b1 = b.advance(a1)
+        a2 = a.advance(b1)
+        fields = tuple(
+            (n, bytes(32) if n == "MAC" else v) for n, v in a2.fields
+        )
+        with pytest.raises(AuthenticationError):
+            b.advance(Message(a2.sender, a2.label, fields))
+
+    def test_tampered_finish_rejected(self, testbed):
+        a, b = testbed.party_pair("poramb", "alice", "bob")
+        msgs = [a.advance(None)]
+        msgs.append(b.advance(msgs[-1]))  # B1
+        msgs.append(a.advance(msgs[-1]))  # A2
+        msgs.append(b.advance(msgs[-1]))  # B2
+        a3 = a.advance(msgs[-1])
+        fields = tuple(
+            (n, bytes(32) if n == "KeyConfTag" else v) for n, v in a3.fields
+        )
+        with pytest.raises(AuthenticationError):
+            b.advance(Message(a3.sender, a3.label, fields))
+
+    def test_cert_identity_binding(self, testbed):
+        # Hello identity and certificate subject must agree.
+        ctx_a, ctx_b = testbed.context_pair("alice", "bob", "poramb")
+        ctx_c = testbed.context("carol")
+        # Give carol's credential to a party claiming to be alice: B has a
+        # PSK for alice, so phase-1 MAC keys match, but the cert subject
+        # is carol -> must be rejected.
+        ctx_c_psk = dict(ctx_a.pre_shared_keys)
+        ctx_c.pre_shared_keys.update(ctx_c_psk)
+        mixed_a, b = make_poramb_pair(ctx_a, ctx_b)
+        mixed_a.ctx.credential = ctx_c.credential
+        with pytest.raises(AuthenticationError):
+            run_protocol(mixed_a, b)
+
+    def test_pairwise_key_install_helper(self, testbed):
+        ctx_a, ctx_b = testbed.context_pair("alice", "bob")
+        install_pairwise_key(ctx_a, ctx_b, b"secret-psk-32-bytes-of-material!")
+        assert (
+            ctx_a.pre_shared_keys[bytes(ctx_b.device_id)]
+            == ctx_b.pre_shared_keys[bytes(ctx_a.device_id)]
+        )

@@ -1,0 +1,116 @@
+"""Tests for the authenticated secure-session channel."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import AuthenticationError, ProtocolError
+from repro.protocols import (
+    SecureSession,
+    open_record_with_key,
+    record_overhead,
+    session_pair,
+)
+from repro.protocols.wire import derive_session_key, enc_key, mac_key
+
+KS = derive_session_key(b"premaster", b"salt")
+
+
+class TestRoundTrip:
+    @given(st.binary(max_size=200))
+    @settings(max_examples=30)
+    def test_encrypt_decrypt(self, plaintext):
+        a, b = session_pair(KS)
+        assert b.decrypt(a.encrypt(plaintext)) == plaintext
+
+    def test_bidirectional(self):
+        a, b = session_pair(KS)
+        assert b.decrypt(a.encrypt(b"ping")) == b"ping"
+        assert a.decrypt(b.encrypt(b"pong")) == b"pong"
+
+    def test_many_records_in_order(self):
+        a, b = session_pair(KS)
+        for i in range(20):
+            msg = f"message {i}".encode()
+            assert b.decrypt(a.encrypt(msg)) == msg
+
+    def test_record_overhead(self):
+        a, _ = session_pair(KS)
+        record = a.encrypt(b"x" * 10)
+        assert len(record) == 10 + record_overhead()
+
+    def test_distinct_ciphertexts_for_same_plaintext(self):
+        a, _ = session_pair(KS)
+        r1, r2 = a.encrypt(b"same"), a.encrypt(b"same")
+        assert r1 != r2  # sequence number feeds the nonce
+
+
+class TestRejections:
+    def test_tampered_ciphertext(self):
+        a, b = session_pair(KS)
+        record = bytearray(a.encrypt(b"secret"))
+        record[7] ^= 1
+        with pytest.raises(AuthenticationError, match="MAC"):
+            b.decrypt(bytes(record))
+
+    def test_tampered_tag(self):
+        a, b = session_pair(KS)
+        record = bytearray(a.encrypt(b"secret"))
+        record[-1] ^= 1
+        with pytest.raises(AuthenticationError):
+            b.decrypt(bytes(record))
+
+    def test_truncated_record(self):
+        _, b = session_pair(KS)
+        with pytest.raises(AuthenticationError, match="short"):
+            b.decrypt(b"tiny")
+
+    def test_replay_rejected(self):
+        a, b = session_pair(KS)
+        record = a.encrypt(b"once")
+        b.decrypt(record)
+        with pytest.raises(AuthenticationError, match="out-of-order"):
+            b.decrypt(record)
+
+    def test_reordered_rejected(self):
+        a, b = session_pair(KS)
+        r0, r1 = a.encrypt(b"first"), a.encrypt(b"second")
+        with pytest.raises(AuthenticationError, match="out-of-order"):
+            b.decrypt(r1)
+        b.decrypt(r0)
+
+    def test_reflection_rejected(self):
+        a, _ = session_pair(KS)
+        record = a.encrypt(b"to-bob")
+        with pytest.raises(AuthenticationError, match="reflected"):
+            a.decrypt(record)
+
+    def test_wrong_key_rejected(self):
+        a, _ = session_pair(KS)
+        record = a.encrypt(b"secret")
+        other = SecureSession(derive_session_key(b"other", b"salt"), "B")
+        with pytest.raises(AuthenticationError):
+            other.decrypt(record)
+
+    def test_bad_construction_args(self):
+        with pytest.raises(ProtocolError):
+            SecureSession(b"short", "A")
+        with pytest.raises(ProtocolError):
+            SecureSession(KS, "X")
+
+
+class TestRawOpen:
+    def test_open_with_raw_keys(self):
+        a, _ = session_pair(KS)
+        record = a.encrypt(b"payload")
+        plaintext, seq, direction = open_record_with_key(
+            enc_key(KS), mac_key(KS), record
+        )
+        assert plaintext == b"payload"
+        assert seq == 0
+        assert direction == "A"
+
+    def test_open_rejects_garbage(self):
+        with pytest.raises(AuthenticationError):
+            open_record_with_key(enc_key(KS), mac_key(KS), b"\x00" * 40)

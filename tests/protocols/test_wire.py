@@ -1,0 +1,113 @@
+"""Tests for the shared wire-format helpers."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ec import SECP192R1, SECP256R1, mul_base, mul_point
+from repro.errors import ProtocolError
+from repro.protocols.wire import (
+    SESSION_KEY_SIZE,
+    decode_point_raw,
+    decrypt_response,
+    derive_session_key,
+    enc_key,
+    encode_point_raw,
+    encrypt_response,
+    mac_key,
+    point_raw_size,
+    response_iv,
+)
+
+
+class TestRawPoints:
+    def test_sizes(self):
+        assert point_raw_size(SECP256R1) == 64
+        assert point_raw_size(SECP192R1) == 48
+        assert len(encode_point_raw(SECP256R1.generator)) == 64
+
+    @given(st.integers(1, SECP192R1.n - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_roundtrip(self, k):
+        p = mul_point(k, SECP192R1.generator)
+        assert decode_point_raw(SECP192R1, encode_point_raw(p)) == p
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(ProtocolError):
+            decode_point_raw(SECP256R1, b"\x00" * 63)
+
+    def test_off_curve_rejected(self):
+        raw = bytearray(encode_point_raw(SECP256R1.generator))
+        raw[-1] ^= 1
+        with pytest.raises(ProtocolError, match="not on the curve"):
+            decode_point_raw(SECP256R1, bytes(raw))
+
+    def test_infinity_rejected(self):
+        from repro.ec import Point
+
+        with pytest.raises(ProtocolError):
+            encode_point_raw(Point.infinity(SECP256R1))
+
+
+class TestSessionKeyDerivation:
+    def test_size_and_split(self):
+        ks = derive_session_key(b"premaster", b"salt")
+        assert len(ks) == SESSION_KEY_SIZE == 48
+        assert enc_key(ks) == ks[:16]
+        assert mac_key(ks) == ks[16:]
+
+    def test_salt_separation(self):
+        assert derive_session_key(b"pm", b"s1") != derive_session_key(b"pm", b"s2")
+
+    def test_premaster_separation(self):
+        assert derive_session_key(b"p1", b"s") != derive_session_key(b"p2", b"s")
+
+    def test_key_split_requires_full_size(self):
+        with pytest.raises(ProtocolError):
+            enc_key(b"short")
+        with pytest.raises(ProtocolError):
+            mac_key(b"x" * 47)
+
+
+class TestResponseEncryption:
+    KS = derive_session_key(b"pm", b"salt")
+
+    def test_roundtrip_both_directions(self):
+        dsign = bytes(range(64))
+        for direction in ("A", "B"):
+            resp = encrypt_response(self.KS, direction, dsign)
+            assert len(resp) == 64
+            assert decrypt_response(self.KS, direction, resp) == dsign
+
+    def test_directions_differ(self):
+        dsign = bytes(64)
+        assert encrypt_response(self.KS, "A", dsign) != encrypt_response(
+            self.KS, "B", dsign
+        )
+
+    def test_iv_is_per_direction_and_key(self):
+        assert response_iv(self.KS, "A") != response_iv(self.KS, "B")
+        other = derive_session_key(b"pm2", b"salt")
+        assert response_iv(self.KS, "A") != response_iv(other, "A")
+
+    def test_non_block_sizes_supported(self):
+        # secp224r1 signatures are 56 bytes - CTR must preserve length.
+        for n in (56, 63, 96):
+            resp = encrypt_response(self.KS, "A", b"\x01" * n)
+            assert len(resp) == n
+            assert decrypt_response(self.KS, "A", resp) == b"\x01" * n
+
+    def test_empty_rejected(self):
+        with pytest.raises(ProtocolError):
+            encrypt_response(self.KS, "A", b"")
+
+    def test_bad_direction_rejected(self):
+        with pytest.raises(ProtocolError):
+            response_iv(self.KS, "C")
+
+    def test_wrong_key_garbles(self):
+        dsign = bytes(range(64))
+        resp = encrypt_response(self.KS, "A", dsign)
+        other = derive_session_key(b"wrong", b"salt")
+        assert decrypt_response(other, "A", resp) != dsign

@@ -1,0 +1,65 @@
+"""Tests for the Table III security matrix evaluation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.security import (
+    PAPER_TABLE3,
+    PROPERTIES,
+    Rating,
+    evaluate_protocol,
+    evaluate_security_matrix,
+)
+from repro.testbed import make_testbed
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    return evaluate_security_matrix(make_testbed(seed=b"pytest-matrix"))
+
+
+class TestMatrix:
+    def test_matches_paper_exactly(self, matrix):
+        assert matrix.matches_paper(), matrix.mismatches()
+
+    def test_all_cells_present(self, matrix):
+        assert len(matrix.cells) == len(PAPER_TABLE3) * len(PROPERTIES)
+
+    def test_every_cell_has_rationale(self, matrix):
+        for cell in matrix.cells.values():
+            assert len(cell.rationale) > 10
+
+    def test_attackable_cells_carry_evidence(self, matrix):
+        for (protocol, prop), cell in matrix.cells.items():
+            assert cell.evidence, (protocol, prop)
+
+    def test_render(self, matrix):
+        text = matrix.render()
+        assert "S-ECDSA" in text and "STS" in text
+        assert "Data exposure" in text
+
+    def test_sts_dominates(self, matrix):
+        """STS is never rated worse than any other protocol on any row."""
+        order = {Rating.WEAK: 0, Rating.PARTIAL: 1, Rating.FULL: 2}
+        for prop in PROPERTIES:
+            sts = order[matrix.rating("sts", prop)]
+            for protocol in PAPER_TABLE3:
+                assert sts >= order[matrix.rating(protocol, prop)]
+
+    def test_no_protocol_fully_protects_node_capture(self, matrix):
+        """Paper: 'no algorithm is fully protected against node-capture'."""
+        for protocol in PAPER_TABLE3:
+            assert matrix.rating(protocol, "node_capturing") != Rating.FULL
+
+
+class TestSingleProtocol:
+    def test_unknown_protocol(self):
+        with pytest.raises(AnalysisError):
+            evaluate_protocol(make_testbed(seed=b"x"), "tls13")
+
+    def test_scianc_auth_is_partial_via_session_key_binding(self):
+        cells = evaluate_protocol(make_testbed(seed=b"y"), "scianc")
+        assert cells["auth_procedure"].rating == Rating.PARTIAL
+        assert "symmetric" in cells["auth_procedure"].rationale

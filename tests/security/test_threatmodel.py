@@ -1,0 +1,77 @@
+"""Tests for the Fig. 8 threat-model graph."""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.security import (
+    COUNTERMEASURES,
+    MITIGATIONS,
+    THREATS,
+    build_threat_model,
+    coverage_summary,
+    render_threat_model,
+    uncovered_threats,
+)
+from repro.security.threatmodel import (
+    KIND_ASSET,
+    KIND_COUNTERMEASURE,
+    KIND_PARTIAL,
+    KIND_THREAT,
+)
+
+
+class TestGraphStructure:
+    def test_node_counts(self):
+        graph = build_threat_model()
+        kinds = nx.get_node_attributes(graph, "kind")
+        assert sum(1 for k in kinds.values() if k == KIND_ASSET) == 2
+        assert sum(1 for k in kinds.values() if k == KIND_THREAT) == 5
+        assert sum(1 for k in kinds.values() if k == KIND_COUNTERMEASURE) == 3
+        assert sum(1 for k in kinds.values() if k == KIND_PARTIAL) == 1
+
+    def test_is_dag(self):
+        assert nx.is_directed_acyclic_graph(build_threat_model())
+
+    def test_every_threat_reachable_from_an_asset(self):
+        graph = build_threat_model()
+        asset_successors = set()
+        for node, data in graph.nodes(data=True):
+            if data["kind"] == KIND_ASSET:
+                asset_successors |= set(graph.successors(node))
+        assert asset_successors == set(THREATS)
+
+    def test_no_uncovered_threats(self):
+        assert uncovered_threats() == []
+
+    def test_t3_only_partially_protected(self):
+        coverage = coverage_summary()
+        assert coverage["T3"] == ["R"]
+
+    def test_t1_covered_by_forward_secrecy(self):
+        assert coverage_summary()["T1"] == ["C1"]
+
+    def test_mitigation_edges_match_declaration(self):
+        graph = build_threat_model()
+        for threat_key, cm_keys in MITIGATIONS.items():
+            assert set(graph.successors(threat_key)) == set(cm_keys)
+
+
+class TestDefinitions:
+    def test_threat_keys(self):
+        assert set(THREATS) == {"T1", "T2", "T3", "T4", "T5"}
+
+    def test_countermeasure_keys(self):
+        assert set(COUNTERMEASURES) == {"C1", "C2", "C3"}
+
+    def test_descriptions_non_empty(self):
+        for threat in THREATS.values():
+            assert threat.description
+            assert threat.assets
+
+    def test_render_mentions_everything(self):
+        text = render_threat_model()
+        for key in list(THREATS) + list(COUNTERMEASURES):
+            assert key in text
+        assert "Session Data" in text
+        assert "Security Credentials" in text

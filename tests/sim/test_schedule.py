@@ -1,0 +1,97 @@
+"""Tests for the STS optimization schedules (paper Eqs. 5-8)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.hardware import S32K144, STM32F767
+from repro.sim import (
+    OpTimes,
+    op_times_for,
+    optimized_total_ms,
+    protocol_total_ms,
+    schedule_savings_ms,
+    sequential_total_ms,
+)
+
+A = OpTimes(op1=10.0, op2=20.0, op3=12.0, op4=14.0, sym=1.0)
+B = OpTimes(op1=10.0, op2=20.0, op3=12.0, op4=14.0, sym=1.0)
+SLOW_B = OpTimes(op1=30.0, op2=60.0, op3=36.0, op4=42.0, sym=3.0)
+
+
+class TestFormulas:
+    def test_eq5_sequential(self):
+        assert sequential_total_ms(A, B) == pytest.approx(2 * 57.0)
+
+    def test_eq7_opt1_identical_devices(self):
+        # τ' = 2·Op1 + Op2 + 2·Op3 + 2·Op4 (+ sym both sides).
+        expected = 2 * 10 + 20 + 2 * 12 + 2 * 14 + 2 * 1
+        assert optimized_total_ms(A, B, "opt1") == pytest.approx(expected)
+
+    def test_eq8_opt2_identical_devices(self):
+        expected = 2 * 10 + 20 + 12 + 2 * 14 + 2 * 1
+        assert optimized_total_ms(A, B, "opt2") == pytest.approx(expected)
+
+    def test_eq6_asymmetric_devices(self):
+        # The overlapped op saves min(A_x, B_x): the pair pays max(A, B),
+        # i.e. the residual |A_x − B_x| beyond the smaller side.
+        seq = sequential_total_ms(A, SLOW_B)
+        opt1 = optimized_total_ms(A, SLOW_B, "opt1")
+        assert seq - opt1 == pytest.approx(min(A.op2, SLOW_B.op2))
+        opt2 = optimized_total_ms(A, SLOW_B, "opt2")
+        assert seq - opt2 == pytest.approx(
+            min(A.op2, SLOW_B.op2) + min(A.op3, SLOW_B.op3)
+        )
+
+    def test_sequential_schedule_is_identity(self):
+        assert optimized_total_ms(A, B, "sequential") == sequential_total_ms(A, B)
+
+    def test_unknown_schedule(self):
+        with pytest.raises(SimulationError):
+            optimized_total_ms(A, B, "opt9")
+
+    def test_savings_map(self):
+        savings = schedule_savings_ms(A, B)
+        assert savings["sequential"] == 0.0
+        assert savings["opt1"] == pytest.approx(20.0)
+        assert savings["opt2"] == pytest.approx(32.0)
+
+
+class TestOnRealTranscripts:
+    def test_ordering_opt2_lt_opt1_lt_seq(self, transcripts):
+        tr = transcripts["sts"]
+        seq = protocol_total_ms(tr, STM32F767, schedule="sequential")
+        opt1 = protocol_total_ms(tr, STM32F767, schedule="opt1")
+        opt2 = protocol_total_ms(tr, STM32F767, schedule="opt2")
+        assert opt2 < opt1 < seq
+
+    def test_opt2_beats_s_ecdsa(self, transcripts):
+        # The paper's crossover claim: optimized STS undercuts static KD.
+        opt2 = protocol_total_ms(transcripts["sts"], STM32F767, schedule="opt2")
+        s_ecdsa = protocol_total_ms(transcripts["s-ecdsa"], STM32F767)
+        assert opt2 < s_ecdsa
+
+    def test_default_schedule_from_party(self, transcripts):
+        # sts-opt2 transcripts carry their schedule tag.
+        implicit = protocol_total_ms(transcripts["sts-opt2"], STM32F767)
+        explicit = protocol_total_ms(
+            transcripts["sts-opt2"], STM32F767, schedule="opt2"
+        )
+        assert implicit == pytest.approx(explicit)
+
+    def test_opt2_within_paper_tolerance(self, transcripts):
+        from repro.hardware import PAPER_TABLE1
+
+        modelled = protocol_total_ms(transcripts["sts"], STM32F767, schedule="opt2")
+        paper = PAPER_TABLE1["sts-opt2"]["stm32f767"]
+        assert abs(modelled / paper - 1) < 0.06
+
+    def test_asymmetric_real_devices(self, transcripts):
+        tr = transcripts["sts"]
+        a = op_times_for(tr.party_a, S32K144)
+        b = op_times_for(tr.party_b, STM32F767)
+        seq = sequential_total_ms(a, b)
+        opt1 = optimized_total_ms(a, b, "opt1")
+        # Mixed pair: saving bounded by the faster device's Op2.
+        assert seq - opt1 == pytest.approx(min(a.op2, b.op2))

@@ -1,0 +1,77 @@
+"""Tests for the Fig. 7 session timeline reconstruction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hardware import S32K144, STM32F767, pair_time_ms
+from repro.network import NetworkStack
+from repro.sim import simulate_session_timeline
+
+
+@pytest.fixture(scope="module")
+def sts_timeline(transcripts):
+    return simulate_session_timeline(transcripts["sts"], S32K144)
+
+
+class TestStructure:
+    def test_segments_are_contiguous(self, sts_timeline):
+        previous_end = 0.0
+        for segment in sts_timeline.segments:
+            assert segment.start_ms == pytest.approx(previous_end)
+            previous_end = segment.end_ms
+        assert sts_timeline.total_ms == pytest.approx(previous_end)
+
+    def test_actors(self, sts_timeline):
+        actors = {s.actor for s in sts_timeline.segments}
+        assert actors == {"BMS", "EVCC", "bus"}
+
+    def test_message_count(self, sts_timeline):
+        transfers = [s for s in sts_timeline.segments if s.kind == "transfer"]
+        assert len(transfers) == 4  # A1, B1, A2, B2
+
+    def test_compute_matches_pair_time(self, sts_timeline, transcripts):
+        assert sts_timeline.compute_ms == pytest.approx(
+            pair_time_ms(transcripts["sts"], S32K144)
+        )
+
+    def test_transfer_negligible(self, sts_timeline):
+        # Paper: CAN-FD transfer time negligible vs crypto processing.
+        assert sts_timeline.transfer_ms < 0.01 * sts_timeline.compute_ms
+        for segment in sts_timeline.segments:
+            if segment.kind == "transfer":
+                assert segment.duration_ms < 2.0
+
+    def test_per_device_split(self, sts_timeline):
+        per_device = sts_timeline.per_device_ms()
+        assert set(per_device) == {"BMS", "EVCC"}
+        assert per_device["BMS"] + per_device["EVCC"] == pytest.approx(
+            sts_timeline.compute_ms
+        )
+
+
+class TestVariants:
+    def test_asymmetric_devices(self, transcripts):
+        timeline = simulate_session_timeline(
+            transcripts["sts"], S32K144, STM32F767
+        )
+        per_device = timeline.per_device_ms()
+        assert per_device["BMS"] > per_device["EVCC"]  # M4F slower than M7
+
+    def test_custom_stack_accounting(self, transcripts):
+        stack = NetworkStack()
+        simulate_session_timeline(transcripts["s-ecdsa"], S32K144, stack=stack)
+        assert stack.bus.frames_sent > 0
+        assert stack.bus.busy_ms > 0
+
+    def test_custom_names(self, transcripts):
+        timeline = simulate_session_timeline(
+            transcripts["scianc"], S32K144, device_names=("ecu1", "ecu2")
+        )
+        assert {s.actor for s in timeline.segments} == {"ecu1", "ecu2", "bus"}
+
+    def test_render(self, sts_timeline):
+        text = sts_timeline.render()
+        assert "STS session timeline" in text
+        assert "BMS" in text and "EVCC" in text
+        assert "#" in text and "=" in text

@@ -1,0 +1,92 @@
+"""API-quality guards: docstrings and import hygiene across the library.
+
+These are meta-tests keeping the public surface documented and the module
+graph clean as the library evolves.
+"""
+
+from __future__ import annotations
+
+import ast
+import importlib
+import pathlib
+import pkgutil
+
+import repro
+
+SRC_ROOT = pathlib.Path(repro.__file__).parent
+
+
+def _public_modules():
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        if "__main__" in info.name:
+            continue
+        yield info.name
+
+
+class TestDocstrings:
+    def test_every_module_has_a_docstring(self):
+        for name in _public_modules():
+            module = importlib.import_module(name)
+            assert module.__doc__, f"{name} lacks a module docstring"
+
+    def test_every_public_function_and_class_documented(self):
+        # Module-level and class-level definitions only; local closures
+        # inside functions are implementation detail.
+        undocumented = []
+
+        def check(defs, path):
+            for node in defs:
+                if not isinstance(
+                    node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+                ):
+                    continue
+                if node.name.startswith("_"):
+                    continue
+                if not ast.get_docstring(node):
+                    undocumented.append(f"{path.name}:{node.name}")
+                if isinstance(node, ast.ClassDef):
+                    check(node.body, path)
+
+        for path in SRC_ROOT.rglob("*.py"):
+            check(ast.parse(path.read_text()).body, path)
+        assert not undocumented, undocumented
+
+    def test_all_exports_resolve(self):
+        for name in _public_modules():
+            module = importlib.import_module(name)
+            for symbol in getattr(module, "__all__", []):
+                assert hasattr(module, symbol), f"{name}.{symbol} missing"
+
+
+class TestLayering:
+    """The substrate layers must not import upwards."""
+
+    FORBIDDEN = {
+        "repro.ec": ("repro.protocols", "repro.hardware", "repro.sim",
+                     "repro.security", "repro.network", "repro.ecqv"),
+        "repro.primitives": ("repro.ec", "repro.protocols", "repro.hardware"),
+        "repro.ecqv": ("repro.protocols", "repro.hardware", "repro.sim"),
+        "repro.protocols": ("repro.hardware", "repro.sim", "repro.security"),
+    }
+
+    def test_no_upward_imports(self):
+        violations = []
+        for package, banned in self.FORBIDDEN.items():
+            pkg_dir = SRC_ROOT / package.split(".")[-1]
+            for path in pkg_dir.rglob("*.py"):
+                tree = ast.parse(path.read_text())
+                for node in ast.walk(tree):
+                    if isinstance(node, ast.ImportFrom) and node.module:
+                        module = node.module
+                        # Resolve relative imports to absolute-ish names.
+                        if node.level:
+                            module = "repro." + module
+                        for target in banned:
+                            if module.startswith(target.replace("repro.", "repro.")) and target.split(".")[-1] in module:
+                                violations.append(f"{path}: {module}")
+        assert not violations, violations
+
+
+class TestVersioning:
+    def test_version_string(self):
+        assert repro.__version__.count(".") == 2

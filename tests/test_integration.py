@@ -1,0 +1,133 @@
+"""Cross-module integration tests: the full paper story in code.
+
+Each test walks a complete scenario through several subsystems —
+provisioning → session establishment → encrypted traffic → network
+transfer → timing → attack — the way a downstream user of the library
+would compose them.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hardware import DEVICES, S32K144, pair_time_ms
+from repro.network import NetworkStack, data_message, decode_kd_payload, kd_message
+from repro.protocols import (
+    SecureSession,
+    TABLE_ORDER,
+    run_protocol,
+)
+from repro.security import record_then_compromise
+from repro.sim import simulate_session_timeline
+from repro.testbed import make_testbed
+
+
+class TestFullSessionLifecycle:
+    def test_provision_establish_chat(self):
+        testbed = make_testbed(("bms", "evcc"), seed=b"lifecycle")
+        a, b = testbed.party_pair("sts", "bms", "evcc")
+        transcript = run_protocol(a, b)
+        chan_a = SecureSession(a.session_key, "A")
+        chan_b = SecureSession(b.session_key, "B")
+        for i in range(5):
+            request = f"cell voltage {i}?".encode()
+            record = chan_a.encrypt(request)
+            assert chan_b.decrypt(record) == request
+            reply = f"3.9{i} V".encode()
+            assert chan_a.decrypt(chan_b.encrypt(reply)) == reply
+        assert transcript.total_bytes == 491
+
+    def test_kd_messages_survive_the_network_stack(self):
+        # Every KD message of every protocol segments and reassembles
+        # byte-exactly through the CAN-FD/ISO-TP stack.
+        testbed = make_testbed(("alice", "bob"), seed=b"network")
+        stack = NetworkStack()
+        for name in TABLE_ORDER:
+            a, b = testbed.party_pair(name, "alice", "bob")
+            transcript = run_protocol(a, b)
+            for message in transcript.messages:
+                framed = kd_message(1, message.label, message.payload)
+                back = decode_kd_payload(stack.loopback(framed.encode()))
+                assert back.data == message.payload
+                assert back.label == message.label
+
+    def test_encrypted_records_over_the_stack(self):
+        testbed = make_testbed(("alice", "bob"), seed=b"records")
+        a, b = testbed.party_pair("sts", "alice", "bob")
+        run_protocol(a, b)
+        chan_a = SecureSession(a.session_key, "A")
+        chan_b = SecureSession(b.session_key, "B")
+        stack = NetworkStack()
+        record = chan_a.encrypt(b"status readout: everything nominal")
+        framed = data_message(2, record)
+        arrived = decode_kd_payload(stack.loopback(framed.encode()))
+        assert chan_b.decrypt(arrived.data) == b"status readout: everything nominal"
+
+
+class TestPaperHeadlines:
+    """The four claims the paper's abstract makes, end to end."""
+
+    @pytest.fixture(scope="class")
+    def testbed(self):
+        return make_testbed(("alice", "bob"), seed=b"headlines")
+
+    def test_sts_costs_about_20_percent_more(self, testbed):
+        a, b = testbed.party_pair("sts", "alice", "bob")
+        sts = run_protocol(a, b)
+        a, b = testbed.party_pair("s-ecdsa", "alice", "bob")
+        base = run_protocol(a, b)
+        for device in DEVICES.values():
+            ratio = pair_time_ms(sts, device) / pair_time_ms(base, device)
+            assert 1.15 < ratio < 1.30
+
+    def test_sts_has_no_additional_communication_overhead(self, testbed):
+        a, b = testbed.party_pair("sts", "alice", "bob")
+        sts = run_protocol(a, b)
+        a, b = testbed.party_pair("s-ecdsa", "alice", "bob")
+        base = run_protocol(a, b)
+        assert sts.n_steps == base.n_steps
+        # "similar transmission sizes": within one signature of each other.
+        assert abs(sts.total_bytes - base.total_bytes) <= 64
+
+    def test_only_sts_mitigates_past_data_exposure(self, testbed):
+        outcomes = {
+            name: record_then_compromise(testbed, name).success
+            for name in ("s-ecdsa", "sts", "scianc", "poramb")
+        }
+        assert outcomes == {
+            "s-ecdsa": True,
+            "sts": False,
+            "scianc": True,
+            "poramb": True,
+        }
+
+    def test_prototype_timeline_matches_reported_shape(self, testbed):
+        a, b = testbed.party_pair("sts", "alice", "bob")
+        timeline = simulate_session_timeline(run_protocol(a, b), S32K144)
+        assert 3.0 < timeline.total_ms / 1000.0 < 4.0
+        assert timeline.transfer_ms < 10.0
+
+
+class TestDeterminism:
+    def test_identical_seeds_identical_sessions(self):
+        runs = []
+        for _ in range(2):
+            testbed = make_testbed(("alice", "bob"), seed=b"determinism")
+            a, b = testbed.party_pair("sts", "alice", "bob")
+            transcript = run_protocol(a, b)
+            runs.append(
+                (
+                    a.session_key,
+                    tuple(m.payload for m in transcript.messages),
+                )
+            )
+        assert runs[0] == runs[1]
+
+    def test_different_seeds_differ(self):
+        keys = []
+        for seed in (b"seed-one", b"seed-two"):
+            testbed = make_testbed(("alice", "bob"), seed=seed)
+            a, b = testbed.party_pair("sts", "alice", "bob")
+            run_protocol(a, b)
+            keys.append(a.session_key)
+        assert keys[0] != keys[1]
