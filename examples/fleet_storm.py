@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Fleet storm: concurrent enrollment, session establishment and re-keys.
+
+Scales the paper's two-station scenario to a whole vehicle fleet hitting
+one central CA/gateway at once:
+
+* every vehicle enrolls for an ECQV credential — requests queue at the
+  contended CA and are issued in **batches** (one shared Jacobian
+  normalization per batch, Montgomery's trick);
+* every vehicle then derives session keys with the gateway via STS and
+  sends application records until the enforced session-key policy
+  (record budget) forces a re-key — the paper's motivation, operating
+  at fleet scale;
+* throughput, latency percentiles and energy come from the calibrated
+  hardware cost models (vehicles on STM32F767, gateway on RPi 4).
+
+Run:  PYTHONPATH=src python examples/fleet_storm.py
+"""
+
+from __future__ import annotations
+
+from repro.fleet import FleetConfig, FleetOrchestrator
+
+VEHICLES = 24
+
+
+def main() -> None:
+    config = FleetConfig(
+        n_vehicles=VEHICLES,
+        seed=b"fleet-storm-example",
+        records_per_vehicle=12,
+        max_records=6,  # forces one re-key per vehicle
+        send_interval_ms=20.0,
+        arrival_spread_ms=100.0,  # the whole fleet wakes up within 100 ms
+    )
+    print(f"Unleashing {VEHICLES} vehicles on one CA/gateway...\n")
+    result = FleetOrchestrator(config).run()
+
+    print(result.stats.render())
+
+    fastest = min(result.vehicles, key=lambda v: v.done_at)
+    slowest = max(result.vehicles, key=lambda v: v.done_at)
+    print("\nFastest vehicle lifecycle:")
+    print(fastest.timeline())
+    print("\nSlowest vehicle lifecycle (paid for CA contention):")
+    print(slowest.timeline())
+
+    generations = {v.generation for v in result.vehicles}
+    print(
+        f"\nEvery vehicle re-keyed under the {config.max_records}-record"
+        f" budget: final generations {sorted(generations)}"
+    )
+    print(
+        f"Stats digest (same seed always reproduces it):"
+        f" {result.stats.digest()}"
+    )
+
+
+if __name__ == "__main__":
+    main()

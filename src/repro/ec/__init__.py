@@ -5,9 +5,12 @@ Public surface:
 * :class:`Curve` and the SEC 2 named curves (``SECP256R1`` etc.),
 * :class:`Point` with affine arithmetic and operator overloads,
 * scalar multiplication strategies (:func:`mul_base`, :func:`mul_point`,
-  :func:`mul_double`, :func:`mul_ladder`),
+  :func:`mul_double`, :func:`mul_ladder`) plus the batch-optimized
+  :func:`mul_base_batch`,
 * SEC 1 point encoding (:func:`encode_point`, :func:`decode_point`),
-* modular helpers (:func:`inverse_mod`, :func:`sqrt_mod`).
+* modular helpers (:func:`inverse_mod`, :func:`sqrt_mod`,
+  :func:`batch_inverse`),
+* batched Jacobian→affine conversion (:func:`normalize_batch`).
 """
 
 from .curve import (
@@ -27,14 +30,21 @@ from .curve import (
 )
 from .encoding import decode_point, encode_point, point_size
 from .modular import (
+    batch_inverse,
     egcd,
     inverse_mod,
     is_probable_prime,
     legendre_symbol,
     sqrt_mod,
 )
-from .point import Point
-from .scalarmult import mul_base, mul_double, mul_ladder, mul_point
+from .point import Point, normalize_batch
+from .scalarmult import (
+    mul_base,
+    mul_base_batch,
+    mul_double,
+    mul_ladder,
+    mul_point,
+)
 
 __all__ = [
     "BRAINPOOLP256R1",
@@ -48,6 +58,7 @@ __all__ = [
     "SECP256K1",
     "SECP256R1",
     "SECP384R1",
+    "batch_inverse",
     "curve_by_id",
     "curve_id",
     "decode_point",
@@ -58,9 +69,11 @@ __all__ = [
     "is_probable_prime",
     "legendre_symbol",
     "mul_base",
+    "mul_base_batch",
     "mul_double",
     "mul_ladder",
     "mul_point",
+    "normalize_batch",
     "point_size",
     "sqrt_mod",
 ]

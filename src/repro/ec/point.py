@@ -18,6 +18,7 @@ from __future__ import annotations
 from .. import trace
 from ..errors import CurveError
 from .curve import Curve
+from .modular import batch_inverse_untraced
 
 
 class Point:
@@ -163,6 +164,33 @@ def from_jacobian(curve: Curve, jac: Jacobian) -> Point:
     z_inv = pow(z, -1, p)
     z_inv2 = (z_inv * z_inv) % p
     return Point(curve, (x * z_inv2) % p, (y * z_inv2 * z_inv) % p)
+
+
+def normalize_batch(curve: Curve, jacs: list[Jacobian]) -> list[Point]:
+    """Normalise many Jacobian triples with one shared inversion.
+
+    Montgomery's trick turns the per-point ``Z`` inversion of
+    :func:`from_jacobian` into a single inversion plus three modular
+    multiplications per point — the asymptotic win every batched scalar
+    multiplication (CA issuance bursts, fleet session storms) rides on.
+    Points at infinity pass through unchanged.  Like :func:`from_jacobian`
+    this does not trace: normalization cost is folded into the high-level
+    ``ec.mul_*`` events.
+    """
+    p = curve.p
+    zs = [z for _, _, z in jacs if z != 0]
+    if not zs:
+        return [Point.infinity(curve) for _ in jacs]
+    z_invs = iter(batch_inverse_untraced(zs, p))
+    points: list[Point] = []
+    for x, y, z in jacs:
+        if z == 0:
+            points.append(Point.infinity(curve))
+            continue
+        z_inv = next(z_invs)
+        z_inv2 = (z_inv * z_inv) % p
+        points.append(Point(curve, (x * z_inv2) % p, (y * z_inv2 * z_inv) % p))
+    return points
 
 
 def jac_double(curve: Curve, jac: Jacobian) -> Jacobian:

@@ -5,8 +5,10 @@ offers:
 
 * :func:`mul_point` — width-4 wNAF, the general-purpose workhorse
   (traces ``ec.mul_point``).
-* :func:`mul_base` — fixed-window multiplication of the curve base point
-  with a cached per-curve precomputation table (traces ``ec.mul_base``).
+* :func:`mul_base` — fixed-base comb multiplication of the curve base point
+  with a cached per-curve precomputation table (traces ``ec.mul_base``);
+  :func:`mul_base_batch` amortizes the final Jacobian normalization over a
+  whole batch of scalars via Montgomery-trick batch inversion.
 * :func:`mul_double` — Strauss–Shamir simultaneous multiplication
   ``u*P + v*Q`` used by ECDSA verification and by the fused
   reconstruct-and-derive step of the SCIANC protocol
@@ -32,14 +34,22 @@ from .point import (
     jac_add,
     jac_add_mixed,
     jac_double,
+    normalize_batch,
     to_jacobian,
 )
 
 _WNAF_WIDTH = 4
-_BASE_WINDOW = 4
+#: Number of comb teeth for fixed-base multiplication: each tooth reads one
+#: bit of the scalar, so a window touches ``_COMB_TEETH`` bits spaced
+#: ``columns`` apart and the main loop runs ``columns ≈ bits/teeth`` times.
+_COMB_TEETH = 4
 
-# Per-curve cache of base-point window tables: curve name -> list[Point].
-_BASE_TABLES: dict[str, list[Point]] = {}
+# Per-curve cache of base-point comb tables.  Keyed on the full (frozen,
+# hashable) Curve value — NOT on curve.name — so two distinct Curve objects
+# that happen to share a name can never silently share precomputation.
+# Value: (columns, [T_1 .. T_{2^teeth - 1}]) with
+# T_pattern = sum_{i: bit i of pattern} 2^(i*columns) * G.
+_BASE_TABLES: dict[Curve, tuple[int, list[Point]]] = {}
 
 
 def _wnaf(k: int, width: int) -> list[int]:
@@ -89,46 +99,90 @@ def _mul_wnaf_untraced(k: int, point: Point) -> Point:
     return from_jacobian(curve, acc)
 
 
-def _base_table(curve: Curve) -> list[Point]:
-    """Affine window table [G, 2G, ..., (2^w - 1)G] for the base point."""
-    cached = _BASE_TABLES.get(curve.name)
+def _base_table(curve: Curve) -> tuple[int, list[Point]]:
+    """Cached comb precomputation for the base point of ``curve``.
+
+    Returns ``(columns, table)`` where ``table[pattern - 1]`` holds the
+    affine sum of ``2^(i*columns) * G`` over the set bits ``i`` of
+    ``pattern``.  The 2^teeth - 1 combinations are accumulated in Jacobian
+    coordinates and normalized together in one batch inversion.
+    """
+    cached = _BASE_TABLES.get(curve)
     if cached is not None:
         return cached
-    g = curve.generator
-    table = [g]
-    jac = to_jacobian(g)
-    for _ in range((1 << _BASE_WINDOW) - 2):
-        jac_next = jac_add_mixed(curve, to_jacobian(table[-1]), g)
-        table.append(from_jacobian(curve, jac_next))
-        jac = jac_next
-    _BASE_TABLES[curve.name] = table
+    columns = -(-curve.n.bit_length() // _COMB_TEETH)  # ceil division
+    # Spine: G, 2^columns * G, 2^(2*columns) * G, ... (one per tooth).
+    spine: list[Jacobian] = [to_jacobian(curve.generator)]
+    for _ in range(_COMB_TEETH - 1):
+        jac = spine[-1]
+        for _ in range(columns):
+            jac = jac_double(curve, jac)
+        spine.append(jac)
+    combos: list[Jacobian] = []
+    for pattern in range(1, 1 << _COMB_TEETH):
+        acc: Jacobian = JAC_INFINITY
+        for tooth in range(_COMB_TEETH):
+            if (pattern >> tooth) & 1:
+                acc = jac_add(curve, acc, spine[tooth])
+        combos.append(acc)
+    table = (columns, normalize_batch(curve, combos))
+    _BASE_TABLES[curve] = table
     return table
 
 
+def _mul_base_jac(k: int, curve: Curve) -> Jacobian:
+    """Comb multiplication of the base point; result left in Jacobian.
+
+    The caller normalizes — singly (:func:`mul_base`) or batched across
+    many scalars (:func:`mul_base_batch`).  Requires ``1 <= k < n``.
+    """
+    columns, table = _base_table(curve)
+    acc: Jacobian = JAC_INFINITY
+    for col in range(columns - 1, -1, -1):
+        acc = jac_double(curve, acc)
+        pattern = 0
+        for tooth in range(_COMB_TEETH):
+            if (k >> (tooth * columns + col)) & 1:
+                pattern |= 1 << tooth
+        if pattern:
+            acc = jac_add_mixed(curve, acc, table[pattern - 1])
+    return acc
+
+
 def mul_base(scalar: int, curve: Curve) -> Point:
-    """Multiply the curve base point by a scalar (fixed-window, cached).
+    """Multiply the curve base point by a scalar (fixed-base comb, cached).
 
     Embedded libraries special-case base-point multiplication because the
     window table can live in flash; we model the same asymmetry by tracing
-    a distinct ``ec.mul_base`` event.
+    a distinct ``ec.mul_base`` event.  The comb schedule needs only
+    ``bits/teeth`` doublings per multiplication (vs. ``bits`` for a
+    sliding window), which is what makes CA issuance bursts cheap.
     """
     k = scalar % curve.n
     if k == 0:
         return Point.infinity(curve)
     trace.record("ec.mul_base")
-    table = _base_table(curve)
-    acc: Jacobian = JAC_INFINITY
-    # Process the scalar in 4-bit windows, MSB first.
-    nibbles = []
-    while k > 0:
-        nibbles.append(k & ((1 << _BASE_WINDOW) - 1))
-        k >>= _BASE_WINDOW
-    for nib in reversed(nibbles):
-        for _ in range(_BASE_WINDOW):
-            acc = jac_double(curve, acc)
-        if nib:
-            acc = jac_add_mixed(curve, acc, table[nib - 1])
-    return from_jacobian(curve, acc)
+    return from_jacobian(curve, _mul_base_jac(k, curve))
+
+
+def mul_base_batch(scalars, curve: Curve) -> list[Point]:
+    """Base-point multiplication of many scalars with shared normalization.
+
+    Computes ``[k*G for k in scalars]`` leaving every result in Jacobian
+    coordinates, then converts the whole batch to affine with a single
+    Montgomery-trick inversion (:func:`~repro.ec.point.normalize_batch`).
+    Records one ``ec.mul_base`` event per non-zero scalar, exactly like
+    the scalar-at-a-time path, so protocol cost traces are unchanged.
+    """
+    jacs: list[Jacobian] = []
+    for scalar in scalars:
+        k = scalar % curve.n
+        if k == 0:
+            jacs.append(JAC_INFINITY)
+            continue
+        trace.record("ec.mul_base")
+        jacs.append(_mul_base_jac(k, curve))
+    return normalize_batch(curve, jacs)
 
 
 def mul_double(u: int, p_point: Point, v: int, q_point: Point) -> Point:

@@ -1,0 +1,30 @@
+"""Fleet-scale session orchestration (enrollment → KD → expiry → re-key).
+
+Scales the paper's two-station scenario to ``N`` concurrent vehicles on
+the deterministic discrete-event simulator, with a contended central
+CA/gateway, batched ECQV issuance, ephemeral pooling, enforced
+session-key lifetimes and aggregate throughput/latency/energy statistics
+priced on the hardware cost model.
+"""
+
+from .orchestrator import (
+    FleetConfig,
+    FleetOrchestrator,
+    FleetResult,
+    GATEWAY_NAME,
+    run_fleet,
+)
+from .stats import FleetStats, LatencySummary
+from .vehicle import TimelineEvent, Vehicle
+
+__all__ = [
+    "FleetConfig",
+    "FleetOrchestrator",
+    "FleetResult",
+    "FleetStats",
+    "GATEWAY_NAME",
+    "LatencySummary",
+    "TimelineEvent",
+    "Vehicle",
+    "run_fleet",
+]

@@ -1,0 +1,488 @@
+"""Fleet-scale session orchestration on the discrete-event simulator.
+
+The paper's evaluation establishes one session between two stations; the
+:class:`FleetOrchestrator` scales that scenario to a whole fleet: ``N``
+vehicles concurrently work through ECQV enrollment at a contended central
+CA, dynamic key derivation with the gateway, and managed application
+traffic whose session keys expire and re-key under a
+:class:`~repro.protocols.SessionPolicy` — the enforced-lifetime story the
+paper motivates, at production scale.
+
+Every computation runs the real cryptography once, is priced on the
+hardware cost model, and is laid onto the
+:class:`~repro.sim.engine.Simulator` timeline:
+
+* each vehicle computes on its own (slow, constrained) device model;
+* all CA/gateway computation contends a single
+  :class:`~repro.sim.engine.Resource` on the (fast) central device —
+  issuance requests queue up and are served in **batches** through
+  :meth:`~repro.ecqv.ca.CertificateAuthority.issue_batch`, so a deeper
+  queue amortizes into one shared Jacobian normalization (a host
+  wall-clock saving; the priced cost model folds normalization into
+  the per-multiplication events);
+* ephemeral pools (:class:`~repro.protocols.pool.EphemeralPool`) built
+  with :func:`~repro.ec.mul_base_batch` amortize Op1 across sessions.
+
+Determinism: all randomness flows from seeded DRBGs and one seeded
+``random.Random`` for arrival jitter, so two runs with equal
+:class:`FleetConfig` produce bit-identical :class:`~repro.fleet.stats.FleetStats`.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from dataclasses import dataclass, field
+
+from .. import trace
+from ..ec import Curve, SECP256R1
+from ..ecqv import CertificateAuthority, CertificateRequester
+from ..errors import SimulationError
+from ..hardware import DeviceModel, get_device
+from ..primitives import HmacDrbg, sha256
+from ..protocols import (
+    SessionContext,
+    SessionManager,
+    SessionPolicy,
+    install_pairwise_key,
+    run_protocol,
+)
+from ..protocols.pool import EphemeralPool
+from ..protocols.registry import get_protocol
+from ..sim.engine import Resource, Simulator
+from ..testbed import DEFAULT_NOW, device_id
+from .stats import FleetStats, LatencySummary
+from .vehicle import Vehicle
+
+#: Identity of the central CA/gateway device (paper Fig. 1's RPi 4).
+GATEWAY_NAME = "fleet-gateway"
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """Parameters of one fleet orchestration run.
+
+    Attributes:
+        n_vehicles: fleet size (one initiator per vehicle).
+        seed: master seed; every DRBG stream and the arrival jitter
+            derive from it, making runs bit-reproducible.
+        curve: domain parameters for all credentials and sessions.
+        protocol: registry name of the KD protocol vehicles run against
+            the gateway (dynamic protocols re-key with fresh ephemerals).
+        max_age_ms: session-key wall-clock budget (policy, sim ms).
+        max_records: session-key record budget (policy).
+        records_per_vehicle: application records each vehicle must
+            deliver before it is done.
+        send_interval_ms: spacing between a vehicle's records.
+        arrival_spread_ms: enrollment arrivals are jittered uniformly
+            over ``[0, arrival_spread_ms)``.
+        vehicle_device: device-model name vehicles compute on.
+        ca_device: device-model name the CA/gateway computes on.
+        bus_ms_per_byte: transfer cost per wire byte, charged on both
+            handshake transcripts and application records (stands in
+            for the CAN-FD stack at fleet granularity).
+        record_bytes: application payload size per record.
+        pool_size: ephemeral pool entries per vehicle (0 disables).
+        ca_batch_limit: max requests the CA folds into one issuance batch.
+        use_batch_ec: route CA issuance and Op1 through the batched EC
+            APIs.  ``False`` disables ephemeral pools (so every Op1
+            pays its ``ec.mul_base`` on the timeline) and issues
+            certificates scalar-at-a-time.  Note the *priced* cost of
+            issuance itself is identical either way — the cost model
+            folds normalization into the ``ec.mul_base`` event — so
+            this flag changes simulated time only through pooling;
+            the batched-normalization win is a host wall-clock effect
+            measured by ``bench_fleet_scale.py``.
+        cert_validity_seconds: certificate-session length for issued
+            credentials.
+    """
+
+    n_vehicles: int = 16
+    seed: bytes = b"fleet-storm"
+    curve: Curve = SECP256R1
+    protocol: str = "sts"
+    max_age_ms: float = 600_000.0
+    max_records: int = 25
+    records_per_vehicle: int = 50
+    send_interval_ms: float = 25.0
+    arrival_spread_ms: float = 1_000.0
+    vehicle_device: str = "stm32f767"
+    ca_device: str = "rpi4"
+    bus_ms_per_byte: float = 0.002
+    record_bytes: int = 32
+    pool_size: int = 4
+    ca_batch_limit: int = 64
+    use_batch_ec: bool = True
+    cert_validity_seconds: int = 24 * 3600
+
+    def __post_init__(self) -> None:
+        if self.n_vehicles <= 0:
+            raise SimulationError("fleet needs at least one vehicle")
+        if self.records_per_vehicle <= 0 or self.max_records <= 0:
+            raise SimulationError("record budgets must be positive")
+        if self.send_interval_ms <= 0 or self.max_age_ms <= 0:
+            raise SimulationError("intervals must be positive")
+        if self.ca_batch_limit <= 0:
+            raise SimulationError("ca_batch_limit must be positive")
+        get_protocol(self.protocol)  # fail fast on unknown names
+
+
+@dataclass
+class FleetResult:
+    """Everything a fleet run produces."""
+
+    stats: FleetStats
+    vehicles: list[Vehicle] = field(default_factory=list)
+
+
+class FleetOrchestrator:
+    """Drives a whole fleet through enrollment, sessions and re-keys."""
+
+    def __init__(self, config: FleetConfig) -> None:
+        self.config = config
+        self.sim = Simulator()
+        self.ca_resource = Resource("central-ca")
+        self.vehicle_device: DeviceModel = get_device(config.vehicle_device)
+        self.ca_device: DeviceModel = get_device(config.ca_device)
+        seed = config.seed
+        self.ca = CertificateAuthority(
+            config.curve,
+            device_id("central-ca"),
+            HmacDrbg(seed, personalization=b"fleet|ca"),
+            clock=lambda: DEFAULT_NOW,
+        )
+        # The gateway is provisioned before the storm begins (it is the
+        # same central device as the CA), so its credential and initial
+        # ephemeral pool are not on the simulated timeline.
+        gw_requester = CertificateRequester(
+            config.curve,
+            device_id(GATEWAY_NAME),
+            HmacDrbg(seed, personalization=b"fleet|gateway|enroll"),
+        )
+        gw_issued = self.ca.issue(
+            gw_requester.create_request(),
+            validity_seconds=config.cert_validity_seconds,
+        )
+        self.gateway_credential = gw_requester.process_response(
+            gw_issued, self.ca.public_key
+        )
+        self.gateway_id = self.gateway_credential.subject_id
+        self._gateway_pool: EphemeralPool | None = None
+        self._gateway_pool_rng = HmacDrbg(
+            seed, personalization=b"fleet|gateway|pool"
+        )
+        if config.use_batch_ec and config.pool_size > 0:
+            self._gateway_pool = EphemeralPool(
+                config.curve, self._gateway_pool_rng, 2 * config.n_vehicles
+            )
+        policy = SessionPolicy(
+            max_age_seconds=config.max_age_ms / 1000.0,
+            max_records=config.max_records,
+        )
+        clock = lambda: self.sim.now / 1000.0  # noqa: E731
+        self.gateway_manager = SessionManager(
+            self._gateway_context,
+            "B",
+            protocol=config.protocol,
+            policy=policy,
+            clock=clock,
+        )
+        self._policy = policy
+        self._clock = clock
+        jitter = random.Random(
+            int.from_bytes(sha256(seed + b"|arrivals"), "big")
+        )
+        self.vehicles: list[Vehicle] = []
+        for index in range(config.n_vehicles):
+            name = f"veh{index:04d}"
+            arrival = jitter.uniform(0.0, config.arrival_spread_ms)
+            vehicle = Vehicle(
+                name=name,
+                index=index,
+                device_id=device_id(name),
+                arrival_ms=arrival,
+            )
+            vehicle.manager = SessionManager(
+                self._vehicle_context_factory(vehicle),
+                "A",
+                protocol=config.protocol,
+                policy=policy,
+                clock=clock,
+            )
+            self.vehicles.append(vehicle)
+        self._ca_queue: deque[tuple[Vehicle, CertificateRequester, object]] = (
+            deque()
+        )
+        self._ca_issuing = False
+        self._ca_batches = 0
+        self._ca_max_batch = 0
+        self._enrollment_latencies: list[float] = []
+        self._establishment_latencies: list[float] = []
+        self._sessions_established = 0
+        self._rekeys = 0
+        self._records_sent = 0
+        self._vehicle_energy_mj = 0.0
+        self._ca_energy_mj = 0.0
+        self._gateway_session_counter = 0
+
+    # -- deterministic context factories --------------------------------------
+
+    def _session_context(
+        self, credential, personalization: bytes, pool: EphemeralPool | None
+    ) -> SessionContext:
+        return SessionContext(
+            credential=credential,
+            ca_public=self.ca.public_key,
+            rng=HmacDrbg(self.config.seed, personalization=personalization),
+            now=DEFAULT_NOW,
+            ephemeral_pool=pool,
+        )
+
+    def _gateway_context(self) -> SessionContext:
+        self._gateway_session_counter += 1
+        return self._session_context(
+            self.gateway_credential,
+            b"fleet|gateway|sess|%d" % self._gateway_session_counter,
+            self._gateway_pool,
+        )
+
+    def _vehicle_context_factory(self, vehicle: Vehicle):
+        def factory() -> SessionContext:
+            vehicle.session_counter += 1
+            return self._session_context(
+                vehicle.credential,
+                b"fleet|%s|sess|%d"
+                % (vehicle.name.encode(), vehicle.session_counter),
+                vehicle.pool,
+            )
+
+        return factory
+
+    # -- enrollment ------------------------------------------------------------
+
+    def _arrive(self, vehicle: Vehicle) -> None:
+        vehicle.log(self.sim.now, "arrive")
+        requester = CertificateRequester(
+            self.config.curve,
+            vehicle.device_id,
+            HmacDrbg(
+                self.config.seed,
+                personalization=b"fleet|%s|enroll" % vehicle.name.encode(),
+            ),
+        )
+        with trace.trace(f"{vehicle.name}:request") as cost:
+            request = requester.create_request()
+        duration = self.vehicle_device.time_ms(cost)
+        self._vehicle_energy_mj += self.vehicle_device.energy_mj(cost)
+
+        def submit() -> None:
+            vehicle.log(self.sim.now, "request", "queued at CA")
+            self._ca_queue.append((vehicle, requester, request))
+            self._pump_ca()
+
+        self.sim.schedule_after(duration, submit)
+
+    def _pump_ca(self) -> None:
+        """Serve the CA queue: one batched issuance at a time."""
+        if self._ca_issuing or not self._ca_queue:
+            return
+        batch_size = min(len(self._ca_queue), self.config.ca_batch_limit)
+        batch = [self._ca_queue.popleft() for _ in range(batch_size)]
+        requests = [request for _, _, request in batch]
+        with trace.trace("ca:issue") as cost:
+            if self.config.use_batch_ec:
+                issued = self.ca.issue_batch(
+                    requests,
+                    validity_seconds=self.config.cert_validity_seconds,
+                )
+            else:
+                issued = [
+                    self.ca.issue(
+                        request,
+                        validity_seconds=self.config.cert_validity_seconds,
+                    )
+                    for request in requests
+                ]
+        duration = self.ca_device.time_ms(cost)
+        self._ca_energy_mj += self.ca_device.energy_mj(cost)
+        _, end = self.ca_resource.reserve(self.sim.now, duration)
+        self._ca_issuing = True
+        self._ca_batches += 1
+        self._ca_max_batch = max(self._ca_max_batch, batch_size)
+
+        def deliver() -> None:
+            self._ca_issuing = False
+            for (vehicle, requester, _), certificate in zip(batch, issued):
+                self._receive_certificate(vehicle, requester, certificate)
+            self._pump_ca()
+
+        self.sim.schedule_at(end, deliver)
+
+    def _receive_certificate(self, vehicle, requester, issued) -> None:
+        vehicle.log(self.sim.now, "certified", f"serial {issued.certificate.serial}")
+        with trace.trace(f"{vehicle.name}:reception") as cost:
+            vehicle.credential = requester.process_response(
+                issued, self.ca.public_key
+            )
+            if self.config.use_batch_ec and self.config.pool_size > 0:
+                vehicle.pool = EphemeralPool(
+                    self.config.curve,
+                    HmacDrbg(
+                        self.config.seed,
+                        personalization=b"fleet|%s|pool"
+                        % vehicle.name.encode(),
+                    ),
+                    self.config.pool_size,
+                )
+        duration = self.vehicle_device.time_ms(cost)
+        self._vehicle_energy_mj += self.vehicle_device.energy_mj(cost)
+
+        def enrolled() -> None:
+            vehicle.enrolled_at = self.sim.now
+            self._enrollment_latencies.append(
+                self.sim.now - vehicle.arrival_ms
+            )
+            vehicle.log(self.sim.now, "enrolled")
+            self._establish(vehicle)
+
+        self.sim.schedule_after(duration, enrolled)
+
+    # -- session establishment -------------------------------------------------
+
+    def _establish(self, vehicle: Vehicle) -> None:
+        started = self.sim.now
+        ctx_vehicle = vehicle.manager.context_factory()
+        ctx_gateway = self.gateway_manager.context_factory()
+        info = get_protocol(self.config.protocol)
+        if info.needs_pairwise_psk:
+            psk = HmacDrbg(
+                self.config.seed,
+                personalization=b"fleet|psk|%s" % vehicle.name.encode(),
+            ).generate(32)
+            install_pairwise_key(ctx_vehicle, ctx_gateway, psk)
+        party_v, party_g = info.factory(ctx_vehicle, ctx_gateway)
+        transcript = run_protocol(party_v, party_g)
+        vehicle_ms = self.vehicle_device.time_ms(party_v.total_cost())
+        gateway_ms = self.ca_device.time_ms(party_g.total_cost())
+        self._vehicle_energy_mj += self.vehicle_device.energy_mj(
+            party_v.total_cost()
+        )
+        self._ca_energy_mj += self.ca_device.energy_mj(party_g.total_cost())
+        bus_ms = transcript.total_bytes * self.config.bus_ms_per_byte
+        # The vehicle computes locally first; the gateway's share contends
+        # the central device with every other vehicle's establishment and
+        # with certificate issuance.
+        _, gateway_end = self.ca_resource.reserve(
+            started + vehicle_ms, gateway_ms
+        )
+        done = gateway_end + bus_ms
+
+        def finish() -> None:
+            vehicle.manager.install(self.gateway_id, party_v.session_key)
+            self.gateway_manager.install(
+                vehicle.device_id, party_g.session_key
+            )
+            session = vehicle.manager.session_for(self.gateway_id)
+            vehicle.generation = session.generation
+            vehicle.sessions += 1
+            self._sessions_established += 1
+            self._establishment_latencies.append(self.sim.now - started)
+            vehicle.log(
+                self.sim.now,
+                "established",
+                f"generation {session.generation}",
+            )
+            self.sim.schedule_after(
+                self.config.send_interval_ms, lambda: self._send(vehicle)
+            )
+
+        self.sim.schedule_at(done, finish)
+
+    # -- managed traffic ---------------------------------------------------------
+
+    def _send(self, vehicle: Vehicle) -> None:
+        if vehicle.records_sent >= self.config.records_per_vehicle:
+            vehicle.done_at = self.sim.now
+            vehicle.log(self.sim.now, "done", f"{vehicle.records_sent} records")
+            return
+        if vehicle.manager.needs_rekey(
+            self.gateway_id
+        ) or self.gateway_manager.needs_rekey(vehicle.device_id):
+            # Policy expired the key on either side: drop both halves and
+            # run a fresh establishment (fresh ephemerals, next generation).
+            vehicle.manager.sessions.pop(self.gateway_id, None)
+            self.gateway_manager.sessions.pop(vehicle.device_id, None)
+            vehicle.rekeys += 1
+            self._rekeys += 1
+            vehicle.log(self.sim.now, "rekey", f"after {vehicle.records_sent} records")
+            self._establish(vehicle)
+            return
+        payload = (
+            b"%s|%06d" % (vehicle.name.encode(), vehicle.records_sent)
+        ).ljust(self.config.record_bytes, b".")[: self.config.record_bytes]
+        with trace.trace(f"{vehicle.name}:send") as send_cost:
+            record = vehicle.manager.send(self.gateway_id, payload)
+        self._vehicle_energy_mj += self.vehicle_device.energy_mj(send_cost)
+        with trace.trace("gateway:receive") as recv_cost:
+            received = self.gateway_manager.receive(
+                vehicle.device_id, record
+            )
+        if received != payload:
+            raise SimulationError(
+                f"gateway decrypted wrong payload for {vehicle.name}"
+            )
+        self._ca_energy_mj += self.ca_device.energy_mj(recv_cost)
+        self.ca_resource.reserve(
+            self.sim.now, self.ca_device.time_ms(recv_cost)
+        )
+        vehicle.records_sent += 1
+        self._records_sent += 1
+        send_ms = self.vehicle_device.time_ms(send_cost)
+        bus_ms = len(record) * self.config.bus_ms_per_byte
+        self.sim.schedule_after(
+            self.config.send_interval_ms + send_ms + bus_ms,
+            lambda: self._send(vehicle),
+        )
+
+    # -- driving -----------------------------------------------------------------
+
+    def run(self, max_events: int = 5_000_000) -> FleetResult:
+        """Run the full storm to quiescence and aggregate the stats."""
+        for vehicle in self.vehicles:
+            self.sim.schedule_at(
+                vehicle.arrival_ms, (lambda v: lambda: self._arrive(v))(vehicle)
+            )
+        self.sim.run(max_events=max_events)
+        unfinished = [v.name for v in self.vehicles if v.done_at is None]
+        if unfinished:
+            raise SimulationError(
+                f"fleet run ended with unfinished vehicles: {unfinished[:5]}"
+            )
+        stats = FleetStats(
+            vehicles=len(self.vehicles),
+            enrollments=sum(1 for v in self.vehicles if v.enrolled),
+            sessions_established=self._sessions_established,
+            rekeys=self._rekeys,
+            records_sent=self._records_sent,
+            duration_ms=self.sim.now,
+            ca_busy_ms=self.ca_resource.busy_ms,
+            ca_utilisation=self.ca_resource.utilisation(self.sim.now),
+            ca_batches=self._ca_batches,
+            ca_max_batch=self._ca_max_batch,
+            enrollment_latency=LatencySummary.from_samples(
+                self._enrollment_latencies
+            ),
+            establishment_latency=LatencySummary.from_samples(
+                self._establishment_latencies
+            ),
+            vehicle_energy_mj=self._vehicle_energy_mj,
+            ca_energy_mj=self._ca_energy_mj,
+        )
+        return FleetResult(stats=stats, vehicles=self.vehicles)
+
+
+def run_fleet(config: FleetConfig | None = None) -> FleetResult:
+    """Convenience one-shot: build an orchestrator and run it."""
+    return FleetOrchestrator(
+        config if config is not None else FleetConfig()
+    ).run()

@@ -1,0 +1,141 @@
+"""Aggregate statistics for fleet-scale orchestration runs.
+
+Everything here is deterministic: latencies come from the discrete-event
+clock, energy from the hardware cost model, and :meth:`FleetStats.digest`
+hashes a canonical rendering so two runs with the same seed can be checked
+for bit-identical aggregate behaviour (the reproducibility contract the
+fleet benchmark enforces).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..primitives import sha256
+
+
+def _percentile(sorted_samples: list[float], q: float) -> float:
+    """Nearest-rank percentile on pre-sorted samples (deterministic)."""
+    if not sorted_samples:
+        return 0.0
+    index = min(
+        len(sorted_samples) - 1,
+        max(0, round(q * (len(sorted_samples) - 1))),
+    )
+    return sorted_samples[index]
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """Five-number summary of a latency sample set (milliseconds)."""
+
+    count: int
+    min_ms: float
+    mean_ms: float
+    p50_ms: float
+    p95_ms: float
+    max_ms: float
+
+    @classmethod
+    def from_samples(cls, samples: list[float]) -> "LatencySummary":
+        """Summarize raw samples; all-zero summary for an empty set."""
+        if not samples:
+            return cls(0, 0.0, 0.0, 0.0, 0.0, 0.0)
+        ordered = sorted(samples)
+        return cls(
+            count=len(ordered),
+            min_ms=ordered[0],
+            mean_ms=sum(ordered) / len(ordered),
+            p50_ms=_percentile(ordered, 0.50),
+            p95_ms=_percentile(ordered, 0.95),
+            max_ms=ordered[-1],
+        )
+
+    def row(self) -> str:
+        """One-line rendering used by reports."""
+        return (
+            f"n={self.count} min={self.min_ms:.3f} mean={self.mean_ms:.3f}"
+            f" p50={self.p50_ms:.3f} p95={self.p95_ms:.3f}"
+            f" max={self.max_ms:.3f} ms"
+        )
+
+
+@dataclass(frozen=True)
+class FleetStats:
+    """Aggregate outcome of one :class:`~repro.fleet.FleetOrchestrator` run."""
+
+    vehicles: int
+    enrollments: int
+    sessions_established: int
+    rekeys: int
+    records_sent: int
+    duration_ms: float
+    ca_busy_ms: float
+    ca_utilisation: float
+    ca_batches: int
+    ca_max_batch: int
+    enrollment_latency: LatencySummary
+    establishment_latency: LatencySummary
+    vehicle_energy_mj: float
+    ca_energy_mj: float
+
+    @property
+    def throughput_records_per_s(self) -> float:
+        """Application records delivered per simulated second."""
+        if self.duration_ms <= 0:
+            return 0.0
+        return self.records_sent / (self.duration_ms / 1000.0)
+
+    @property
+    def sessions_per_s(self) -> float:
+        """Session establishments (incl. re-keys) per simulated second."""
+        if self.duration_ms <= 0:
+            return 0.0
+        return self.sessions_established / (self.duration_ms / 1000.0)
+
+    def render(self) -> str:
+        """Human-readable multi-line report."""
+        lines = [
+            f"fleet: {self.vehicles} vehicles, {self.enrollments} enrolled,"
+            f" {self.sessions_established} sessions"
+            f" ({self.rekeys} re-keys), {self.records_sent} records",
+            f"  sim duration        : {self.duration_ms:.3f} ms",
+            f"  throughput          : {self.throughput_records_per_s:.2f}"
+            f" records/s, {self.sessions_per_s:.2f} sessions/s",
+            f"  CA busy             : {self.ca_busy_ms:.3f} ms"
+            f" ({self.ca_utilisation * 100.0:.1f} % utilisation,"
+            f" {self.ca_batches} issuance batches,"
+            f" max batch {self.ca_max_batch})",
+            f"  enrollment latency  : {self.enrollment_latency.row()}",
+            f"  establish latency   : {self.establishment_latency.row()}",
+            f"  energy              : vehicles {self.vehicle_energy_mj:.3f} mJ,"
+            f" CA {self.ca_energy_mj:.3f} mJ",
+        ]
+        return "\n".join(lines)
+
+    def digest(self) -> str:
+        """Stable hash of the aggregate numbers (reproducibility checks).
+
+        Floats are rendered with fixed precision so the digest is
+        insensitive to representation noise but sensitive to any real
+        behavioural change.
+        """
+        canonical = "|".join(
+            [
+                f"v={self.vehicles}",
+                f"enr={self.enrollments}",
+                f"sess={self.sessions_established}",
+                f"rekey={self.rekeys}",
+                f"rec={self.records_sent}",
+                f"dur={self.duration_ms:.6f}",
+                f"cabusy={self.ca_busy_ms:.6f}",
+                f"cau={self.ca_utilisation:.6f}",
+                f"cab={self.ca_batches}",
+                f"cam={self.ca_max_batch}",
+                f"enl={self.enrollment_latency.row()}",
+                f"esl={self.establishment_latency.row()}",
+                f"ve={self.vehicle_energy_mj:.6f}",
+                f"cae={self.ca_energy_mj:.6f}",
+            ]
+        )
+        return sha256(canonical.encode()).hex()

@@ -1,0 +1,65 @@
+"""Per-vehicle state and lifecycle timeline for fleet orchestration.
+
+Each vehicle is one constrained device working through the paper's full
+session-key lifecycle: ECQV enrollment at the CA, dynamic key derivation
+with the gateway, then managed application traffic until the session-key
+policy forces a re-key.  The timeline records every lifecycle transition
+with its discrete-event timestamp, giving per-vehicle observability on
+top of the fleet-wide aggregates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..ecqv import EcqvCredential
+from ..protocols import SessionManager
+from ..protocols.pool import EphemeralPool
+
+
+@dataclass(frozen=True)
+class TimelineEvent:
+    """One lifecycle transition of a vehicle (times in simulator ms)."""
+
+    time_ms: float
+    kind: str  # "arrive" | "request" | "certified" | "enrolled"
+    #          # | "established" | "rekey" | "done"
+    detail: str = ""
+
+
+@dataclass
+class Vehicle:
+    """One fleet member's mutable orchestration state."""
+
+    name: str
+    index: int
+    device_id: bytes
+    arrival_ms: float
+    events: list[TimelineEvent] = field(default_factory=list)
+    credential: EcqvCredential | None = None
+    manager: SessionManager | None = None
+    pool: EphemeralPool | None = None
+    enrolled_at: float | None = None
+    records_sent: int = 0
+    sessions: int = 0
+    rekeys: int = 0
+    generation: int = 0
+    done_at: float | None = None
+    session_counter: int = 0
+
+    def log(self, time_ms: float, kind: str, detail: str = "") -> None:
+        """Append one timeline event."""
+        self.events.append(TimelineEvent(time_ms, kind, detail))
+
+    @property
+    def enrolled(self) -> bool:
+        """True once the ECQV credential is held and key-confirmed."""
+        return self.credential is not None
+
+    def timeline(self) -> str:
+        """Human-readable per-vehicle lifecycle rendering."""
+        rows = [
+            f"{event.time_ms:12.3f} ms  {event.kind:<12s} {event.detail}"
+            for event in self.events
+        ]
+        return "\n".join([f"vehicle {self.name}:"] + rows)

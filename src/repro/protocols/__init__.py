@@ -30,6 +30,7 @@ from .manager import (
     SessionPolicy,
     connect_managers,
 )
+from .pool import EphemeralPool
 from .poramb import PorambParty, install_pairwise_key, make_poramb_pair
 from .provisioning import (
     ProvisioningDevice,
@@ -77,6 +78,7 @@ from .wire import (
 __all__ = [
     "ACK_BYTE",
     "ENC_KEY_SIZE",
+    "EphemeralPool",
     "GroupLeader",
     "GroupMember",
     "ID_SIZE",

@@ -21,6 +21,7 @@ from ..ec import Point
 from ..ecqv import EcqvCredential, ValidationPolicy
 from ..errors import ProtocolError
 from ..primitives import HmacDrbg
+from .pool import EphemeralPool
 
 #: Roles of the two stations; "A" always initiates.
 ROLE_A = "A"
@@ -120,6 +121,10 @@ class SessionContext:
         pre_shared_keys: pairwise authentication keys indexed by peer
             identity — only the PORAMB baseline uses these (its documented
             deployment burden).
+        ephemeral_pool: optional :class:`~repro.protocols.pool.EphemeralPool`
+            of precomputed Op1 ephemerals; pool-aware protocols (STS) drain
+            it instead of computing ``X*G`` per session.  ``None`` keeps
+            the classic on-demand path.
     """
 
     credential: EcqvCredential
@@ -128,6 +133,7 @@ class SessionContext:
     now: int = 1_700_000_000
     policy: ValidationPolicy = field(default_factory=ValidationPolicy)
     pre_shared_keys: dict[bytes, bytes] = field(default_factory=dict)
+    ephemeral_pool: "EphemeralPool | None" = None
 
     @property
     def device_id(self) -> bytes:

@@ -1,0 +1,78 @@
+"""Precomputed ephemeral pools: amortizing Op1 across many sessions.
+
+Op1 of every dynamic key-derivation run is a base-point multiplication
+``XG = X*G`` (paper Eq. 2).  A device expecting many sessions — or a
+gateway answering a whole fleet — can precompute a burst of ephemerals
+with :func:`~repro.ec.mul_base_batch`, paying one shared Jacobian
+normalization for the entire pool instead of one inversion per session.
+The wire protocol is unchanged: a pooled Op1 sends exactly the bytes a
+freshly computed one would.
+
+A pool is attached to a :class:`~repro.protocols.base.SessionContext` via
+its ``ephemeral_pool`` field; :class:`~repro.protocols.sts.StsParty`
+drains it transparently and falls back to on-demand computation when the
+pool is empty (so an under-provisioned pool degrades, never breaks).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from ..ec import Curve, mul_base_batch
+from ..errors import ProtocolError
+from ..primitives import HmacDrbg
+from .wire import encode_point_raw
+
+
+class EphemeralPool:
+    """A FIFO of precomputed ``(X, XG)`` ephemeral pairs for one curve.
+
+    Args:
+        curve: domain parameters the ephemerals live on.
+        rng: DRBG the secret scalars are drawn from (draws ``size``
+            scalars immediately, in order, so pooled and on-demand
+            generation consume the stream identically).
+        size: number of ephemerals to precompute up front.
+    """
+
+    def __init__(self, curve: Curve, rng: HmacDrbg, size: int) -> None:
+        if size <= 0:
+            raise ProtocolError(f"pool size must be positive, got {size}")
+        self.curve = curve
+        self.built = 0
+        self._entries: deque[tuple[int, bytes]] = deque()
+        self.refill(rng, size)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def refill(self, rng: HmacDrbg, size: int) -> None:
+        """Precompute ``size`` further ephemerals in one batch."""
+        if size <= 0:
+            raise ProtocolError(f"refill size must be positive, got {size}")
+        scalars = [rng.random_scalar(self.curve.n) for _ in range(size)]
+        points = mul_base_batch(scalars, self.curve)
+        self._entries.extend(
+            (scalar, encode_point_raw(point))
+            for scalar, point in zip(scalars, points)
+        )
+        self.built += size
+
+    def take(self, curve: Curve) -> tuple[int, bytes]:
+        """Pop the oldest precomputed pair, validating the curve binding.
+
+        Raises:
+            ProtocolError: if the pool is empty or was built for a
+                different curve than the caller's.
+        """
+        if curve != self.curve:
+            # Full-parameter comparison: a curve merely sharing a name
+            # must not receive ephemerals from a different group (the
+            # same aliasing hazard the base-table cache guards against).
+            raise ProtocolError(
+                f"ephemeral pool built for {self.curve.name},"
+                f" requested incompatible {curve.name}"
+            )
+        if not self._entries:
+            raise ProtocolError("ephemeral pool exhausted")
+        return self._entries.popleft()

@@ -86,14 +86,21 @@ class StsParty(Party):
     # -- shared building blocks ------------------------------------------------
 
     def _op1_generate_ephemeral(self) -> None:
-        """Op1: random EC point derivation (paper Eq. 2)."""
+        """Op1: random EC point derivation (paper Eq. 2).
+
+        With an :class:`~repro.protocols.pool.EphemeralPool` attached to
+        the context, the pair was batch-precomputed and Op1 collapses to a
+        queue pop (its cost was paid, amortized, at pool build time); an
+        empty or absent pool falls back to the classic on-demand path.
+        """
+        curve = self.ctx.credential.certificate.curve
+        pool = self.ctx.ephemeral_pool
         with self.operation("xg_generation", OP1):
-            self._ephemeral = self.ctx.rng.random_scalar(
-                self.ctx.credential.certificate.curve.n
-            )
-            xg = mul_base(
-                self._ephemeral, self.ctx.credential.certificate.curve
-            )
+            if pool is not None and len(pool):
+                self._ephemeral, self._xg_own = pool.take(curve)
+                return
+            self._ephemeral = self.ctx.rng.random_scalar(curve.n)
+            xg = mul_base(self._ephemeral, curve)
             self._xg_own = encode_point_raw(xg)
 
     def _derive_key(self) -> None:

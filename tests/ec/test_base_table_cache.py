@@ -1,0 +1,60 @@
+"""Regression: base-point tables must key on curve *parameters*, not name.
+
+The original cache keyed ``_BASE_TABLES`` on ``curve.name`` alone, so two
+distinct :class:`~repro.ec.curve.Curve` objects sharing a name silently
+shared precomputation — ``mul_base`` on the second curve returned points
+computed from the first curve's generator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.ec import SECP192R1, SECP224R1, mul_base, mul_point
+from repro.ec.scalarmult import _BASE_TABLES, _base_table
+
+
+def _same_name_different_generator(curve):
+    """A curve identical to ``curve`` except its base point is 2G."""
+    g2 = mul_point(2, curve.generator)
+    return replace(curve, gx=g2.x, gy=g2.y)
+
+
+class TestBaseTableCacheKey:
+    def test_same_name_distinct_params_get_distinct_tables(self):
+        original = SECP192R1
+        twisted = _same_name_different_generator(original)
+        assert twisted.name == original.name
+        k = 0x1234567890ABCDEF
+        expected_original = mul_point(k, original.generator)
+        expected_twisted = mul_point(k, twisted.generator)
+        # Regression order matters: populate the cache for the original
+        # curve first, then ask for the same-name variant.
+        assert mul_base(k, original) == expected_original
+        assert mul_base(k, twisted) == expected_twisted
+        assert expected_original != expected_twisted
+
+    def test_reverse_population_order(self):
+        original = SECP224R1
+        twisted = _same_name_different_generator(original)
+        k = 0xDEADBEEF
+        assert mul_base(k, twisted) == mul_point(k, twisted.generator)
+        assert mul_base(k, original) == mul_point(k, original.generator)
+
+    def test_cache_entries_are_per_curve_value(self):
+        original = SECP192R1
+        twisted = _same_name_different_generator(original)
+        _base_table(original)
+        _base_table(twisted)
+        assert original in _BASE_TABLES
+        assert twisted in _BASE_TABLES
+        assert _BASE_TABLES[original] is not _BASE_TABLES[twisted]
+
+    def test_equal_curve_values_share_one_entry(self):
+        # A structurally identical Curve object must hit the same cache
+        # slot (frozen dataclass equality), not grow the cache.
+        clone = replace(SECP192R1)
+        _base_table(SECP192R1)
+        before = len(_BASE_TABLES)
+        _base_table(clone)
+        assert len(_BASE_TABLES) == before

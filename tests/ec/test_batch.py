@@ -1,0 +1,122 @@
+"""Tests for the batched EC hot path: batch inversion + normalization."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import trace
+from repro.ec import (
+    SECP192R1,
+    SECP256R1,
+    batch_inverse,
+    mul_base,
+    mul_base_batch,
+    normalize_batch,
+)
+from repro.ec.point import JAC_INFINITY, from_jacobian, to_jacobian
+from repro.ec.scalarmult import _mul_base_jac
+from repro.errors import MathError, NotInvertibleError
+
+C = SECP256R1
+
+
+class TestBatchInverse:
+    def test_matches_single_inversions(self):
+        rng = random.Random(2024)
+        values = [rng.randrange(1, C.p) for _ in range(64)]
+        inverses = batch_inverse(values, C.p)
+        assert all(v * i % C.p == 1 for v, i in zip(values, inverses))
+
+    def test_unreduced_and_negative_inputs(self):
+        values = [C.p + 3, -5, 2 * C.p + 7]
+        inverses = batch_inverse(values, C.p)
+        assert all(v * i % C.p == 1 for v, i in zip(values, inverses))
+
+    def test_empty_batch(self):
+        assert batch_inverse([], C.p) == []
+
+    def test_single_element(self):
+        (inv,) = batch_inverse([12345], C.p)
+        assert 12345 * inv % C.p == 1
+
+    def test_zero_element_identified(self):
+        with pytest.raises(NotInvertibleError, match="element 2"):
+            batch_inverse([3, 5, 0, 7], C.p)
+
+    def test_non_coprime_element_identified(self):
+        # Composite modulus: index 1 shares a factor with 91 = 7 * 13.
+        with pytest.raises(NotInvertibleError, match="element 1"):
+            batch_inverse([2, 7, 3], 91)
+
+    def test_bad_modulus(self):
+        with pytest.raises(MathError):
+            batch_inverse([1], 1)
+
+    def test_records_single_inv_event(self):
+        with trace.trace() as t:
+            batch_inverse(list(range(1, 50)), C.p)
+        assert t["mod.inv"] == 1
+
+
+class TestNormalizeBatch:
+    def _jacobians(self, count):
+        return [_mul_base_jac(k, C) for k in range(2, count + 2)]
+
+    def test_matches_per_point_normalization(self):
+        jacs = self._jacobians(32)
+        assert normalize_batch(C, jacs) == [
+            from_jacobian(C, jac) for jac in jacs
+        ]
+
+    def test_infinities_pass_through(self):
+        jacs = [JAC_INFINITY, _mul_base_jac(9, C), JAC_INFINITY]
+        points = normalize_batch(C, jacs)
+        assert points[0].is_infinity and points[2].is_infinity
+        assert points[1] == mul_base(9, C)
+
+    def test_all_infinity(self):
+        points = normalize_batch(C, [JAC_INFINITY] * 3)
+        assert all(p.is_infinity for p in points)
+
+    def test_empty(self):
+        assert normalize_batch(C, []) == []
+
+    def test_does_not_trace(self):
+        jacs = self._jacobians(8)
+        with trace.trace() as t:
+            normalize_batch(C, jacs)
+        assert t.total() == 0
+
+    def test_unnormalized_z_coordinates(self):
+        # A genuinely projective representative (z != 1) must normalise
+        # to the same affine point.
+        doubled = to_jacobian(mul_base(7, C))
+        from repro.ec.point import jac_double
+
+        jac = jac_double(C, doubled)  # z becomes 2*y != 1
+        (point,) = normalize_batch(C, [jac])
+        assert point == mul_base(14, C)
+
+
+class TestMulBaseBatch:
+    def test_matches_scalar_at_a_time(self):
+        rng = random.Random(99)
+        scalars = [rng.randrange(1, C.n) for _ in range(16)]
+        assert mul_base_batch(scalars, C) == [
+            mul_base(k, C) for k in scalars
+        ]
+
+    def test_zero_scalars_yield_infinity(self):
+        points = mul_base_batch([0, 5, C.n], C)
+        assert points[0].is_infinity and points[2].is_infinity
+        assert points[1] == mul_base(5, C)
+
+    def test_traces_one_event_per_nonzero_scalar(self):
+        with trace.trace() as t:
+            mul_base_batch([0, 3, 5, SECP192R1.n, 7], SECP192R1)
+        assert t["ec.mul_base"] == 3
+
+    def test_empty(self):
+        assert mul_base_batch([], C) == []

@@ -1,0 +1,130 @@
+"""Round-trip and malformed-input fuzzing for SEC 1 point encoding.
+
+Seeded ``random`` generates valid encodings (round-trip identity must
+hold bit-exactly) and adversarial mutations (decoding must either
+succeed or raise the *typed* :class:`~repro.errors.PointDecodingError` —
+never an ``AssertionError``/``IndexError``/``ValueError`` leaking from
+the arithmetic internals).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.ec import (
+    SECP192R1,
+    SECP256R1,
+    Point,
+    decode_point,
+    encode_point,
+    mul_base,
+    point_size,
+)
+from repro.errors import PointDecodingError, ReproError
+
+CURVES_UNDER_TEST = (SECP192R1, SECP256R1)
+_SEED = 0x5EC1
+
+
+def _random_points(curve, rng, count):
+    return [mul_base(rng.randrange(1, curve.n), curve) for _ in range(count)]
+
+
+@pytest.mark.parametrize("curve", CURVES_UNDER_TEST, ids=lambda c: c.name)
+@pytest.mark.parametrize("compressed", (True, False))
+def test_round_trip_identity(curve, compressed):
+    rng = random.Random(_SEED)
+    for point in _random_points(curve, rng, 8):
+        blob = encode_point(point, compressed=compressed)
+        assert len(blob) == point_size(curve, compressed=compressed)
+        decoded = decode_point(curve, blob)
+        assert decoded == point
+        # Re-encoding is byte-identical (canonical form).
+        assert encode_point(decoded, compressed=compressed) == blob
+
+
+def test_infinity_round_trip():
+    for curve in CURVES_UNDER_TEST:
+        blob = encode_point(Point.infinity(curve))
+        assert blob == b"\x00"
+        assert decode_point(curve, blob).is_infinity
+
+
+@pytest.mark.parametrize("curve", CURVES_UNDER_TEST, ids=lambda c: c.name)
+def test_mutated_encodings_raise_typed_errors(curve):
+    rng = random.Random(_SEED + 1)
+    points = _random_points(curve, rng, 4)
+    for point in points:
+        for compressed in (True, False):
+            blob = bytearray(encode_point(point, compressed=compressed))
+            for _ in range(40):
+                mutated = bytearray(blob)
+                op = rng.randrange(3)
+                if op == 0:  # flip a random byte
+                    index = rng.randrange(len(mutated))
+                    mutated[index] ^= rng.randrange(1, 256)
+                elif op == 1:  # truncate
+                    mutated = mutated[: rng.randrange(len(mutated))]
+                else:  # extend with junk
+                    mutated += bytes(
+                        rng.randrange(256)
+                        for _ in range(rng.randrange(1, 8))
+                    )
+                try:
+                    decoded = decode_point(curve, bytes(mutated))
+                except PointDecodingError:
+                    continue  # typed rejection: exactly what we want
+                except ReproError as exc:  # pragma: no cover - regression
+                    raise AssertionError(
+                        f"wrong error type {type(exc).__name__}"
+                    ) from exc
+                # If it decoded, the mutation must still be a valid
+                # encoding of *some* on-curve point.
+                assert decoded.is_infinity or curve.contains(
+                    decoded.x, decoded.y
+                )
+
+
+def test_random_garbage_never_crashes():
+    rng = random.Random(_SEED + 2)
+    for curve in CURVES_UNDER_TEST:
+        for _ in range(200):
+            blob = bytes(
+                rng.randrange(256) for _ in range(rng.randrange(0, 80))
+            )
+            try:
+                decode_point(curve, blob)
+            except PointDecodingError:
+                pass  # the only acceptable failure mode
+
+
+def test_specific_malformations():
+    curve = SECP256R1
+    g_blob = encode_point(curve.generator, compressed=False)
+    cases = [
+        b"",  # empty
+        b"\x05" + g_blob[1:],  # unknown prefix
+        b"\x00\x00",  # infinity with trailing byte
+        b"\x04" + g_blob[1:-1],  # truncated uncompressed
+        b"\x02" + b"\xff" * curve.field_bytes,  # x >= p
+    ]
+    for blob in cases:
+        with pytest.raises(PointDecodingError):
+            decode_point(curve, blob)
+
+
+def test_compressed_non_residue_rejected():
+    curve = SECP256R1
+    rng = random.Random(_SEED + 3)
+    rejected = 0
+    for _ in range(32):
+        x = rng.randrange(curve.p)
+        blob = b"\x02" + x.to_bytes(curve.field_bytes, "big")
+        try:
+            point = decode_point(curve, blob)
+            assert curve.contains(point.x, point.y)
+        except PointDecodingError:
+            rejected += 1
+    assert rejected > 0  # about half of random x have no curve point

@@ -1,0 +1,105 @@
+"""Batched ECQV issuance must be indistinguishable from sequential."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import trace
+from repro.ec import SECP192R1, SECP256R1
+from repro.ecdsa import generate_keypair
+from repro.ecqv import (
+    CertificateAuthority,
+    CertificateRequest,
+    CertificateRequester,
+)
+from repro.errors import CertificateError
+from repro.primitives import HmacDrbg
+from repro.testbed import device_id
+
+
+def make_ca(curve=SECP256R1, seed=b"batch-ca"):
+    return CertificateAuthority(
+        curve, device_id("batch-ca"), HmacDrbg(seed, personalization=b"ca")
+    )
+
+
+def make_requests(count, curve=SECP256R1, tag=b"batch-req"):
+    requests = []
+    for i in range(count):
+        rng = HmacDrbg(tag, personalization=b"dev|%d" % i)
+        keypair = generate_keypair(curve, rng)
+        requests.append(
+            CertificateRequest(device_id(f"dev{i:03d}"), keypair.public)
+        )
+    return requests
+
+
+class TestIssueBatch:
+    def test_identical_to_sequential_issuance(self):
+        ca_batch = make_ca()
+        ca_seq = make_ca()
+        requests = make_requests(6)
+        batched = ca_batch.issue_batch(requests)
+        sequential = [ca_seq.issue(request) for request in requests]
+        assert [b.certificate.encode() for b in batched] == [
+            s.certificate.encode() for s in sequential
+        ]
+        assert [b.private_reconstruction for b in batched] == [
+            s.private_reconstruction for s in sequential
+        ]
+
+    def test_serials_are_sequential(self):
+        ca = make_ca()
+        issued = ca.issue_batch(make_requests(4))
+        assert [i.certificate.serial for i in issued] == [1, 2, 3, 4]
+        assert sorted(ca.issued) == [1, 2, 3, 4]
+
+    def test_credentials_key_confirm(self):
+        # The full device-side round trip must succeed for every batch
+        # member (key confirmation catches any cross-contamination of
+        # ephemerals inside the batch).
+        curve = SECP256R1
+        ca = make_ca(curve)
+        requesters = []
+        requests = []
+        for i in range(5):
+            requester = CertificateRequester(
+                curve,
+                device_id(f"conf{i:03d}"),
+                HmacDrbg(b"confirm", personalization=b"%d" % i),
+            )
+            requesters.append(requester)
+            requests.append(requester.create_request())
+        issued = ca.issue_batch(requests)
+        for requester, certificate in zip(requesters, issued):
+            credential = requester.process_response(
+                certificate, ca.public_key
+            )
+            assert credential.certificate.subject_id == requester.subject_id
+
+    def test_empty_batch(self):
+        assert make_ca().issue_batch([]) == []
+
+    def test_wrong_curve_rejected_before_any_issuance(self):
+        ca = make_ca(SECP256R1)
+        good = make_requests(1)
+        bad = make_requests(1, curve=SECP192R1, tag=b"wrong-curve")
+        with pytest.raises(CertificateError, match="wrong curve"):
+            ca.issue_batch(good + bad)
+        assert ca.issued == {}  # nothing was partially issued
+
+    def test_invalid_validity_rejected(self):
+        ca = make_ca()
+        with pytest.raises(CertificateError, match="validity"):
+            ca.issue_batch(make_requests(1), validity_seconds=0)
+
+    def test_trace_events_match_sequential(self):
+        requests = make_requests(4, tag=b"trace-req")
+        ca_batch = make_ca(seed=b"trace-ca")
+        ca_seq = make_ca(seed=b"trace-ca")
+        with trace.trace() as batch_trace:
+            ca_batch.issue_batch(requests)
+        with trace.trace() as seq_trace:
+            for request in requests:
+                ca_seq.issue(request)
+        assert batch_trace.as_dict() == seq_trace.as_dict()

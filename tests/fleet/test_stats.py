@@ -1,0 +1,82 @@
+"""Tests for fleet statistics: summaries, digests, derived rates."""
+
+from __future__ import annotations
+
+from repro.fleet import FleetStats, LatencySummary
+
+
+def make_stats(**overrides):
+    base = dict(
+        vehicles=4,
+        enrollments=4,
+        sessions_established=8,
+        rekeys=4,
+        records_sent=40,
+        duration_ms=2000.0,
+        ca_busy_ms=150.0,
+        ca_utilisation=0.075,
+        ca_batches=2,
+        ca_max_batch=3,
+        enrollment_latency=LatencySummary.from_samples([10.0, 20.0]),
+        establishment_latency=LatencySummary.from_samples([5.0]),
+        vehicle_energy_mj=1.5,
+        ca_energy_mj=0.5,
+    )
+    base.update(overrides)
+    return FleetStats(**base)
+
+
+class TestLatencySummary:
+    def test_empty(self):
+        summary = LatencySummary.from_samples([])
+        assert summary.count == 0
+        assert summary.max_ms == 0.0
+
+    def test_single_sample(self):
+        summary = LatencySummary.from_samples([7.5])
+        assert summary.min_ms == summary.p50_ms == summary.max_ms == 7.5
+
+    def test_percentiles_ordered(self):
+        samples = [float(i) for i in range(100, 0, -1)]
+        summary = LatencySummary.from_samples(samples)
+        assert summary.min_ms == 1.0
+        assert summary.max_ms == 100.0
+        assert (
+            summary.min_ms
+            <= summary.p50_ms
+            <= summary.p95_ms
+            <= summary.max_ms
+        )
+        assert summary.p50_ms == 51.0  # nearest-rank on sorted 1..100
+        assert summary.mean_ms == 50.5
+
+    def test_unsorted_input_is_sorted(self):
+        assert LatencySummary.from_samples(
+            [3.0, 1.0, 2.0]
+        ) == LatencySummary.from_samples([1.0, 2.0, 3.0])
+
+
+class TestFleetStats:
+    def test_throughput_rates(self):
+        stats = make_stats()
+        assert stats.throughput_records_per_s == 20.0  # 40 in 2 s
+        assert stats.sessions_per_s == 4.0
+
+    def test_zero_duration_rates(self):
+        stats = make_stats(duration_ms=0.0)
+        assert stats.throughput_records_per_s == 0.0
+        assert stats.sessions_per_s == 0.0
+
+    def test_digest_stable_and_sensitive(self):
+        assert make_stats().digest() == make_stats().digest()
+        assert make_stats().digest() != make_stats(records_sent=41).digest()
+        assert (
+            make_stats().digest()
+            != make_stats(ca_busy_ms=150.000001).digest()
+        )
+
+    def test_render_mentions_headlines(self):
+        text = make_stats().render()
+        assert "4 vehicles" in text
+        assert "re-keys" in text
+        assert "utilisation" in text

@@ -1,0 +1,175 @@
+"""Expiry semantics of the session-lifetime policy manager.
+
+Pins down the contract the fleet orchestrator builds on: the max-age vs
+max-records race, boundary behaviour, generation monotonicity across
+re-keys, and that expired key material is really gone from the manager.
+"""
+
+from __future__ import annotations
+
+import gc
+import weakref
+
+import pytest
+
+from repro.protocols import (
+    SessionExpired,
+    SessionManager,
+    SessionPolicy,
+    connect_managers,
+)
+from repro.testbed import make_testbed
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+def make_pair(policy):
+    testbed = make_testbed(("alice", "bob"), seed=b"expiry-test")
+    clock = FakeClock()
+    manager_a = SessionManager(
+        lambda: testbed.context("alice"), "A", policy=policy, clock=clock
+    )
+    manager_b = SessionManager(
+        lambda: testbed.context("bob"), "B", policy=policy, clock=clock
+    )
+    return manager_a, manager_b, clock
+
+
+class TestAgeVsRecordsRace:
+    def test_age_at_boundary_still_valid(self):
+        manager_a, manager_b, clock = make_pair(
+            SessionPolicy(max_age_seconds=10.0, max_records=1000)
+        )
+        peer, _ = connect_managers(manager_a, manager_b)
+        clock.now = 10.0  # age == max_age: not yet expired (strict >)
+        assert manager_a.send(peer, b"x")
+
+    def test_age_past_boundary_expires(self):
+        manager_a, manager_b, clock = make_pair(
+            SessionPolicy(max_age_seconds=10.0, max_records=1000)
+        )
+        peer, _ = connect_managers(manager_a, manager_b)
+        clock.now = 10.0001
+        with pytest.raises(SessionExpired, match="exceeded"):
+            manager_a.send(peer, b"x")
+
+    def test_record_budget_boundary(self):
+        manager_a, manager_b, _ = make_pair(
+            SessionPolicy(max_age_seconds=1e9, max_records=3)
+        )
+        peer, _ = connect_managers(manager_a, manager_b)
+        for _ in range(3):
+            manager_a.send(peer, b"x")  # exactly the budget
+        with pytest.raises(SessionExpired, match="record budget"):
+            manager_a.send(peer, b"x")
+
+    def test_both_exceeded_age_wins_the_race(self):
+        # When age and records are simultaneously over budget the age
+        # check runs first — pin that so error handling is predictable.
+        manager_a, manager_b, clock = make_pair(
+            SessionPolicy(max_age_seconds=10.0, max_records=2)
+        )
+        peer, _ = connect_managers(manager_a, manager_b)
+        manager_a.send(peer, b"x")
+        manager_a.send(peer, b"x")  # record budget now exhausted
+        clock.now = 11.0  # and the key is over-age
+        with pytest.raises(SessionExpired, match="exceeded"):
+            manager_a.send(peer, b"x")
+
+    def test_receive_counts_against_budget_too(self):
+        manager_a, manager_b, _ = make_pair(
+            SessionPolicy(max_age_seconds=1e9, max_records=2)
+        )
+        peer_of_a, peer_of_b = connect_managers(manager_a, manager_b)
+        record_1 = manager_a.send(peer_of_a, b"one")
+        record_2 = manager_a.send(peer_of_a, b"two")
+        assert manager_b.receive(peer_of_b, record_1) == b"one"
+        assert manager_b.receive(peer_of_b, record_2) == b"two"
+        with pytest.raises(SessionExpired):
+            manager_b.receive(peer_of_b, b"\x00" * 21)
+
+
+class TestGenerationMonotonicity:
+    def test_generation_increments_across_rekeys(self):
+        manager_a, manager_b, clock = make_pair(
+            SessionPolicy(max_age_seconds=5.0, max_records=1000)
+        )
+        generations = []
+        for round_number in range(4):
+            peer, _ = connect_managers(manager_a, manager_b)
+            generations.append(manager_a.session_for(peer).generation)
+            clock.now += 6.0  # expire the current key
+            assert manager_a.needs_rekey(peer)
+        assert generations == [1, 2, 3, 4]
+
+    def test_generation_survives_drop(self):
+        # Even though the expired session object is dropped entirely, the
+        # per-peer generation counter must keep increasing — a fresh
+        # session must never reuse a generation number.
+        manager_a, manager_b, clock = make_pair(
+            SessionPolicy(max_age_seconds=5.0, max_records=1000)
+        )
+        peer, _ = connect_managers(manager_a, manager_b)
+        clock.now = 100.0
+        with pytest.raises(SessionExpired):
+            manager_a.session_for(peer)
+        assert peer not in manager_a.sessions  # dropped
+        clock.now = 100.5
+        connect_managers(manager_a, manager_b)
+        assert manager_a.session_for(peer).generation == 2
+
+    def test_established_count_tracks_installs(self):
+        manager_a, manager_b, clock = make_pair(
+            SessionPolicy(max_age_seconds=5.0, max_records=1000)
+        )
+        for _ in range(3):
+            connect_managers(manager_a, manager_b)
+            clock.now += 6.0
+        assert manager_a.established_count == 3
+        assert manager_b.established_count == 3
+
+
+class TestKeyMaterialDropped:
+    def test_expired_session_removed_from_manager(self):
+        manager_a, manager_b, clock = make_pair(
+            SessionPolicy(max_age_seconds=5.0, max_records=1000)
+        )
+        peer, _ = connect_managers(manager_a, manager_b)
+        assert peer in manager_a.sessions
+        clock.now = 6.0
+        with pytest.raises(SessionExpired):
+            manager_a.send(peer, b"x")
+        assert peer not in manager_a.sessions
+
+    def test_needs_rekey_also_drops(self):
+        manager_a, manager_b, clock = make_pair(
+            SessionPolicy(max_age_seconds=5.0, max_records=1000)
+        )
+        peer, _ = connect_managers(manager_a, manager_b)
+        clock.now = 6.0
+        assert manager_a.needs_rekey(peer)
+        assert peer not in manager_a.sessions
+
+    def test_channel_object_becomes_collectable(self):
+        # The manager must not keep the expired SecureSession (and its
+        # key material) alive through any hidden reference.
+        manager_a, manager_b, clock = make_pair(
+            SessionPolicy(max_age_seconds=5.0, max_records=1000)
+        )
+        peer, _ = connect_managers(manager_a, manager_b)
+        channel_ref = weakref.ref(manager_a.session_for(peer).channel)
+        clock.now = 6.0
+        assert manager_a.needs_rekey(peer)
+        gc.collect()
+        assert channel_ref() is None
+
+    def test_unknown_peer_raises_session_expired(self):
+        manager_a, _, _ = make_pair(SessionPolicy())
+        with pytest.raises(SessionExpired, match="no session"):
+            manager_a.session_for(b"\x00" * 16)

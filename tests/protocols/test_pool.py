@@ -1,0 +1,130 @@
+"""Tests for precomputed ephemeral pools and their STS integration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ec import SECP192R1, SECP256R1, mul_base
+from repro.errors import ProtocolError
+from repro.primitives import HmacDrbg
+from repro.protocols import EphemeralPool, make_sts_pair, run_protocol
+from repro.protocols.wire import decode_point_raw
+from repro.testbed import make_testbed
+
+
+def make_pool(size=4, curve=SECP256R1, tag=b"pool-test"):
+    return EphemeralPool(curve, HmacDrbg(tag, personalization=b"p"), size)
+
+
+class TestEphemeralPool:
+    def test_entries_are_valid_ephemeral_pairs(self):
+        pool = make_pool(6)
+        assert len(pool) == 6
+        for _ in range(6):
+            scalar, xg_bytes = pool.take(SECP256R1)
+            point = decode_point_raw(SECP256R1, xg_bytes)
+            assert point == mul_base(scalar, SECP256R1)
+        assert len(pool) == 0
+
+    def test_fifo_order_matches_drbg_stream(self):
+        pool = make_pool(3, tag=b"fifo")
+        rng = HmacDrbg(b"fifo", personalization=b"p")
+        expected = [rng.random_scalar(SECP256R1.n) for _ in range(3)]
+        drawn = [pool.take(SECP256R1)[0] for _ in range(3)]
+        assert drawn == expected
+
+    def test_exhausted_pool_raises_typed(self):
+        pool = make_pool(1)
+        pool.take(SECP256R1)
+        with pytest.raises(ProtocolError, match="exhausted"):
+            pool.take(SECP256R1)
+
+    def test_curve_mismatch_rejected(self):
+        pool = make_pool(1)
+        with pytest.raises(ProtocolError, match="built for"):
+            pool.take(SECP192R1)
+
+    def test_same_name_different_params_rejected(self):
+        # A curve that merely shares secp256r1's name must not receive
+        # the pool's ephemerals (full-parameter comparison).
+        from dataclasses import replace
+
+        from repro.ec import mul_point
+
+        g2 = mul_point(2, SECP256R1.generator)
+        alias = replace(SECP256R1, gx=g2.x, gy=g2.y)
+        pool = make_pool(1)
+        with pytest.raises(ProtocolError, match="incompatible"):
+            pool.take(alias)
+
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(ProtocolError):
+            make_pool(0)
+        pool = make_pool(1)
+        with pytest.raises(ProtocolError):
+            pool.refill(HmacDrbg(b"x"), -1)
+
+    def test_refill_extends(self):
+        pool = make_pool(2)
+        pool.refill(HmacDrbg(b"more"), 3)
+        assert len(pool) == 5
+        assert pool.built == 5
+
+
+class TestPooledSts:
+    def test_pooled_session_establishes_and_authenticates(self):
+        testbed = make_testbed(("alice", "bob"), seed=b"pool-sts")
+        ctx_a = testbed.context("alice")
+        ctx_b = testbed.context("bob")
+        ctx_a.ephemeral_pool = make_pool(2, tag=b"a-pool")
+        ctx_b.ephemeral_pool = make_pool(2, tag=b"b-pool")
+        party_a, party_b = make_sts_pair(ctx_a, ctx_b)
+        run_protocol(party_a, party_b)
+        assert party_a.session_key == party_b.session_key
+        assert party_a.peer_authenticated and party_b.peer_authenticated
+        assert len(ctx_a.ephemeral_pool) == 1
+        assert len(ctx_b.ephemeral_pool) == 1
+
+    def test_pooled_op1_has_no_mul_base_cost(self):
+        testbed = make_testbed(("alice", "bob"), seed=b"pool-cost")
+        ctx_a = testbed.context("alice")
+        ctx_b = testbed.context("bob")
+        ctx_a.ephemeral_pool = make_pool(1, tag=b"cost-pool")
+        party_a, party_b = make_sts_pair(ctx_a, ctx_b)
+        run_protocol(party_a, party_b)
+        op1 = party_a.records[0].operations[0]
+        assert op1.name == "xg_generation"
+        assert op1.cost["ec.mul_base"] == 0  # amortized at pool build
+        # The unpooled side still pays for its Op1.
+        op1_b = party_b.records[0].operations[0]
+        assert op1_b.cost["ec.mul_base"] == 1
+
+    def test_exhausted_pool_falls_back_to_on_demand(self):
+        testbed = make_testbed(("alice", "bob"), seed=b"pool-fallback")
+        ctx_a = testbed.context("alice")
+        ctx_b = testbed.context("bob")
+        pool = make_pool(1, tag=b"tiny-pool")
+        pool.take(SECP256R1)  # drain it before the run
+        ctx_a.ephemeral_pool = pool
+        party_a, party_b = make_sts_pair(ctx_a, ctx_b)
+        run_protocol(party_a, party_b)
+        assert party_a.session_key == party_b.session_key
+        op1 = party_a.records[0].operations[0]
+        assert op1.cost["ec.mul_base"] == 1  # computed on demand
+
+    def test_pooled_and_unpooled_runs_both_complete(self):
+        # Pooling must not change the wire protocol: both flavours run
+        # the exact same message flow to completion.
+        testbed = make_testbed(("alice", "bob"), seed=b"pool-wire")
+        ctx_a = testbed.context("alice")
+        ctx_b = testbed.context("bob")
+        ctx_a.ephemeral_pool = make_pool(1, tag=b"wire-pool")
+        pooled = run_protocol(*make_sts_pair(ctx_a, ctx_b))
+        plain = run_protocol(
+            *make_sts_pair(
+                testbed.context("alice"), testbed.context("bob")
+            )
+        )
+        assert [m.summary() for m in pooled.messages] == [
+            m.summary() for m in plain.messages
+        ]

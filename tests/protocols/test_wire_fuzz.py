@@ -1,0 +1,140 @@
+"""Round-trip and malformed-input fuzzing for the protocol wire helpers.
+
+Raw point encodings, session-key splitting and the STS response
+encryption must round-trip exactly and reject malformed input with the
+typed :class:`~repro.errors.ProtocolError` — never ``AssertionError`` or
+``IndexError`` escaping from slicing internals.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.ec import SECP192R1, SECP256R1, mul_base
+from repro.errors import ProtocolError, ReproError
+from repro.protocols.wire import (
+    SESSION_KEY_SIZE,
+    decode_point_raw,
+    decrypt_response,
+    derive_session_key,
+    enc_key,
+    encode_point_raw,
+    encrypt_response,
+    mac_key,
+    point_raw_size,
+    response_iv,
+)
+
+_SEED = 0x31BE
+
+
+@pytest.mark.parametrize("curve", (SECP192R1, SECP256R1), ids=lambda c: c.name)
+def test_raw_point_round_trip(curve):
+    rng = random.Random(_SEED)
+    for _ in range(8):
+        point = mul_base(rng.randrange(1, curve.n), curve)
+        blob = encode_point_raw(point)
+        assert len(blob) == point_raw_size(curve)
+        assert decode_point_raw(curve, blob) == point
+
+
+@pytest.mark.parametrize("curve", (SECP192R1, SECP256R1), ids=lambda c: c.name)
+def test_raw_point_mutations_rejected_typed(curve):
+    rng = random.Random(_SEED + 1)
+    point = mul_base(0xABCDEF, curve)
+    blob = encode_point_raw(point)
+    for _ in range(60):
+        mutated = bytearray(blob)
+        op = rng.randrange(3)
+        if op == 0:
+            mutated[rng.randrange(len(mutated))] ^= rng.randrange(1, 256)
+        elif op == 1:
+            mutated = mutated[: rng.randrange(len(mutated))]
+        else:
+            mutated += bytes([rng.randrange(256)])
+        try:
+            decoded = decode_point_raw(curve, bytes(mutated))
+        except ProtocolError:
+            continue
+        except ReproError as exc:  # pragma: no cover - regression guard
+            raise AssertionError(
+                f"wrong error type {type(exc).__name__}"
+            ) from exc
+        # Byte-flips that survive decoding must still be on-curve.
+        assert curve.contains(decoded.x, decoded.y)
+
+
+def test_raw_point_garbage_never_crashes():
+    rng = random.Random(_SEED + 2)
+    for _ in range(200):
+        blob = bytes(rng.randrange(256) for _ in range(rng.randrange(0, 80)))
+        try:
+            decode_point_raw(SECP256R1, blob)
+        except ProtocolError:
+            pass
+
+
+def test_infinity_not_encodable():
+    from repro.ec import Point
+
+    with pytest.raises(ProtocolError):
+        encode_point_raw(Point.infinity(SECP256R1))
+
+
+class TestSessionKeyMaterial:
+    def test_split_round_trip(self):
+        session_key = bytes(range(SESSION_KEY_SIZE))
+        assert enc_key(session_key) + mac_key(session_key) == session_key
+
+    @pytest.mark.parametrize("length", (0, 1, SESSION_KEY_SIZE - 1, SESSION_KEY_SIZE + 1))
+    def test_wrong_length_rejected(self, length):
+        with pytest.raises(ProtocolError):
+            enc_key(bytes(length))
+        with pytest.raises(ProtocolError):
+            mac_key(bytes(length))
+
+    def test_derive_session_key_deterministic(self):
+        key_a = derive_session_key(b"premaster", b"salt")
+        key_b = derive_session_key(b"premaster", b"salt")
+        assert key_a == key_b and len(key_a) == SESSION_KEY_SIZE
+        assert derive_session_key(b"premaster", b"other") != key_a
+
+
+class TestResponseEncryption:
+    def _key(self, rng):
+        return bytes(rng.randrange(256) for _ in range(SESSION_KEY_SIZE))
+
+    def test_round_trip_both_directions(self):
+        rng = random.Random(_SEED + 3)
+        for direction in ("A", "B"):
+            for _ in range(8):
+                key = self._key(rng)
+                dsign = bytes(
+                    rng.randrange(256)
+                    for _ in range(rng.randrange(1, 128))
+                )
+                resp = encrypt_response(key, direction, dsign)
+                assert len(resp) == len(dsign)  # CTR is length-preserving
+                assert decrypt_response(key, direction, resp) == dsign
+
+    def test_directions_use_distinct_keystreams(self):
+        key = bytes(SESSION_KEY_SIZE)
+        dsign = b"\x00" * 64
+        assert encrypt_response(key, "A", dsign) != encrypt_response(
+            key, "B", dsign
+        )
+
+    def test_invalid_direction_typed(self):
+        key = bytes(SESSION_KEY_SIZE)
+        for bad in ("C", "", "AB"):
+            with pytest.raises(ProtocolError):
+                response_iv(key, bad)
+
+    def test_empty_payloads_rejected(self):
+        key = bytes(SESSION_KEY_SIZE)
+        with pytest.raises(ProtocolError):
+            encrypt_response(key, "A", b"")
+        with pytest.raises(ProtocolError):
+            decrypt_response(key, "A", b"")
