@@ -17,6 +17,10 @@ Run standalone for the full workload (used by the acceptance check)::
     PYTHONPATH=src python benchmarks/bench_fleet_scale.py          # 500 sessions
     PYTHONPATH=src python benchmarks/bench_fleet_scale.py --quick  # CI smoke
 
+Either mode writes a machine-readable ``BENCH_fleet.json`` (throughput,
+p50/p99 latencies, energy, digest) so the performance trajectory can be
+tracked across PRs; ``--json`` overrides the output path.
+
 Under pytest the module contributes fast, small-fleet versions of the
 same assertions so regressions surface in the tier-1 run.
 """
@@ -24,6 +28,7 @@ same assertions so regressions surface in the tier-1 run.
 from __future__ import annotations
 
 import argparse
+import json
 import time
 
 from repro.ec import SECP256R1, normalize_batch
@@ -143,6 +148,12 @@ def main() -> None:
         action="store_true",
         help="CI smoke mode: 25 vehicles / 50 sessions instead of 500",
     )
+    parser.add_argument(
+        "--json",
+        default="BENCH_fleet.json",
+        metavar="PATH",
+        help="machine-readable output path (default: BENCH_fleet.json)",
+    )
     args = parser.parse_args()
     config = QUICK_CONFIG if args.quick else FULL_CONFIG
 
@@ -179,7 +190,35 @@ def main() -> None:
     print(f"  speedup             : {ca_seq_s / ca_batch_s:.2f}x"
           " (one k*G dominates each certificate, so expect ~1x here;"
           " the batch win is the normalization share above)")
-    print("\nOK")
+
+    record = {
+        "benchmark": "fleet_scale",
+        "mode": "quick" if args.quick else "full",
+        "config": {
+            "n_vehicles": config.n_vehicles,
+            "records_per_vehicle": config.records_per_vehicle,
+            "max_records": config.max_records,
+            "arrival_spread_ms": config.arrival_spread_ms,
+        },
+        "host_wall_s": wall_s,
+        "fleet": stats.as_dict(),
+        "normalization": {
+            "points": n_points,
+            "batch_ms": batch_s * 1000.0,
+            "per_point_ms": per_point_s * 1000.0,
+            "speedup": speedup,
+        },
+        "ca_issuance": {
+            "burst": burst,
+            "batch_ms": ca_batch_s * 1000.0,
+            "sequential_ms": ca_seq_s * 1000.0,
+        },
+    }
+    with open(args.json, "w") as handle:
+        json.dump(record, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"\nwrote {args.json}")
+    print("OK")
 
 
 # -- fast pytest-facing versions of the same assertions -----------------------

@@ -1,0 +1,175 @@
+"""Topology benchmark: shards × V2V sweep + the sharding latency claim.
+
+The claim under test: splitting the fleet's CA/gateway role across ``M``
+shards cuts the CA-queue wait — the time an enrollment request spends
+queued before its issuance batch starts service — because each shard
+serves ``~N/M`` vehicles instead of all ``N``.  The sweep runs the *same*
+500-session workload (250 vehicles × 2 sessions through forced re-keys)
+at 1, 2 and 4 shards and **asserts** that the mean CA-queue latency at 4
+shards beats 1 shard.  A V2V cell (direct vehicle↔vehicle sessions, no
+gateway in the data path, cross-shard pairs chain-validating to the fleet
+root) rides along to show the non-hub topology at scale.
+
+Run standalone (used by the acceptance check)::
+
+    PYTHONPATH=src python benchmarks/bench_topology.py          # 250 vehicles
+    PYTHONPATH=src python benchmarks/bench_topology.py --quick  # CI smoke
+
+Either mode writes a machine-readable ``BENCH_topology.json`` (one record
+per sweep cell: throughput, p50/p99 latencies, energy, per-shard
+breakdown, digest); ``--json`` overrides the path.  Under pytest the
+module contributes a fast, small-fleet version of the same assertion.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+
+from repro.fleet import FleetConfig, FleetOrchestrator
+
+#: Sharding sweep of the full workload (same seed and record budgets as
+#: ``bench_fleet_scale.FULL_CONFIG``'s 500-session storm).
+SHARD_SWEEP = (1, 2, 4)
+
+
+def topology_config(
+    n_vehicles: int,
+    shards: int,
+    v2v_fraction: float,
+    arrival_spread_ms: float,
+) -> FleetConfig:
+    """One sweep cell: a fixed workload at a given topology shape."""
+    return FleetConfig(
+        n_vehicles=n_vehicles,
+        seed=b"bench-topology",
+        records_per_vehicle=8,
+        max_records=4,
+        send_interval_ms=25.0,
+        arrival_spread_ms=arrival_spread_ms,
+        shards=shards,
+        v2v_fraction=v2v_fraction,
+        v2v_records=6,
+    )
+
+
+def run_cell(config: FleetConfig) -> tuple[dict, float]:
+    """Run one sweep cell; returns its JSON record and the wall time."""
+    t0 = time.perf_counter()
+    result = FleetOrchestrator(config).run()
+    wall_s = time.perf_counter() - t0
+    stats = result.stats
+    record = {
+        "shards": config.shards,
+        "v2v_fraction": config.v2v_fraction,
+        "n_vehicles": config.n_vehicles,
+        "host_wall_s": wall_s,
+        "fleet": stats.as_dict(),
+    }
+    return record, wall_s
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke mode: 50 vehicles instead of 250",
+    )
+    parser.add_argument(
+        "--json",
+        default="BENCH_topology.json",
+        metavar="PATH",
+        help="machine-readable output path (default: BENCH_topology.json)",
+    )
+    args = parser.parse_args()
+    n_vehicles = 50 if args.quick else 250
+    spread = 50.0 if args.quick else 200.0
+
+    cells = []
+    queue_means: dict[int, float] = {}
+    for shards in SHARD_SWEEP:
+        config = topology_config(n_vehicles, shards, 0.0, spread)
+        record, wall_s = run_cell(config)
+        cells.append(record)
+        fleet = record["fleet"]
+        queue_means[shards] = fleet["ca_queue_latency"]["mean_ms"]
+        print(
+            f"shards={shards}  v2v=0.0  sessions={fleet['sessions_established']}"
+            f"  queue mean={fleet['ca_queue_latency']['mean_ms']:.3f} ms"
+            f"  p99={fleet['ca_queue_latency']['p99_ms']:.3f} ms"
+            f"  enroll p50={fleet['enrollment_latency']['p50_ms']:.3f} ms"
+            f"  wall={wall_s:.1f} s"
+        )
+
+    # The V2V cell: the CI smoke shape (2 shards, fraction 0.3).
+    v2v_config = topology_config(n_vehicles, 2, 0.3, spread)
+    v2v_record, wall_s = run_cell(v2v_config)
+    cells.append(v2v_record)
+    v2v = v2v_record["fleet"]["v2v"]
+    print(
+        f"shards=2  v2v=0.3  v2v_sessions={v2v['sessions']}"
+        f" ({v2v['cross_shard']} cross-shard, {v2v['rekeys']} re-keys),"
+        f" {v2v['records_sent']} direct records  wall={wall_s:.1f} s"
+    )
+
+    required = 100 if args.quick else 500
+    for record in cells[: len(SHARD_SWEEP)]:
+        sessions = record["fleet"]["sessions_established"]
+        if sessions < required:
+            raise AssertionError(
+                f"expected >= {required} sessions at shards="
+                f"{record['shards']}, got {sessions}"
+            )
+
+    ratio = (
+        f" ({queue_means[1] / queue_means[4]:.2f}x better)"
+        if queue_means[4] > 0.0
+        else " (no queueing at all with 4 shards)"
+    )
+    print(
+        f"\nCA-queue mean latency: 1 shard = {queue_means[1]:.3f} ms,"
+        f" 4 shards = {queue_means[4]:.3f} ms{ratio}"
+    )
+    if queue_means[4] >= queue_means[1]:
+        raise AssertionError(
+            "sharding failed to cut CA-queue latency:"
+            f" 4 shards {queue_means[4]:.3f} ms >="
+            f" 1 shard {queue_means[1]:.3f} ms"
+        )
+
+    payload = {
+        "benchmark": "topology",
+        "mode": "quick" if args.quick else "full",
+        "cells": cells,
+    }
+    with open(args.json, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {args.json}")
+    print("OK")
+
+
+# -- fast pytest-facing version of the same assertion -------------------------
+
+
+def test_small_fleet_sharding_cuts_queue_latency():
+    """4 shards beat 1 shard on mean CA-queue wait for one burst workload."""
+    means = {}
+    for shards in (1, 4):
+        config = FleetConfig(
+            n_vehicles=16,
+            seed=b"bench-topology-pytest",
+            records_per_vehicle=2,
+            max_records=4,
+            arrival_spread_ms=5.0,  # burst arrivals force a queue
+            shards=shards,
+        )
+        result = FleetOrchestrator(config).run()
+        means[shards] = result.stats.ca_queue_latency.mean_ms
+    assert means[4] < means[1]
+
+
+if __name__ == "__main__":
+    main()

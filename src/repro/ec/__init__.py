@@ -39,11 +39,14 @@ from .modular import (
 )
 from .point import Point, normalize_batch
 from .scalarmult import (
+    clear_point_tables,
     mul_base,
     mul_base_batch,
     mul_double,
+    mul_double_batch,
     mul_ladder,
     mul_point,
+    precompute_point,
 )
 
 __all__ = [
@@ -59,6 +62,7 @@ __all__ = [
     "SECP256R1",
     "SECP384R1",
     "batch_inverse",
+    "clear_point_tables",
     "curve_by_id",
     "curve_id",
     "decode_point",
@@ -71,9 +75,11 @@ __all__ = [
     "mul_base",
     "mul_base_batch",
     "mul_double",
+    "mul_double_batch",
     "mul_ladder",
     "mul_point",
     "normalize_batch",
     "point_size",
+    "precompute_point",
     "sqrt_mod",
 ]

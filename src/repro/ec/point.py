@@ -251,11 +251,21 @@ def jac_add_mixed(curve: Curve, j1: Jacobian, point: Point) -> Jacobian:
     """
     if point.is_infinity:
         return j1
+    return jac_add_affine(curve, j1, point.x, point.y)
+
+
+def jac_add_affine(curve: Curve, j1: Jacobian, x2: int, y2: int) -> Jacobian:
+    """Mixed addition against raw affine coordinates ``(x2, y2)``.
+
+    The wNAF loops index precomputed affine tables and add either an entry
+    or its negation; taking bare coordinates lets a negative digit pass
+    ``(x, p - y)`` without constructing (and re-validating) a
+    :class:`Point`.
+    """
     x1, y1, z1 = j1
     if z1 == 0:
-        return to_jacobian(point)
+        return (x2, y2, 1)
     p = curve.p
-    x2, y2 = point.x, point.y
     z1z1 = (z1 * z1) % p
     u2 = (x2 * z1z1) % p
     s2 = (y2 * z1 * z1z1) % p

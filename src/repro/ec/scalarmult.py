@@ -9,13 +9,22 @@ offers:
   with a cached per-curve precomputation table (traces ``ec.mul_base``);
   :func:`mul_base_batch` amortizes the final Jacobian normalization over a
   whole batch of scalars via Montgomery-trick batch inversion.
-* :func:`mul_double` — Strauss–Shamir simultaneous multiplication
+* :func:`mul_double` — interleaved-wNAF simultaneous multiplication
   ``u*P + v*Q`` used by ECDSA verification and by the fused
-  reconstruct-and-derive step of the SCIANC protocol
-  (traces ``ec.mul_double``).
+  reconstruct-and-derive step of the SCIANC protocol (traces
+  ``ec.mul_double``); :func:`mul_double_batch` amortizes the final
+  normalization across many terms (batch ECDSA verification rides on it).
 * :func:`mul_ladder` — a uniform double-and-add-always ladder approximating
   the constant-time behaviour of hardened embedded code
   (traces ``ec.mul_point``; same price class).
+
+Hot points can share precomputation: :func:`precompute_point` registers a
+point's odd-multiples wNAF table in a cache keyed on the *full* curve
+parameters plus the affine coordinates, so repeated multiplications of a
+long-lived public key (a fleet gateway, a root CA) skip the per-call table
+build.  Curve generators are cached automatically on first use; arbitrary
+(ephemeral) points are never cached implicitly, keeping the cache bounded
+by the set of explicitly registered keys.
 
 All strategies agree on results (property-tested) and differ only in
 operation schedule, which is what the hardware model prices.
@@ -32,6 +41,7 @@ from .point import (
     Point,
     from_jacobian,
     jac_add,
+    jac_add_affine,
     jac_add_mixed,
     jac_double,
     normalize_batch,
@@ -50,6 +60,18 @@ _COMB_TEETH = 4
 # Value: (columns, [T_1 .. T_{2^teeth - 1}]) with
 # T_pattern = sum_{i: bit i of pattern} 2^(i*columns) * G.
 _BASE_TABLES: dict[Curve, tuple[int, list[Point]]] = {}
+
+# Shared wNAF odd-multiples tables [P, 3P, 5P, ...] for registered hot
+# points, keyed on (full Curve value, x, y) — the same aliasing discipline
+# as _BASE_TABLES.  Populated only by precompute_point() and, lazily, for
+# curve generators; never for arbitrary call-site points.  Bounded: once
+# _POINT_TABLE_LIMIT entries exist, the oldest registration is evicted
+# (FIFO via dict insertion order), so a long-lived process that builds
+# many fleets (a parameter study, the test suite) cannot grow this
+# without bound — an evicted point just pays the per-call table build
+# again until re-registered.
+_POINT_TABLES: dict[tuple[Curve, int, int], list[Point]] = {}
+_POINT_TABLE_LIMIT = 256
 
 
 def _wnaf(k: int, width: int) -> list[int]:
@@ -70,6 +92,81 @@ def _wnaf(k: int, width: int) -> list[int]:
     return digits
 
 
+def _odd_multiples(point: Point) -> list[Point]:
+    """Affine odd multiples ``[P, 3P, 5P, ..., (2^(w-1)-1)P]`` of a point.
+
+    Accumulated in Jacobian coordinates and normalized together in one
+    batch inversion, so building a table costs a single real inversion.
+    """
+    curve = point.curve
+    jacs: list[Jacobian] = [to_jacobian(point)]
+    twice = jac_double(curve, jacs[0])
+    for _ in range((1 << (_WNAF_WIDTH - 1)) // 2 - 1):
+        jacs.append(jac_add(curve, jacs[-1], twice))
+    return normalize_batch(curve, jacs)
+
+
+def _store_point_table(
+    key: tuple[Curve, int, int], table: list[Point]
+) -> None:
+    """Insert a table, evicting the oldest entries past the size bound."""
+    while len(_POINT_TABLES) >= _POINT_TABLE_LIMIT:
+        _POINT_TABLES.pop(next(iter(_POINT_TABLES)))
+    _POINT_TABLES[key] = table
+
+
+def precompute_point(point: Point) -> None:
+    """Register a hot point's wNAF table in the shared cache.
+
+    Intended for long-lived public keys multiplied many times — a
+    gateway's key verified by a whole fleet, a root CA's reconstruction
+    point validated on every cross-shard handshake.  Subsequent
+    :func:`mul_point` / :func:`mul_double` calls on the same point (same
+    full curve parameters, same coordinates) reuse the table instead of
+    rebuilding it.  Results are bit-identical either way; only host time
+    changes, so cost traces and simulation digests are unaffected.
+    """
+    if point.is_infinity:
+        raise CurveError("cannot precompute a table for the point at infinity")
+    key = (point.curve, point.x, point.y)
+    if key not in _POINT_TABLES:
+        _store_point_table(key, _odd_multiples(point))
+
+
+def clear_point_tables() -> None:
+    """Drop every shared wNAF table (test isolation / memory reclaim)."""
+    _POINT_TABLES.clear()
+
+
+def _wnaf_table(point: Point) -> list[Point]:
+    """The odd-multiples table for a point: cached if registered, else fresh.
+
+    Curve generators are cached automatically (bounded: one entry per
+    distinct curve value); any other unregistered point gets a throwaway
+    table so ephemeral points can never grow the cache.
+    """
+    curve = point.curve
+    key = (curve, point.x, point.y)
+    cached = _POINT_TABLES.get(key)
+    if cached is not None:
+        return cached
+    table = _odd_multiples(point)
+    if point.x == curve.gx and point.y == curve.gy:
+        _store_point_table(key, table)
+    return table
+
+
+def _wnaf_accumulate(
+    curve: Curve, acc: Jacobian, digit: int, table: list[Point]
+) -> Jacobian:
+    """Add ``digit``'s odd multiple (or its negation) from an affine table."""
+    if digit > 0:
+        entry = table[(digit - 1) // 2]
+        return jac_add_affine(curve, acc, entry.x, entry.y)
+    entry = table[(-digit - 1) // 2]
+    return jac_add_affine(curve, acc, entry.x, curve.p - entry.y)
+
+
 def mul_point(scalar: int, point: Point) -> Point:
     """Multiply an arbitrary point by a scalar using width-4 wNAF."""
     curve = point.curve
@@ -82,20 +179,13 @@ def mul_point(scalar: int, point: Point) -> Point:
 
 def _mul_wnaf_untraced(k: int, point: Point) -> Point:
     curve = point.curve
-    # Precompute odd multiples P, 3P, 5P, ..., (2^(w-1)-1)P.
-    table: list[Jacobian] = [to_jacobian(point)]
-    twice = jac_double(curve, table[0])
-    for _ in range((1 << (_WNAF_WIDTH - 1)) // 2 - 1):
-        table.append(jac_add(curve, table[-1], twice))
+    table = _wnaf_table(point)
     digits = _wnaf(k, _WNAF_WIDTH)
     acc: Jacobian = JAC_INFINITY
     for d in reversed(digits):
         acc = jac_double(curve, acc)
-        if d > 0:
-            acc = jac_add(curve, acc, table[(d - 1) // 2])
-        elif d < 0:
-            x, y, z = table[(-d - 1) // 2]
-            acc = jac_add(curve, acc, (x, (-y) % curve.p, z))
+        if d:
+            acc = _wnaf_accumulate(curve, acc, d, table)
     return from_jacobian(curve, acc)
 
 
@@ -185,8 +275,34 @@ def mul_base_batch(scalars, curve: Curve) -> list[Point]:
     return normalize_batch(curve, jacs)
 
 
+def _mul_double_jac(
+    u: int, p_point: Point, v: int, q_point: Point
+) -> Jacobian:
+    """Shared-double interleaved wNAF core of ``u*P + v*Q`` (Jacobian out).
+
+    Both scalars walk their width-4 wNAF digits over one doubling chain,
+    drawing odd multiples from the per-point tables — so a registered hot
+    point (:func:`precompute_point`), or the automatically cached curve
+    generator, contributes zero per-call precomputation.  Requires at
+    least one scalar non-zero after reduction.
+    """
+    curve = p_point.curve
+    table_p = _wnaf_table(p_point) if u and not p_point.is_infinity else None
+    table_q = _wnaf_table(q_point) if v and not q_point.is_infinity else None
+    digits_u = _wnaf(u, _WNAF_WIDTH) if table_p is not None else []
+    digits_v = _wnaf(v, _WNAF_WIDTH) if table_q is not None else []
+    acc: Jacobian = JAC_INFINITY
+    for i in range(max(len(digits_u), len(digits_v)) - 1, -1, -1):
+        acc = jac_double(curve, acc)
+        if i < len(digits_u) and digits_u[i]:
+            acc = _wnaf_accumulate(curve, acc, digits_u[i], table_p)
+        if i < len(digits_v) and digits_v[i]:
+            acc = _wnaf_accumulate(curve, acc, digits_v[i], table_q)
+    return acc
+
+
 def mul_double(u: int, p_point: Point, v: int, q_point: Point) -> Point:
-    """Compute ``u*P + v*Q`` with Strauss–Shamir interleaving.
+    """Compute ``u*P + v*Q`` with interleaved wNAF on one doubling chain.
 
     Costs roughly 1.25 single multiplications instead of 2, which is why
     ECDSA verification (``u1*G + u2*Q``) and SCIANC's fused
@@ -197,25 +313,42 @@ def mul_double(u: int, p_point: Point, v: int, q_point: Point) -> Point:
     curve = p_point.curve
     u %= curve.n
     v %= curve.n
-    if u == 0 and v == 0:
+    if (u == 0 or p_point.is_infinity) and (v == 0 or q_point.is_infinity):
         return Point.infinity(curve)
     trace.record("ec.mul_double")
-    # Precompute P, Q and P+Q as affine points for mixed addition.
-    pq_jac = jac_add(curve, to_jacobian(p_point), to_jacobian(q_point))
-    pq = from_jacobian(curve, pq_jac)
-    acc: Jacobian = JAC_INFINITY
-    bits = max(u.bit_length(), v.bit_length())
-    for i in range(bits - 1, -1, -1):
-        acc = jac_double(curve, acc)
-        ub = (u >> i) & 1
-        vb = (v >> i) & 1
-        if ub and vb:
-            acc = jac_add_mixed(curve, acc, pq)
-        elif ub:
-            acc = jac_add_mixed(curve, acc, p_point)
-        elif vb:
-            acc = jac_add_mixed(curve, acc, q_point)
-    return from_jacobian(curve, acc)
+    return from_jacobian(curve, _mul_double_jac(u, p_point, v, q_point))
+
+
+def mul_double_batch(terms, curve: Curve) -> list[Point]:
+    """Many ``u*P + v*Q`` computations with one shared normalization.
+
+    Args:
+        terms: iterable of ``(u, p_point, v, q_point)`` tuples.
+        curve: common domain parameters (every point must live on it).
+
+    Evaluates each term in Jacobian coordinates and converts the whole
+    batch to affine through a single Montgomery-trick inversion — the
+    batched counterpart of :func:`mul_double`, and the EC substrate of
+    batch ECDSA verification.  Records one ``ec.mul_double`` event per
+    non-degenerate term, exactly like the scalar-at-a-time path, so cost
+    traces are unchanged.
+    """
+    jacs: list[Jacobian] = []
+    for u, p_point, v, q_point in terms:
+        # Full-value comparison, not name: a point on a curve merely
+        # sharing a name must not be reduced/normalized with this
+        # curve's (n, p) — the aliasing hazard every cache here guards
+        # against.
+        if p_point.curve != curve or q_point.curve != curve:
+            raise CurveError("mul_double_batch requires points on one curve")
+        u %= curve.n
+        v %= curve.n
+        if (u == 0 or p_point.is_infinity) and (v == 0 or q_point.is_infinity):
+            jacs.append(JAC_INFINITY)
+            continue
+        trace.record("ec.mul_double")
+        jacs.append(_mul_double_jac(u, p_point, v, q_point))
+    return normalize_batch(curve, jacs)
 
 
 def mul_ladder(scalar: int, point: Point) -> Point:

@@ -7,7 +7,7 @@ from .ecdh import (
     static_shared_secret,
 )
 from .keys import KeyPair, generate_keypair, keypair_from_private
-from .signature import Signature, sign, verify, verify_strict
+from .signature import Signature, sign, verify, verify_batch, verify_strict
 
 __all__ = [
     "KeyPair",
@@ -20,5 +20,6 @@ __all__ = [
     "sign",
     "static_shared_secret",
     "verify",
+    "verify_batch",
     "verify_strict",
 ]

@@ -14,7 +14,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from .. import trace
-from ..ec import Curve, Point, inverse_mod, mul_base, mul_double
+from ..ec import (
+    Curve,
+    Point,
+    inverse_mod,
+    mul_base,
+    mul_double,
+    mul_double_batch,
+)
 from ..errors import SignatureError
 from ..primitives import HASHES, new_hash
 from ..primitives.drbg import rfc6979_nonce
@@ -133,6 +140,67 @@ def verify(
     if point.is_infinity:
         return False
     return point.x % curve.n == signature.r
+
+
+def verify_batch(
+    items,
+    hash_name: str = "sha256",
+) -> list[bool]:
+    """Verify many ECDSA signatures with one shared Jacobian normalization.
+
+    Args:
+        items: iterable of ``(public_key, message, signature)`` triples;
+            all public keys must live on one curve.
+        hash_name: digest for every message.
+
+    Each verification still computes its own ``u1*G + u2*Q`` double
+    multiplication — the asymptotic cost is unchanged and one
+    ``ecdsa.verify`` event is recorded per item, exactly like calling
+    :func:`verify` in a loop — but the per-item Jacobian→affine inversion
+    collapses into a single Montgomery-trick :func:`~repro.ec.batch_inverse`
+    via :func:`~repro.ec.mul_double_batch`.  This is the CA-side win when a
+    whole queue of enrollment-request signatures is authenticated at once.
+
+    Returns a per-item list of booleans (malformed items verify False,
+    mirroring :func:`verify`'s never-raises contract).
+    """
+    items = list(items)
+    if not items:
+        return []
+    if hash_name not in HASHES:
+        raise SignatureError(f"unknown hash {hash_name!r}")
+    results = [False] * len(items)
+    terms = []
+    term_meta: list[tuple[int, Curve, int]] = []  # (item index, curve, r)
+    curve_name: str | None = None
+    for index, (public_key, message, signature) in enumerate(items):
+        curve = public_key.curve
+        if curve_name is None:
+            curve_name = curve.name
+        elif curve.name != curve_name:
+            raise SignatureError(
+                "verify_batch requires all public keys on one curve"
+            )
+        if public_key.is_infinity or signature.curve.name != curve.name:
+            continue
+        trace.record("ecdsa.verify")
+        message_hash = new_hash(hash_name, message).digest()
+        e = _hash_to_int(message_hash, curve.n)
+        try:
+            s_inv = inverse_mod(signature.s, curve.n)
+        except Exception:
+            continue
+        u1 = (e * s_inv) % curve.n
+        u2 = (signature.r * s_inv) % curve.n
+        terms.append((u1, curve.generator, u2, public_key))
+        term_meta.append((index, curve, signature.r))
+    if not terms:
+        return results
+    points = mul_double_batch(terms, term_meta[0][1])
+    for (index, curve, r), point in zip(term_meta, points):
+        if not point.is_infinity:
+            results[index] = point.x % curve.n == r
+    return results
 
 
 def verify_strict(

@@ -5,12 +5,14 @@ from .ca import (
     CertificateRequest,
     DEFAULT_VALIDITY_SECONDS,
     IssuedCertificate,
+    REQUEST_AUTH_CONTEXT,
 )
 from .certificate import (
     Certificate,
     ID_SIZE,
     PROFILE_MINIMAL,
     USAGE_ALL,
+    USAGE_CERT_SIGN,
     USAGE_KEY_AGREEMENT,
     USAGE_SIGNATURE,
     authority_key_identifier,
@@ -18,6 +20,7 @@ from .certificate import (
     minimal_cert_size,
     reconstruct_public_key,
 )
+from .chain import TrustStore, make_sub_ca
 from .requester import CertificateRequester, EcqvCredential, issue_credential
 from .validation import ValidationPolicy, validate_certificate
 
@@ -31,13 +34,17 @@ __all__ = [
     "ID_SIZE",
     "IssuedCertificate",
     "PROFILE_MINIMAL",
+    "REQUEST_AUTH_CONTEXT",
+    "TrustStore",
     "USAGE_ALL",
+    "USAGE_CERT_SIGN",
     "USAGE_KEY_AGREEMENT",
     "USAGE_SIGNATURE",
     "ValidationPolicy",
     "authority_key_identifier",
     "cert_digest_scalar",
     "issue_credential",
+    "make_sub_ca",
     "minimal_cert_size",
     "reconstruct_public_key",
     "validate_certificate",

@@ -15,8 +15,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..ec import Curve, Point, mul_base, mul_base_batch
-from ..ecdsa import KeyPair, generate_keypair
+from ..ec import Curve, Point, encode_point, mul_base, mul_base_batch
+from ..ecdsa import KeyPair, Signature, generate_keypair, verify_batch
 from ..errors import CertificateError
 from ..primitives import HmacDrbg
 from .certificate import (
@@ -30,19 +30,38 @@ from .certificate import (
 #: Default certificate validity: one "certificate session" of 24 hours.
 DEFAULT_VALIDITY_SECONDS = 24 * 3600
 
+#: Domain-separation prefix of the request proof-of-possession signature.
+REQUEST_AUTH_CONTEXT = b"ecqv-request-v1|"
+
 
 @dataclass(frozen=True)
 class CertificateRequest:
-    """A certificate request ``(U_id, R_U)`` from a device to the CA."""
+    """A certificate request ``(U_id, R_U)`` from a device to the CA.
+
+    A request may carry a proof-of-possession ``signature``: an ECDSA
+    signature over :meth:`signed_payload` made with the request ephemeral
+    ``k_U`` itself, verifiable against ``R_U`` as the public key.  The CA
+    authenticates whole bursts of signed requests in one batched
+    verification pass (:meth:`CertificateAuthority.issue_batch`).
+    """
 
     subject_id: bytes
     request_point: Point
+    signature: Signature | None = None
 
     def __post_init__(self) -> None:
         if len(self.subject_id) != ID_SIZE:
             raise CertificateError(f"subject_id must be {ID_SIZE} bytes")
         if self.request_point.is_infinity:
             raise CertificateError("request point must not be infinity")
+
+    def signed_payload(self) -> bytes:
+        """The byte string a proof-of-possession signature covers."""
+        return (
+            REQUEST_AUTH_CONTEXT
+            + self.subject_id
+            + encode_point(self.request_point, compressed=True)
+        )
 
 
 @dataclass(frozen=True)
@@ -63,6 +82,12 @@ class CertificateAuthority:
             ephemerals.
         clock: callable returning the current unix time; injectable so the
             simulator controls certificate sessions.
+        keypair: optional pre-existing CA key pair.  A subordinate CA
+            whose key material came out of ECQV enrollment at a root
+            (:func:`~repro.ecqv.chain.make_sub_ca`) injects it here; when
+            absent a fresh pair is generated from ``rng``.
+        require_signed_requests: when True, :meth:`issue_batch` rejects
+            any request lacking a proof-of-possession signature.
     """
 
     def __init__(
@@ -71,14 +96,21 @@ class CertificateAuthority:
         ca_id: bytes,
         rng: HmacDrbg,
         clock=None,
+        keypair: KeyPair | None = None,
+        require_signed_requests: bool = False,
     ) -> None:
         if len(ca_id) != ID_SIZE:
             raise CertificateError(f"ca_id must be {ID_SIZE} bytes")
+        if keypair is not None and keypair.curve.name != curve.name:
+            raise CertificateError("injected CA key pair on wrong curve")
         self.curve = curve
         self.ca_id = ca_id
         self._rng = rng
         self._clock = clock if clock is not None else (lambda: 1_700_000_000)
-        self.keypair: KeyPair = generate_keypair(curve, rng)
+        self.keypair: KeyPair = (
+            keypair if keypair is not None else generate_keypair(curve, rng)
+        )
+        self.require_signed_requests = require_signed_requests
         self._serial = 0
         self.issued: dict[int, Certificate] = {}
 
@@ -116,6 +148,12 @@ class CertificateAuthority:
         storms exercise.  The DRBG is consumed in request order, so the
         issued certificates are byte-identical to issuing the same
         requests sequentially.
+
+        Requests carrying a proof-of-possession signature are
+        authenticated first, all in one :func:`~repro.ecdsa.verify_batch`
+        pass that shares a single Jacobian normalization across the whole
+        queue; a failed proof aborts the burst before any ephemeral is
+        drawn, so a rejected batch leaves the CA state untouched.
         """
         requests = list(requests)
         if validity_seconds <= 0:
@@ -123,6 +161,7 @@ class CertificateAuthority:
         for request in requests:
             if request.request_point.curve.name != self.curve.name:
                 raise CertificateError("request point on wrong curve")
+        self._authenticate_requests(requests)
         ephemerals = [
             self._rng.random_scalar(self.curve.n) for _ in requests
         ]
@@ -157,3 +196,40 @@ class CertificateAuthority:
                 IssuedCertificate(certificate=cert, private_reconstruction=r)
             )
         return issued
+
+    def _authenticate_requests(self, requests) -> None:
+        """Batch-verify every signed request's proof of possession.
+
+        The signature was made with the request ephemeral ``k_U``, so
+        ``R_U`` itself is the verification key: a valid proof shows the
+        requester knows the discrete log of its request point (no
+        pre-existing credential needed — this is the bootstrap step).
+        """
+        signed = [
+            (index, request)
+            for index, request in enumerate(requests)
+            if request.signature is not None
+        ]
+        if self.require_signed_requests and len(signed) != len(requests):
+            missing = next(
+                index
+                for index, request in enumerate(requests)
+                if request.signature is None
+            )
+            raise CertificateError(
+                f"request {missing} carries no proof-of-possession signature"
+            )
+        if not signed:
+            return
+        outcomes = verify_batch(
+            [
+                (request.request_point, request.signed_payload(), request.signature)
+                for _, request in signed
+            ]
+        )
+        for (index, request), ok in zip(signed, outcomes):
+            if not ok:
+                raise CertificateError(
+                    f"request {index} ({request.subject_id.hex()}) failed"
+                    " proof-of-possession authentication"
+                )

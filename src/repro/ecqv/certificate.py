@@ -36,6 +36,9 @@ PROFILE_MINIMAL = 0x01
 USAGE_KEY_AGREEMENT = 0x01
 USAGE_SIGNATURE = 0x02
 USAGE_ALL = USAGE_KEY_AGREEMENT | USAGE_SIGNATURE
+#: The subject may itself issue certificates (a subordinate CA).  Trust
+#: stores require this bit on every intermediate of a chain.
+USAGE_CERT_SIGN = 0x04
 
 ID_SIZE = 16
 _FIXED_HEADER = 1 + 1 + 1 + 1 + 8 + ID_SIZE + ID_SIZE + 4 + 4 + ID_SIZE

@@ -1,0 +1,164 @@
+"""Chained ECQV issuance: subordinate CAs and trust-store resolution.
+
+A fleet sharded across several gateways gives every shard its own
+certificate authority, but the fleet still needs one trust anchor: each
+shard CA *enrolls at the fleet root* exactly like a device would, and its
+resulting ECQV credential becomes the shard's issuing key pair.  A peer
+holding only the root public key can then validate any fleet member in
+two reconstruction steps::
+
+    Q_shardCA = H(Cert_shard) * P_shard + Q_root      (root anchors shard)
+    Q_device  = H(Cert_dev)   * P_dev   + Q_shardCA   (shard anchors device)
+
+:class:`TrustStore` packages this: it holds the root public key plus the
+registered intermediate (shard CA) certificates, and resolves any leaf
+certificate's issuer key — validating the intermediate link, including
+its :data:`~repro.ecqv.certificate.USAGE_CERT_SIGN` authorization — so
+cross-shard peers can authenticate each other with no shared direct CA.
+
+Chains are one intermediate deep (root → shard CA → device), matching the
+fleet deployment; deeper hierarchies would nest the same two steps.
+"""
+
+from __future__ import annotations
+
+from ..ec import Point
+from ..ecdsa import KeyPair
+from ..errors import CertificateError
+from ..primitives import HmacDrbg
+from .ca import CertificateAuthority, DEFAULT_VALIDITY_SECONDS
+from .certificate import (
+    Certificate,
+    USAGE_ALL,
+    USAGE_CERT_SIGN,
+    authority_key_identifier,
+    reconstruct_public_key,
+)
+from .requester import CertificateRequester
+from .validation import ValidationPolicy, validate_certificate
+
+
+def make_sub_ca(
+    root: CertificateAuthority,
+    ca_id: bytes,
+    rng: HmacDrbg,
+    clock=None,
+    validity_seconds: int = DEFAULT_VALIDITY_SECONDS,
+    authenticate_request: bool = False,
+) -> tuple[CertificateAuthority, Certificate]:
+    """Enroll a subordinate CA at ``root`` and return it with its cert.
+
+    The sub-CA runs ordinary ECQV issuance against the root (its DRBG
+    supplies the request ephemeral, then keeps serving the new CA's
+    per-issuance ephemerals), and its certificate carries
+    :data:`~repro.ecqv.certificate.USAGE_CERT_SIGN` so trust stores accept
+    it as an intermediate.
+
+    Args:
+        root: the issuing (anchor) authority.
+        ca_id: 16-byte identity of the new subordinate CA.
+        rng: the subordinate's DRBG (enrollment + future issuance).
+        clock: time source handed to the subordinate CA.
+        validity_seconds: certificate session of the intermediate.
+        authenticate_request: sign the enrollment request (proof of
+            possession) so a ``require_signed_requests`` root accepts it.
+    """
+    requester = CertificateRequester(root.curve, ca_id, rng)
+    issued = root.issue_batch(
+        [requester.create_request(authenticate=authenticate_request)],
+        validity_seconds=validity_seconds,
+        key_usage=USAGE_ALL | USAGE_CERT_SIGN,
+    )[0]
+    credential = requester.process_response(issued, root.public_key)
+    sub_ca = CertificateAuthority(
+        root.curve,
+        ca_id,
+        rng,
+        clock=clock,
+        keypair=KeyPair(
+            root.curve, credential.private_key, credential.public_key
+        ),
+    )
+    return sub_ca, credential.certificate
+
+
+#: Intermediates must be explicitly authorized to issue certificates.
+_INTERMEDIATE_POLICY = ValidationPolicy(required_usage=USAGE_CERT_SIGN)
+
+
+class TrustStore:
+    """Resolves certificate issuers through ECQV intermediates to one root.
+
+    Args:
+        root_public: the fleet root CA public key (the single anchor).
+        intermediates: optional initial intermediate certificates.
+    """
+
+    def __init__(
+        self,
+        root_public: Point,
+        intermediates: "tuple[Certificate, ...] | list[Certificate]" = (),
+    ) -> None:
+        self.root_public = root_public
+        self.root_key_id = authority_key_identifier(root_public)
+        self._intermediates: dict[bytes, Certificate] = {}
+        for certificate in intermediates:
+            self.add_intermediate(certificate)
+
+    def add_intermediate(self, certificate: Certificate) -> None:
+        """Register a root-issued intermediate (e.g. a shard CA) cert.
+
+        The certificate must name the root as its authority; it is indexed
+        by the key identifier of its *reconstructed own* public key, which
+        is what leaf certificates carry in ``authority_key_id``.
+        """
+        if certificate.authority_key_id != self.root_key_id:
+            raise CertificateError(
+                "intermediate certificate is not anchored at this root"
+            )
+        own_public = reconstruct_public_key(certificate, self.root_public)
+        self._intermediates[authority_key_identifier(own_public)] = certificate
+
+    def intermediate_for(self, authority_key_id: bytes) -> Certificate:
+        """The registered intermediate matching an authority key id."""
+        try:
+            return self._intermediates[authority_key_id]
+        except KeyError:
+            raise CertificateError(
+                f"no trust path for authority {authority_key_id.hex()}"
+            ) from None
+
+    def resolve_issuer(self, certificate: Certificate, now: int) -> Point:
+        """The public key of ``certificate``'s issuer, chain-validated.
+
+        Root-issued leaves resolve directly to the root key.  Leaves
+        issued by a registered intermediate cause the intermediate's own
+        certificate to be validated against the root — window, authority
+        binding and the :data:`USAGE_CERT_SIGN` authorization — and its
+        public key reconstructed (one ``ec.mul_point`` plus one
+        ``ec.add``, the same Op2-class cost the paper prices for any
+        implicit-certificate reconstruction).
+        """
+        if certificate.authority_key_id == self.root_key_id:
+            return self.root_public
+        intermediate = self.intermediate_for(certificate.authority_key_id)
+        validate_certificate(
+            intermediate, self.root_public, now, _INTERMEDIATE_POLICY
+        )
+        return reconstruct_public_key(intermediate, self.root_public)
+
+    def resolve_and_validate(
+        self,
+        certificate: Certificate,
+        now: int,
+        policy: ValidationPolicy | None = None,
+    ) -> Point:
+        """Fully validate a leaf certificate and return its public key.
+
+        Resolves the issuer through the chain, applies ``policy`` to the
+        leaf, and reconstructs the leaf public key — the one-call path
+        protocol code uses for peers that may live on any shard.
+        """
+        issuer_public = self.resolve_issuer(certificate, now)
+        validate_certificate(certificate, issuer_public, now, policy)
+        return reconstruct_public_key(certificate, issuer_public)

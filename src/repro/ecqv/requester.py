@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..ec import Curve, Point, mul_base
+from ..ecdsa import sign
 from ..errors import CertificateError
 from ..primitives import HmacDrbg
 from .ca import CertificateRequest, IssuedCertificate
@@ -51,13 +52,29 @@ class CertificateRequester:
         self._rng = rng
         self._k_u: int | None = None
 
-    def create_request(self) -> CertificateRequest:
-        """Step 1: generate the ephemeral and the request point ``R_U``."""
+    def create_request(self, authenticate: bool = False) -> CertificateRequest:
+        """Step 1: generate the ephemeral and the request point ``R_U``.
+
+        With ``authenticate=True`` the request additionally carries a
+        proof-of-possession signature over the request bytes, made with
+        the ephemeral ``k_U`` itself (so ``R_U`` is the verification
+        key); CAs serving hostile networks batch-verify these proofs in
+        :meth:`~repro.ecqv.ca.CertificateAuthority.issue_batch`.
+        """
         self._k_u = self._rng.random_scalar(self.curve.n)
-        return CertificateRequest(
+        request = CertificateRequest(
             subject_id=self.subject_id,
             request_point=mul_base(self._k_u, self.curve),
         )
+        if authenticate:
+            request = CertificateRequest(
+                subject_id=request.subject_id,
+                request_point=request.request_point,
+                signature=sign(
+                    self.curve, self._k_u, request.signed_payload()
+                ),
+            )
+        return request
 
     def process_response(
         self, issued: IssuedCertificate, ca_public: Point

@@ -1,10 +1,15 @@
 """Fleet-scale session orchestration (enrollment → KD → expiry → re-key).
 
 Scales the paper's two-station scenario to ``N`` concurrent vehicles on
-the deterministic discrete-event simulator, with a contended central
-CA/gateway, batched ECQV issuance, ephemeral pooling, enforced
-session-key lifetimes and aggregate throughput/latency/energy statistics
-priced on the hardware cost model.
+the deterministic discrete-event simulator — now on an explicit
+deployment topology (:mod:`repro.fleet.topology`): ``M`` gateway shards
+whose CAs chain to one fleet root, pluggable shard-assignment policies,
+direct vehicle↔vehicle sessions with cross-shard trust-chain validation,
+and deterministic gateway-failure/handover scenarios.  Batched ECQV
+issuance, ephemeral pooling, enforced session-key lifetimes and aggregate
+throughput/latency/energy statistics (with per-shard breakdowns) are
+priced on the hardware cost model; ``shards=1, v2v_fraction=0`` is the
+original single-gateway fleet, bit-for-bit.
 """
 
 from .orchestrator import (
@@ -14,7 +19,19 @@ from .orchestrator import (
     GATEWAY_NAME,
     run_fleet,
 )
-from .stats import FleetStats, LatencySummary
+from .stats import FleetStats, LatencySummary, ShardStats, merge_shard_stats
+from .topology import (
+    FleetTopology,
+    GatewayShard,
+    POLICY_LEAST_LOADED,
+    POLICY_ROUND_ROBIN,
+    POLICY_STATIC_HASH,
+    ROOT_CA_NAME,
+    SHARD_POLICIES,
+    plan_v2v_pairs,
+    shard_ca_name,
+    shard_gateway_name,
+)
 from .vehicle import TimelineEvent, Vehicle
 
 __all__ = [
@@ -22,9 +39,21 @@ __all__ = [
     "FleetOrchestrator",
     "FleetResult",
     "FleetStats",
+    "FleetTopology",
     "GATEWAY_NAME",
+    "GatewayShard",
     "LatencySummary",
+    "POLICY_LEAST_LOADED",
+    "POLICY_ROUND_ROBIN",
+    "POLICY_STATIC_HASH",
+    "ROOT_CA_NAME",
+    "SHARD_POLICIES",
+    "ShardStats",
     "TimelineEvent",
     "Vehicle",
+    "merge_shard_stats",
+    "plan_v2v_pairs",
     "run_fleet",
+    "shard_ca_name",
+    "shard_gateway_name",
 ]

@@ -5,11 +5,18 @@ clock, energy from the hardware cost model, and :meth:`FleetStats.digest`
 hashes a canonical rendering so two runs with the same seed can be checked
 for bit-identical aggregate behaviour (the reproducibility contract the
 fleet benchmark enforces).
+
+Topology runs add a per-shard breakdown (:class:`ShardStats`, one per
+gateway shard) plus V2V/handover aggregates.  The digest grows extension
+segments **only** for non-degenerate runs — a single-gateway, no-V2V run
+hashes the exact canonical string the single-gateway orchestrator always
+produced, which is what keeps ``shards=1, v2v_fraction=0`` bit-compatible
+with the pre-topology fleet.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from ..primitives import sha256
 
@@ -27,7 +34,12 @@ def _percentile(sorted_samples: list[float], q: float) -> float:
 
 @dataclass(frozen=True)
 class LatencySummary:
-    """Five-number summary of a latency sample set (milliseconds)."""
+    """Summary of a latency sample set (milliseconds).
+
+    ``p99_ms`` arrived with the topology benchmarks; it is deliberately
+    excluded from :meth:`row` (and therefore from every digest built on
+    it) so its addition cannot perturb historical digests.
+    """
 
     count: int
     min_ms: float
@@ -35,6 +47,7 @@ class LatencySummary:
     p50_ms: float
     p95_ms: float
     max_ms: float
+    p99_ms: float = 0.0
 
     @classmethod
     def from_samples(cls, samples: list[float]) -> "LatencySummary":
@@ -49,20 +62,102 @@ class LatencySummary:
             p50_ms=_percentile(ordered, 0.50),
             p95_ms=_percentile(ordered, 0.95),
             max_ms=ordered[-1],
+            p99_ms=_percentile(ordered, 0.99),
         )
 
     def row(self) -> str:
-        """One-line rendering used by reports."""
+        """One-line rendering used by reports (and digest material)."""
         return (
             f"n={self.count} min={self.min_ms:.3f} mean={self.mean_ms:.3f}"
             f" p50={self.p50_ms:.3f} p95={self.p95_ms:.3f}"
             f" max={self.max_ms:.3f} ms"
         )
 
+    def as_dict(self) -> dict:
+        """JSON-ready mapping (all fields, including ``p99_ms``)."""
+        return {
+            "count": self.count,
+            "min_ms": self.min_ms,
+            "mean_ms": self.mean_ms,
+            "p50_ms": self.p50_ms,
+            "p95_ms": self.p95_ms,
+            "p99_ms": self.p99_ms,
+            "max_ms": self.max_ms,
+        }
+
+
+@dataclass(frozen=True)
+class ShardStats:
+    """One gateway shard's share of a fleet run."""
+
+    index: int
+    name: str
+    vehicles_assigned: int
+    enrollments: int
+    sessions_established: int
+    rekeys: int
+    handovers_in: int
+    failed: bool
+    ca_busy_ms: float
+    ca_utilisation: float
+    ca_batches: int
+    ca_max_batch: int
+    queue_latency: LatencySummary
+    ca_energy_mj: float
+
+    def row(self) -> str:
+        """One-line rendering used by reports and the shard digest."""
+        return (
+            f"shard {self.index} ({self.name}){' [FAILED]' if self.failed else ''}:"
+            f" {self.vehicles_assigned} assigned, {self.enrollments} enrolled,"
+            f" {self.sessions_established} sessions ({self.rekeys} re-keys,"
+            f" {self.handovers_in} handovers in),"
+            f" busy {self.ca_busy_ms:.3f} ms"
+            f" ({self.ca_utilisation * 100.0:.1f} %,"
+            f" {self.ca_batches} batches, max {self.ca_max_batch}),"
+            f" queue [{self.queue_latency.row()}],"
+            f" energy {self.ca_energy_mj:.3f} mJ"
+        )
+
+    def digest(self) -> str:
+        """Stable hash of this shard's aggregate numbers."""
+        return sha256(self.row().encode()).hex()
+
+
+def merge_shard_stats(shards: "tuple[ShardStats, ...] | list[ShardStats]") -> dict:
+    """Cross-shard merge: fold per-shard breakdowns into fleet-level CA totals.
+
+    Busy time, batches, energy and counts sum across shards (in shard
+    order, so the float accumulation is deterministic); the max batch is
+    the fleet-wide maximum.  For a single shard this is the identity —
+    the degenerate fleet reports exactly its one resource's numbers.
+    """
+    return {
+        "vehicles_assigned": sum(s.vehicles_assigned for s in shards),
+        "enrollments": sum(s.enrollments for s in shards),
+        "sessions_established": sum(s.sessions_established for s in shards),
+        "rekeys": sum(s.rekeys for s in shards),
+        "handovers_in": sum(s.handovers_in for s in shards),
+        "ca_busy_ms": sum(s.ca_busy_ms for s in shards),
+        "ca_batches": sum(s.ca_batches for s in shards),
+        "ca_max_batch": max((s.ca_max_batch for s in shards), default=0),
+        "ca_energy_mj": sum(s.ca_energy_mj for s in shards),
+        "failed_shards": sum(1 for s in shards if s.failed),
+    }
+
+
+def _empty_latency() -> LatencySummary:
+    return LatencySummary.from_samples([])
+
 
 @dataclass(frozen=True)
 class FleetStats:
-    """Aggregate outcome of one :class:`~repro.fleet.FleetOrchestrator` run."""
+    """Aggregate outcome of one :class:`~repro.fleet.FleetOrchestrator` run.
+
+    The pre-topology fields keep their exact meaning (``sessions_established``
+    counts vehicle↔gateway establishments; V2V sessions are reported
+    separately) so single-gateway digests stay bit-stable.
+    """
 
     vehicles: int
     enrollments: int
@@ -78,6 +173,15 @@ class FleetStats:
     establishment_latency: LatencySummary
     vehicle_energy_mj: float
     ca_energy_mj: float
+    # -- topology extensions (defaults keep legacy construction valid) -------
+    per_shard: tuple[ShardStats, ...] = ()
+    ca_queue_latency: LatencySummary = field(default_factory=_empty_latency)
+    v2v_sessions: int = 0
+    v2v_rekeys: int = 0
+    v2v_cross_shard: int = 0
+    v2v_records_sent: int = 0
+    v2v_latency: LatencySummary = field(default_factory=_empty_latency)
+    handovers: int = 0
 
     @property
     def throughput_records_per_s(self) -> float:
@@ -92,6 +196,15 @@ class FleetStats:
         if self.duration_ms <= 0:
             return 0.0
         return self.sessions_established / (self.duration_ms / 1000.0)
+
+    @property
+    def is_topology_run(self) -> bool:
+        """True when sharding, V2V traffic or failover shaped this run."""
+        return (
+            len(self.per_shard) > 1
+            or self.v2v_sessions > 0
+            or self.handovers > 0
+        )
 
     def render(self) -> str:
         """Human-readable multi-line report."""
@@ -111,14 +224,92 @@ class FleetStats:
             f"  energy              : vehicles {self.vehicle_energy_mj:.3f} mJ,"
             f" CA {self.ca_energy_mj:.3f} mJ",
         ]
+        if self.ca_queue_latency.count:
+            lines.append(
+                f"  CA queue latency    : {self.ca_queue_latency.row()}"
+            )
+        if self.is_topology_run:
+            if self.v2v_sessions:
+                lines.append(
+                    f"  V2V                 : {self.v2v_sessions} sessions"
+                    f" ({self.v2v_rekeys} re-keys,"
+                    f" {self.v2v_cross_shard} cross-shard),"
+                    f" {self.v2v_records_sent} records"
+                )
+                lines.append(
+                    f"  V2V latency         : {self.v2v_latency.row()}"
+                )
+            if self.handovers:
+                lines.append(
+                    f"  handovers           : {self.handovers}"
+                    " (gateway failover)"
+                )
+            for shard in self.per_shard:
+                lines.append(f"  {shard.row()}")
         return "\n".join(lines)
+
+    def as_dict(self) -> dict:
+        """JSON-ready mapping of the whole aggregate (machine-readable
+        benchmark output; ``BENCH_*.json`` files are built from this)."""
+        return {
+            "vehicles": self.vehicles,
+            "enrollments": self.enrollments,
+            "sessions_established": self.sessions_established,
+            "rekeys": self.rekeys,
+            "records_sent": self.records_sent,
+            "duration_ms": self.duration_ms,
+            "throughput_records_per_s": self.throughput_records_per_s,
+            "sessions_per_s": self.sessions_per_s,
+            "ca_busy_ms": self.ca_busy_ms,
+            "ca_utilisation": self.ca_utilisation,
+            "ca_batches": self.ca_batches,
+            "ca_max_batch": self.ca_max_batch,
+            "enrollment_latency": self.enrollment_latency.as_dict(),
+            "establishment_latency": self.establishment_latency.as_dict(),
+            "ca_queue_latency": self.ca_queue_latency.as_dict(),
+            "energy_mj": {
+                "vehicles": self.vehicle_energy_mj,
+                "ca": self.ca_energy_mj,
+            },
+            "v2v": {
+                "sessions": self.v2v_sessions,
+                "rekeys": self.v2v_rekeys,
+                "cross_shard": self.v2v_cross_shard,
+                "records_sent": self.v2v_records_sent,
+                "latency": self.v2v_latency.as_dict(),
+            },
+            "handovers": self.handovers,
+            "per_shard": [
+                {
+                    "index": shard.index,
+                    "name": shard.name,
+                    "vehicles_assigned": shard.vehicles_assigned,
+                    "enrollments": shard.enrollments,
+                    "sessions_established": shard.sessions_established,
+                    "rekeys": shard.rekeys,
+                    "handovers_in": shard.handovers_in,
+                    "failed": shard.failed,
+                    "ca_busy_ms": shard.ca_busy_ms,
+                    "ca_utilisation": shard.ca_utilisation,
+                    "ca_batches": shard.ca_batches,
+                    "ca_max_batch": shard.ca_max_batch,
+                    "queue_latency": shard.queue_latency.as_dict(),
+                    "ca_energy_mj": shard.ca_energy_mj,
+                }
+                for shard in self.per_shard
+            ],
+            "digest": self.digest(),
+        }
 
     def digest(self) -> str:
         """Stable hash of the aggregate numbers (reproducibility checks).
 
         Floats are rendered with fixed precision so the digest is
         insensitive to representation noise but sensitive to any real
-        behavioural change.
+        behavioural change.  The canonical string of a degenerate run
+        (one shard, no V2V, no handovers) is byte-identical to the
+        pre-topology rendering; sharded/V2V/failover runs append
+        extension segments, including every per-shard digest.
         """
         canonical = "|".join(
             [
@@ -138,4 +329,19 @@ class FleetStats:
                 f"cae={self.ca_energy_mj:.6f}",
             ]
         )
+        if self.is_topology_run:
+            extension = [
+                f"qlat={self.ca_queue_latency.row()}",
+                f"v2v={self.v2v_sessions}",
+                f"v2vr={self.v2v_rekeys}",
+                f"v2vx={self.v2v_cross_shard}",
+                f"v2vrec={self.v2v_records_sent}",
+                f"v2vlat={self.v2v_latency.row()}",
+                f"ho={self.handovers}",
+            ]
+            extension.extend(
+                f"shard{shard.index}={shard.digest()}"
+                for shard in self.per_shard
+            )
+            canonical = canonical + "|" + "|".join(extension)
         return sha256(canonical.encode()).hex()

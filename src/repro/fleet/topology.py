@@ -1,0 +1,330 @@
+"""Fleet deployment topology: gateway shards, trust chain, V2V pairing.
+
+The single-gateway fleet of PR 1 put every CA and gateway duty on one
+central device — the bottleneck *and* the single point of failure of every
+run.  This module generalizes the deployment to an explicit topology:
+
+* **Gateway shards** — ``M`` central devices, each with its own
+  :class:`~repro.sim.engine.Resource`, its own issuing CA and its own
+  gateway credential.  With ``M > 1`` the shard CAs are *subordinates*
+  chained to one fleet root (:func:`~repro.ecqv.chain.make_sub_ca`), and a
+  shared :class:`~repro.ecqv.TrustStore` lets any fleet member validate
+  any other member's certificate up to the root.
+* **Shard assignment policies** — ``static-hash`` (stable identity-based
+  placement), ``least-loaded`` (pick the shard with the fewest active
+  vehicles) and ``round-robin``.
+* **V2V pairing** — a deterministic plan of vehicle↔vehicle sessions
+  established directly between two enrolled vehicles, no gateway in the
+  data path; cross-shard pairs exercise the trust chain.
+* **Failover** — a shard can be marked failed mid-run; its vehicles are
+  adopted by surviving shards (policy-driven), re-keying there with their
+  existing chained credentials.
+
+The degenerate topology (``shards=1``) reproduces the PR 1 deployment
+byte-for-byte: same device names, same DRBG personalizations, no root CA
+above the single gateway CA and no trust store, so every digest of the
+single-gateway fleet is preserved.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from dataclasses import dataclass, field
+
+from ..ec import precompute_point
+from ..ecqv import (
+    Certificate,
+    CertificateAuthority,
+    CertificateRequester,
+    EcqvCredential,
+    TrustStore,
+    make_sub_ca,
+)
+from ..errors import SimulationError
+from ..hardware import DeviceModel, get_device
+from ..primitives import HmacDrbg, sha256
+from ..protocols import SessionManager
+from ..protocols.pool import EphemeralPool
+from ..sim.engine import Resource
+from ..testbed import DEFAULT_NOW, device_id
+from .stats import LatencySummary, ShardStats
+from .vehicle import Vehicle
+
+#: Identity of the central CA/gateway device (paper Fig. 1's RPi 4) in the
+#: degenerate single-shard deployment.
+GATEWAY_NAME = "fleet-gateway"
+
+#: Identity of the fleet root CA anchoring every shard CA (sharded runs).
+ROOT_CA_NAME = "fleet-root-ca"
+
+#: Registered shard-assignment policies.
+POLICY_STATIC_HASH = "static-hash"
+POLICY_LEAST_LOADED = "least-loaded"
+POLICY_ROUND_ROBIN = "round-robin"
+SHARD_POLICIES = (POLICY_STATIC_HASH, POLICY_LEAST_LOADED, POLICY_ROUND_ROBIN)
+
+
+def shard_ca_name(index: int, total: int) -> str:
+    """CA/resource identity of shard ``index`` in a ``total``-shard fleet."""
+    return "central-ca" if total == 1 else f"central-ca-{index}"
+
+
+def shard_gateway_name(index: int, total: int) -> str:
+    """Gateway identity of shard ``index`` in a ``total``-shard fleet."""
+    return GATEWAY_NAME if total == 1 else f"fleet-gw{index}"
+
+
+@dataclass
+class GatewayShard:
+    """One gateway shard: CA + gateway endpoint + contended resource.
+
+    Mutable orchestration state (queue, accounting) lives here so the
+    orchestrator's enrollment and establishment paths are uniform across
+    any shard count.
+    """
+
+    index: int
+    ca_name: str
+    gateway_name: str
+    ca: CertificateAuthority
+    #: The shard CA's own certificate chained to the fleet root
+    #: (``None`` in the degenerate deployment where the shard CA *is*
+    #: the trust anchor).
+    ca_certificate: Certificate | None
+    gateway_credential: EcqvCredential
+    resource: Resource
+    device: DeviceModel
+    pool: EphemeralPool | None
+    manager: SessionManager | None = None
+    failed: bool = False
+    # -- orchestration accounting --------------------------------------------
+    queue: deque = field(default_factory=deque)
+    issuing: bool = False
+    batches: int = 0
+    max_batch: int = 0
+    vehicles_assigned: int = 0
+    active_vehicles: int = 0
+    enrollments: int = 0
+    sessions_established: int = 0
+    rekeys: int = 0
+    handovers_in: int = 0
+    queue_latencies: list[float] = field(default_factory=list)
+    energy_mj: float = 0.0
+    session_counter: int = 0
+
+    @property
+    def gateway_id(self) -> bytes:
+        """The shard gateway's 16-byte identity."""
+        return self.gateway_credential.subject_id
+
+    def adopt(self, vehicle: Vehicle) -> None:
+        """Take over a vehicle from a failed shard."""
+        self.vehicles_assigned += 1
+        self.active_vehicles += 1
+        self.handovers_in += 1
+        vehicle.shard = self.index
+
+    def stats(self, now: float) -> ShardStats:
+        """Freeze this shard's accounting into a :class:`ShardStats`."""
+        return ShardStats(
+            index=self.index,
+            name=self.ca_name,
+            vehicles_assigned=self.vehicles_assigned,
+            enrollments=self.enrollments,
+            sessions_established=self.sessions_established,
+            rekeys=self.rekeys,
+            handovers_in=self.handovers_in,
+            failed=self.failed,
+            ca_busy_ms=self.resource.busy_ms,
+            ca_utilisation=self.resource.utilisation(now),
+            ca_batches=self.batches,
+            ca_max_batch=self.max_batch,
+            queue_latency=LatencySummary.from_samples(self.queue_latencies),
+            ca_energy_mj=self.energy_mj,
+        )
+
+
+class FleetTopology:
+    """The provisioned deployment a fleet run executes on.
+
+    Builds the root CA (sharded runs), every gateway shard with its
+    chained CA, gateway credential and ephemeral pool, the fleet-wide
+    :class:`~repro.ecqv.TrustStore`, and registers the long-lived public
+    points (root key, shard CA keys, gateway keys, shard reconstruction
+    points) with :func:`~repro.ec.precompute_point` so the whole run's
+    repeated multiplications of those keys share one wNAF table each.
+
+    All of this happens before the storm begins (gateways are provisioned
+    ahead of time, exactly as PR 1 treated its single gateway), so none of
+    it lands on the simulated timeline.
+    """
+
+    def __init__(self, config) -> None:
+        self.config = config
+        seed = config.seed
+        total = config.shards
+        curve = config.curve
+        clock = lambda: DEFAULT_NOW  # noqa: E731
+        if total == 1:
+            self.root_ca: CertificateAuthority | None = None
+            self.trust_store: TrustStore | None = None
+        else:
+            self.root_ca = CertificateAuthority(
+                curve,
+                device_id(ROOT_CA_NAME),
+                HmacDrbg(seed, personalization=b"fleet|root|ca"),
+                clock=clock,
+                require_signed_requests=config.authenticate_requests,
+            )
+            self.trust_store = TrustStore(self.root_ca.public_key)
+            precompute_point(self.root_ca.public_key)
+        self.shards: list[GatewayShard] = [
+            self._build_shard(index, total) for index in range(total)
+        ]
+        if self.trust_store is not None:
+            for shard in self.shards:
+                self.trust_store.add_intermediate(shard.ca_certificate)
+        #: The trust anchor every session context validates against: the
+        #: root key when sharded, the single CA key otherwise.
+        self.anchor_public = (
+            self.root_ca.public_key
+            if self.root_ca is not None
+            else self.shards[0].ca.public_key
+        )
+        self._round_robin = 0
+
+    # -- construction ---------------------------------------------------------
+
+    def _build_shard(self, index: int, total: int) -> GatewayShard:
+        config = self.config
+        seed = config.seed
+        curve = config.curve
+        clock = lambda: DEFAULT_NOW  # noqa: E731
+        ca_name = shard_ca_name(index, total)
+        gateway_name = shard_gateway_name(index, total)
+        if total == 1:
+            # Degenerate deployment: byte-identical to the PR 1 fleet.
+            ca = CertificateAuthority(
+                curve,
+                device_id(ca_name),
+                HmacDrbg(seed, personalization=b"fleet|ca"),
+                clock=clock,
+                require_signed_requests=config.authenticate_requests,
+            )
+            ca_certificate = None
+            enroll_pers = b"fleet|gateway|enroll"
+            pool_pers = b"fleet|gateway|pool"
+        else:
+            ca, ca_certificate = make_sub_ca(
+                self.root_ca,
+                device_id(ca_name),
+                HmacDrbg(seed, personalization=b"fleet|shard%d|ca" % index),
+                clock=clock,
+                validity_seconds=config.cert_validity_seconds,
+                authenticate_request=config.authenticate_requests,
+            )
+            ca.require_signed_requests = config.authenticate_requests
+            enroll_pers = b"fleet|gw%d|enroll" % index
+            pool_pers = b"fleet|gw%d|pool" % index
+        gw_requester = CertificateRequester(
+            curve,
+            device_id(gateway_name),
+            HmacDrbg(seed, personalization=enroll_pers),
+        )
+        gw_issued = ca.issue(
+            gw_requester.create_request(
+                authenticate=config.authenticate_requests
+            ),
+            validity_seconds=config.cert_validity_seconds,
+        )
+        gateway_credential = gw_requester.process_response(
+            gw_issued, ca.public_key
+        )
+        pool: EphemeralPool | None = None
+        if config.use_batch_ec and config.pool_size > 0:
+            # A shard serves ~n/M vehicles, so its pool is sized for its
+            # share (2 sessions' worth each); the single-shard size stays
+            # 2*n exactly (PR 1 bit-parity).  Handover surges past the
+            # pool degrade gracefully to on-demand Op1.
+            entries = (
+                2 * config.n_vehicles
+                if total == 1
+                else 2 * -(-config.n_vehicles // total)
+            )
+            pool = EphemeralPool(
+                curve,
+                HmacDrbg(seed, personalization=pool_pers),
+                entries,
+            )
+        precompute_point(ca.public_key)
+        precompute_point(gateway_credential.public_key)
+        if ca_certificate is not None:
+            precompute_point(ca_certificate.reconstruction_point)
+        return GatewayShard(
+            index=index,
+            ca_name=ca_name,
+            gateway_name=gateway_name,
+            ca=ca,
+            ca_certificate=ca_certificate,
+            gateway_credential=gateway_credential,
+            resource=Resource(ca_name),
+            device=get_device(config.ca_device),
+            pool=pool,
+        )
+
+    # -- shard assignment ------------------------------------------------------
+
+    def alive_shards(self) -> list[GatewayShard]:
+        """Shards currently accepting work, in index order."""
+        return [shard for shard in self.shards if not shard.failed]
+
+    def assign(self, vehicle: Vehicle) -> GatewayShard:
+        """Pick the serving shard for a vehicle under the configured policy.
+
+        Every policy is deterministic: ``static-hash`` places by a hash
+        of the vehicle identity, ``least-loaded`` picks the fewest active
+        vehicles (ties to the lowest index), ``round-robin`` cycles a
+        counter — all over the currently *alive* shards, so the same
+        policies drive both initial placement and failover adoption.
+        """
+        alive = self.alive_shards()
+        if not alive:
+            raise SimulationError("no alive gateway shard to assign to")
+        policy = self.config.shard_policy
+        if policy == POLICY_STATIC_HASH:
+            digest = sha256(b"fleet|shard-assign|" + vehicle.device_id)
+            return alive[int.from_bytes(digest[:8], "big") % len(alive)]
+        if policy == POLICY_LEAST_LOADED:
+            return min(alive, key=lambda s: (s.active_vehicles, s.index))
+        # round-robin
+        shard = alive[self._round_robin % len(alive)]
+        self._round_robin += 1
+        return shard
+
+
+def plan_v2v_pairs(config) -> list[tuple[int, int]]:
+    """Deterministic V2V pairing plan for a fleet configuration.
+
+    Shuffles the vehicle indices with a seed-derived PRNG and pairs them
+    off until ``v2v_fraction`` of the fleet participates.  Each pair is
+    ``(initiator_index, responder_index)`` with the initiator the lower
+    index; a vehicle joins at most one pair.  Whether a pair straddles
+    shards falls out of the assignment policy at run time — with
+    ``static-hash`` placement and several shards, a healthy fraction does,
+    which is exactly the cross-shard validation the trust chain exists for.
+    """
+    if config.v2v_fraction <= 0.0 or config.n_vehicles < 2:
+        return []
+    rng = random.Random(
+        int.from_bytes(sha256(config.seed + b"|v2v-pairs"), "big")
+    )
+    indices = list(range(config.n_vehicles))
+    rng.shuffle(indices)
+    participants = int(round(config.v2v_fraction * config.n_vehicles))
+    n_pairs = min(participants // 2, config.n_vehicles // 2)
+    pairs = []
+    for i in range(n_pairs):
+        a, b = indices[2 * i], indices[2 * i + 1]
+        pairs.append((min(a, b), max(a, b)))
+    return sorted(pairs)

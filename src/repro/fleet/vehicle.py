@@ -24,12 +24,20 @@ class TimelineEvent:
     time_ms: float
     kind: str  # "arrive" | "request" | "certified" | "enrolled"
     #          # | "established" | "rekey" | "done"
+    #          # | "requeue" | "handover" (gateway failover)
+    #          # | "v2v-established" | "v2v-rekey" | "v2v-done"
     detail: str = ""
 
 
 @dataclass
 class Vehicle:
-    """One fleet member's mutable orchestration state."""
+    """One fleet member's mutable orchestration state.
+
+    ``shard`` tracks the gateway shard currently serving the vehicle; it
+    changes only on failover handover.  The ``v2v_*`` fields exist when
+    the topology paired this vehicle with another fleet member for direct
+    (non-hub) sessions.
+    """
 
     name: str
     index: int
@@ -46,6 +54,12 @@ class Vehicle:
     generation: int = 0
     done_at: float | None = None
     session_counter: int = 0
+    shard: int = 0
+    handovers: int = 0
+    v2v_peer_index: int | None = None
+    v2v_sessions: int = 0
+    v2v_records_sent: int = 0
+    v2v_done_at: float | None = None
 
     def log(self, time_ms: float, kind: str, detail: str = "") -> None:
         """Append one timeline event."""

@@ -18,7 +18,7 @@ from typing import Iterator
 
 from .. import trace
 from ..ec import Point
-from ..ecqv import EcqvCredential, ValidationPolicy
+from ..ecqv import EcqvCredential, TrustStore, ValidationPolicy
 from ..errors import ProtocolError
 from ..primitives import HmacDrbg
 from .pool import EphemeralPool
@@ -125,6 +125,12 @@ class SessionContext:
             of precomputed Op1 ephemerals; pool-aware protocols (STS) drain
             it instead of computing ``X*G`` per session.  ``None`` keeps
             the classic on-demand path.
+        trust_store: optional :class:`~repro.ecqv.TrustStore` for
+            multi-CA deployments; chain-aware protocols (STS) resolve a
+            peer certificate's issuer through it, so peers enrolled at
+            *different* subordinate CAs (cross-shard fleet members)
+            authenticate via the shared root.  ``None`` keeps the classic
+            single-CA path where ``ca_public`` is the direct issuer.
     """
 
     credential: EcqvCredential
@@ -134,11 +140,26 @@ class SessionContext:
     policy: ValidationPolicy = field(default_factory=ValidationPolicy)
     pre_shared_keys: dict[bytes, bytes] = field(default_factory=dict)
     ephemeral_pool: "EphemeralPool | None" = None
+    trust_store: "TrustStore | None" = None
 
     @property
     def device_id(self) -> bytes:
         """The device's 16-byte identity (from its certificate)."""
         return self.credential.subject_id
+
+    def issuer_public_for(self, certificate) -> Point:
+        """The trusted issuer key for a peer certificate.
+
+        Resolved through the trust store when one is attached (the peer
+        may be enrolled at any subordinate CA of the shared root — the
+        multi-shard fleet case); otherwise ``ca_public`` is the direct
+        issuer, the classic single-CA deployment.  Every
+        certificate-validating protocol funnels through this, so all of
+        them speak chained trust uniformly.
+        """
+        if self.trust_store is not None:
+            return self.trust_store.resolve_issuer(certificate, self.now)
+        return self.ca_public
 
 
 class Party(ABC):

@@ -91,14 +91,25 @@ class SessionManager:
 
     # -- lifecycle ------------------------------------------------------------
 
-    def install(self, peer_id: bytes, session_key: bytes) -> ManagedSession:
-        """Install a freshly negotiated key for ``peer_id``."""
+    def install(
+        self, peer_id: bytes, session_key: bytes, role: str | None = None
+    ) -> ManagedSession:
+        """Install a freshly negotiated key for ``peer_id``.
+
+        ``role`` overrides the manager's own role for this one session's
+        record channel: two initiator-role managers that negotiated a
+        *peer-to-peer* session (fleet V2V) must still take opposite
+        directions on the wire, so the responding side installs its half
+        with ``role="B"``.
+        """
         key = bytes(peer_id)
         generation = self._generations.get(key, 0) + 1
         self._generations[key] = generation
         session = ManagedSession(
             peer_id=key,
-            channel=SecureSession(session_key, self.role),
+            channel=SecureSession(
+                session_key, self.role if role is None else role
+            ),
             established_at=self._clock(),
             generation=generation,
         )

@@ -87,12 +87,20 @@ class PorambParty(Party):
         return self._nonce_peer + self._nonce_own
 
     def _fused_shared_x(self, cert: Certificate) -> bytes:
-        """One fused reconstruct-and-derive double multiplication."""
+        """One fused reconstruct-and-derive double multiplication.
+
+        ``d·Q_peer = d·(e·P + Q_issuer) = (d·e)·P + d·Q_issuer`` holds for
+        whichever CA issued the peer certificate, so chained deployments
+        just substitute the resolved issuer key.
+        """
         curve = cert.curve
         d = self.ctx.credential.private_key
         e = cert_digest_scalar(cert.encode(), curve)
         shared = mul_double(
-            (d * e) % curve.n, cert.reconstruction_point, d, self.ctx.ca_public
+            (d * e) % curve.n,
+            cert.reconstruction_point,
+            d,
+            self.ctx.issuer_public_for(cert),
         )
         if shared.is_infinity:
             raise ProtocolError("PORAMB: degenerate shared point")
@@ -190,7 +198,10 @@ class PorambParty(Party):
                 )
             cert = Certificate.decode(cert_bytes)
             validate_certificate(
-                cert, self.ctx.ca_public, self.ctx.now, self.ctx.policy
+                cert,
+                self.ctx.issuer_public_for(cert),
+                self.ctx.now,
+                self.ctx.policy,
             )
             if cert.subject_id != self._peer_id:
                 raise AuthenticationError(

@@ -83,11 +83,12 @@ class SEcdsaParty(Party):
         """OP2 + OP4: implicit key reconstruction, then signature check."""
         with self.operation("pubkey_reconstruction", OP2):
             cert = Certificate.decode(cert_bytes)
+            issuer_public = self.ctx.issuer_public_for(cert)
             validate_certificate(
-                cert, self.ctx.ca_public, self.ctx.now, self.ctx.policy
+                cert, issuer_public, self.ctx.now, self.ctx.policy
             )
             self._peer_cert = cert
-            self._peer_public = reconstruct_public_key(cert, self.ctx.ca_public)
+            self._peer_public = reconstruct_public_key(cert, issuer_public)
         with self.operation("verify_peer_signature", OP4):
             curve = self.ctx.credential.certificate.curve
             signature = Signature.from_bytes(curve, sig_bytes)

@@ -66,8 +66,9 @@ class SciancParty(Party):
         """OP2: fused reconstruct-and-derive (single double multiplication)."""
         with self.operation("fused_reconstruct_derive", OP2):
             cert = Certificate.decode(cert_bytes)
+            issuer_public = self.ctx.issuer_public_for(cert)
             validate_certificate(
-                cert, self.ctx.ca_public, self.ctx.now, self.ctx.policy
+                cert, issuer_public, self.ctx.now, self.ctx.policy
             )
             self._peer_cert = cert
             curve = cert.curve
@@ -77,7 +78,7 @@ class SciancParty(Party):
                 (d * e) % curve.n,
                 cert.reconstruction_point,
                 d,
-                self.ctx.ca_public,
+                issuer_public,
             )
             if shared.is_infinity:
                 raise ProtocolError("SCIANC: degenerate shared point")

@@ -117,13 +117,21 @@ class StsParty(Party):
         self.session_key = derive_session_key(premaster, salt)
 
     def _reconstruct_peer_key(self, cert_bytes: bytes):
-        """Implicit public key derivation (Eq. 1) with policy validation."""
+        """Implicit public key derivation (Eq. 1) with policy validation.
+
+        With a :class:`~repro.ecqv.TrustStore` on the context, the peer's
+        issuer is resolved through the certificate chain first (so a peer
+        enrolled at a different subordinate CA — a cross-shard vehicle —
+        validates against the shared root); without one, ``ctx.ca_public``
+        is the direct issuer exactly as in the single-CA deployment.
+        """
         cert = Certificate.decode(cert_bytes)
+        issuer_public = self.ctx.issuer_public_for(cert)
         validate_certificate(
-            cert, self.ctx.ca_public, self.ctx.now, self.ctx.policy
+            cert, issuer_public, self.ctx.now, self.ctx.policy
         )
         self._peer_cert = cert
-        return reconstruct_public_key(cert, self.ctx.ca_public)
+        return reconstruct_public_key(cert, issuer_public)
 
     def _sign_payload(self) -> bytes:
         """The ``XG_own || XG_peer`` byte string this station signs."""

@@ -1,0 +1,91 @@
+"""Batch ECDSA verification: agreement with the sequential verifier.
+
+``verify_batch`` must be observably identical to calling ``verify`` in a
+loop — same boolean outcomes on any mix of valid, forged and malformed
+inputs, and the same priced cost trace (the shared Jacobian normalization
+is untraced host-time, exactly like ``mul_base_batch``).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import trace
+from repro.ec import SECP192R1, SECP256R1, Point
+from repro.ecdsa import (
+    Signature,
+    generate_keypair,
+    sign,
+    verify,
+    verify_batch,
+)
+from repro.errors import SignatureError
+from repro.primitives import HmacDrbg
+
+
+def _signers(count, curve=SECP256R1, seed=b"batch-verify"):
+    items = []
+    for i in range(count):
+        rng = HmacDrbg(seed, personalization=b"signer|%d" % i)
+        keypair = generate_keypair(curve, rng)
+        message = b"record %d" % i
+        items.append(
+            (keypair.public, message, sign(curve, keypair.private, message))
+        )
+    return items
+
+
+class TestAgreement:
+    def test_all_valid(self):
+        items = _signers(8)
+        assert verify_batch(items) == [True] * 8
+
+    def test_mixed_outcomes_match_sequential(self):
+        items = _signers(6)
+        # Corrupt item 1 (message), item 3 (r), item 4 (swapped key).
+        public1, _, sig1 = items[1]
+        items[1] = (public1, b"tampered", sig1)
+        public3, message3, sig3 = items[3]
+        bad_r = Signature(sig3.curve, (sig3.r % (sig3.curve.n - 1)) + 1, sig3.s)
+        items[3] = (public3, message3, bad_r)
+        items[4] = (items[5][0], items[4][1], items[4][2])
+        expected = [verify(p, m, s) for p, m, s in items]
+        assert verify_batch(items) == expected
+        assert expected == [True, False, True, False, False, True]
+
+    def test_empty_batch(self):
+        assert verify_batch([]) == []
+
+    def test_infinity_key_is_false_not_an_error(self):
+        items = _signers(2)
+        public, message, signature = items[0]
+        items[0] = (Point.infinity(SECP256R1), message, signature)
+        assert verify_batch(items) == [False, True]
+
+    def test_wrong_curve_signature_is_false(self):
+        items = _signers(1)
+        other = _signers(1, curve=SECP192R1)[0]
+        assert verify_batch([(items[0][0], items[0][1], other[2])]) == [False]
+
+    def test_mixed_key_curves_rejected(self):
+        a = _signers(1)[0]
+        b = _signers(1, curve=SECP192R1)[0]
+        with pytest.raises(SignatureError):
+            verify_batch([a, b])
+
+    def test_unknown_hash_rejected(self):
+        with pytest.raises(SignatureError):
+            verify_batch(_signers(1), hash_name="md5")
+
+
+class TestCostParity:
+    def test_batch_trace_matches_sequential(self):
+        items = _signers(5)
+        with trace.trace("sequential") as seq_cost:
+            for public, message, signature in items:
+                verify(public, message, signature)
+        with trace.trace("batched") as batch_cost:
+            verify_batch(items)
+        assert batch_cost.counts == seq_cost.counts
+        assert batch_cost["ecdsa.verify"] == 5
+        assert batch_cost["ec.mul_double"] == 5

@@ -1,0 +1,141 @@
+"""Chained issuance and trust-store resolution (root → sub-CA → device)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ec import SECP256R1, mul_base
+from repro.ecqv import (
+    CertificateAuthority,
+    CertificateRequester,
+    TrustStore,
+    USAGE_CERT_SIGN,
+    issue_credential,
+    make_sub_ca,
+)
+from repro.errors import CertificateError
+from repro.primitives import HmacDrbg
+from repro.testbed import DEFAULT_NOW, device_id
+
+
+@pytest.fixture()
+def root():
+    return CertificateAuthority(
+        SECP256R1,
+        device_id("chain-root"),
+        HmacDrbg(b"chain", personalization=b"root"),
+        clock=lambda: DEFAULT_NOW,
+    )
+
+
+def _sub(root, name=b"sub0", **kwargs):
+    return make_sub_ca(
+        root,
+        device_id(name.decode()),
+        HmacDrbg(b"chain", personalization=b"sub|" + name),
+        clock=lambda: DEFAULT_NOW,
+        **kwargs,
+    )
+
+
+def _leaf(ca, name="leaf"):
+    requester = CertificateRequester(
+        ca.curve,
+        device_id(name),
+        HmacDrbg(b"chain", personalization=b"leaf|" + name.encode()),
+    )
+    issued = ca.issue(requester.create_request())
+    return requester.process_response(issued, ca.public_key)
+
+
+class TestSubCa:
+    def test_sub_ca_keypair_comes_from_its_credential(self, root):
+        sub, cert = _sub(root)
+        reconstructed = TrustStore(root.public_key).resolve_and_validate(
+            cert, DEFAULT_NOW
+        )
+        assert reconstructed == sub.public_key
+        assert mul_base(sub.keypair.private, SECP256R1) == sub.public_key
+
+    def test_sub_ca_certificate_carries_cert_sign_usage(self, root):
+        _, cert = _sub(root)
+        assert cert.key_usage & USAGE_CERT_SIGN
+
+    def test_signed_enrollment_at_strict_root(self):
+        strict_root = CertificateAuthority(
+            SECP256R1,
+            device_id("strict-root"),
+            HmacDrbg(b"chain", personalization=b"strict"),
+            require_signed_requests=True,
+        )
+        sub, cert = _sub(strict_root, b"sub-signed", authenticate_request=True)
+        assert cert.authority_key_id == strict_root.authority_key_id
+
+
+class TestTrustStore:
+    def test_two_level_resolution(self, root):
+        sub, sub_cert = _sub(root)
+        store = TrustStore(root.public_key, [sub_cert])
+        leaf = _leaf(sub)
+        assert (
+            store.resolve_and_validate(leaf.certificate, DEFAULT_NOW)
+            == leaf.public_key
+        )
+
+    def test_root_issued_leaf_resolves_directly(self, root):
+        store = TrustStore(root.public_key)
+        credential = issue_credential(
+            root,
+            device_id("root-leaf"),
+            HmacDrbg(b"chain", personalization=b"root-leaf"),
+        )
+        assert (
+            store.resolve_issuer(credential.certificate, DEFAULT_NOW)
+            == root.public_key
+        )
+
+    def test_unknown_authority_rejected(self, root):
+        sub, _ = _sub(root)  # intermediate NOT registered
+        store = TrustStore(root.public_key)
+        leaf = _leaf(sub)
+        with pytest.raises(CertificateError, match="no trust path"):
+            store.resolve_issuer(leaf.certificate, DEFAULT_NOW)
+
+    def test_foreign_intermediate_rejected_at_registration(self, root):
+        other_root = CertificateAuthority(
+            SECP256R1,
+            device_id("other-root"),
+            HmacDrbg(b"chain", personalization=b"other"),
+        )
+        _, foreign_cert = _sub(other_root, b"foreign")
+        store = TrustStore(root.public_key)
+        with pytest.raises(CertificateError, match="not anchored"):
+            store.add_intermediate(foreign_cert)
+
+    def test_intermediate_without_cert_sign_usage_rejected(self, root):
+        # A plain device credential registered as an intermediate must be
+        # refused at resolution time: it lacks USAGE_CERT_SIGN.
+        plain = issue_credential(
+            root,
+            device_id("plain-dev"),
+            HmacDrbg(b"chain", personalization=b"plain"),
+        )
+        store = TrustStore(root.public_key, [plain.certificate])
+        fake_sub = CertificateAuthority(
+            SECP256R1,
+            device_id("plain-dev"),
+            HmacDrbg(b"chain", personalization=b"fake"),
+            keypair=type(root.keypair)(
+                SECP256R1, plain.private_key, plain.public_key
+            ),
+        )
+        leaf = _leaf(fake_sub, name="victim")
+        with pytest.raises(CertificateError, match="usage"):
+            store.resolve_issuer(leaf.certificate, DEFAULT_NOW)
+
+    def test_expired_intermediate_rejected(self, root):
+        sub, sub_cert = _sub(root, b"short", validity_seconds=60)
+        store = TrustStore(root.public_key, [sub_cert])
+        leaf = _leaf(sub)
+        with pytest.raises(CertificateError, match="validity window"):
+            store.resolve_issuer(leaf.certificate, DEFAULT_NOW + 3600)

@@ -1,0 +1,95 @@
+"""Proof-of-possession request authentication on the issuance path."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ec import SECP256R1
+from repro.ecdsa import Signature, verify
+from repro.ecqv import CertificateAuthority, CertificateRequester
+from repro.errors import CertificateError
+from repro.primitives import HmacDrbg
+from repro.testbed import device_id
+
+
+def _ca(require_signed=False, seed=b"req-auth"):
+    return CertificateAuthority(
+        SECP256R1,
+        device_id("auth-ca"),
+        HmacDrbg(seed, personalization=b"ca"),
+        require_signed_requests=require_signed,
+    )
+
+
+def _request(name, authenticate):
+    requester = CertificateRequester(
+        SECP256R1,
+        device_id(name),
+        HmacDrbg(b"req-auth", personalization=b"dev|" + name.encode()),
+    )
+    return requester, requester.create_request(authenticate=authenticate)
+
+
+class TestSignedRequests:
+    def test_signature_verifies_against_request_point(self):
+        _, request = _request("dev0", authenticate=True)
+        assert request.signature is not None
+        assert verify(
+            request.request_point, request.signed_payload(), request.signature
+        )
+
+    def test_signing_does_not_perturb_the_drbg_stream(self):
+        # Proof-of-possession uses RFC 6979 nonces (derived, not drawn),
+        # so a signed and an unsigned request from identical DRBG state
+        # carry the same ephemeral point.
+        _, signed = _request("dev1", authenticate=True)
+        _, unsigned = _request("dev1", authenticate=False)
+        assert signed.request_point == unsigned.request_point
+
+    def test_batch_issuance_accepts_valid_proofs(self):
+        ca = _ca(require_signed=True)
+        requests = [_request(f"dev{i}", True)[1] for i in range(5)]
+        issued = ca.issue_batch(requests)
+        assert len(issued) == 5
+
+    def test_forged_proof_aborts_the_batch_by_index(self):
+        ca = _ca()
+        requests = [_request(f"dev{i}", True)[1] for i in range(4)]
+        victim = requests[2]
+        forged = type(victim)(
+            subject_id=victim.subject_id,
+            request_point=victim.request_point,
+            signature=Signature(
+                SECP256R1,
+                victim.signature.r,
+                (victim.signature.s % (SECP256R1.n - 1)) + 1,
+            ),
+        )
+        requests[2] = forged
+        with pytest.raises(CertificateError, match="request 2"):
+            ca.issue_batch(requests)
+        # A rejected batch leaves the CA untouched: same DRBG state, so
+        # the retry issues exactly what an unforged first attempt would.
+        assert ca.issued == {}
+        requests[2] = victim
+        issued = ca.issue_batch(requests)
+        assert [c.certificate.serial for c in issued] == [1, 2, 3, 4]
+
+    def test_unsigned_request_rejected_when_required(self):
+        ca = _ca(require_signed=True)
+        requests = [_request("dev0", True)[1], _request("dev1", False)[1]]
+        with pytest.raises(CertificateError, match="request 1"):
+            ca.issue_batch(requests)
+
+    def test_mixed_batch_tolerated_when_not_required(self):
+        ca = _ca()
+        requests = [_request("dev0", True)[1], _request("dev1", False)[1]]
+        assert len(ca.issue_batch(requests)) == 2
+
+    def test_single_issue_also_authenticates(self):
+        ca = _ca(require_signed=True)
+        _, request = _request("dev0", True)
+        issued = ca.issue(request)
+        assert issued.certificate.subject_id == device_id("dev0")
+        with pytest.raises(CertificateError):
+            ca.issue(_request("dev1", False)[1])
