@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Fleet churn: a migration storm, a gateway death, and a rejoin.
+
+The mesh example kills a shard and leaves it dead; this one runs the full
+churn lifecycle a real multi-gateway deployment lives in:
+
+* the fleet runs on **2 gateway shards** with a **threshold-1
+  re-balancer**: whenever a shard holds 2+ more active vehicles than the
+  other, a vehicle live-migrates over — its gateway sessions drain (the
+  dead half can only see ``SessionExpired``), it re-enrolls through the
+  target sub-CA and re-keys there;
+* at t = 4.5 s **shard 0 dies**: queued requests re-queue and its
+  vehicles fail over to shard 1;
+* at t = 6 s **shard 0 rejoins** with a *fresh* sub-CA chained to the
+  same fleet root at **chain epoch 2**.  The trust store retires the dead
+  epoch, so pre-failure certificates are rejected at their next
+  establishment and re-enroll; the re-balancer then migrates vehicles
+  back onto the recovered shard.
+
+Run:  PYTHONPATH=src python examples/fleet_churn.py
+"""
+
+from __future__ import annotations
+
+from repro.fleet import FleetConfig, FleetOrchestrator
+
+VEHICLES = 14
+
+
+def main() -> None:
+    config = FleetConfig(
+        n_vehicles=VEHICLES,
+        seed=b"fleet-churn-example",
+        records_per_vehicle=60,
+        max_records=12,
+        send_interval_ms=25.0,
+        arrival_spread_ms=40.0,
+        shards=2,
+        shard_fail_at_ms=4_500.0,
+        fail_shard=0,
+        shard_rejoin_at_ms=6_000.0,
+        migrate_threshold=1,
+    )
+    print(
+        f"Unleashing {VEHICLES} vehicles on 2 gateway shards"
+        " (one dies at 4.5 s and rejoins at 6 s, re-keyed)...\n"
+    )
+    orchestrator = FleetOrchestrator(config)
+    store = orchestrator.topology.trust_store
+    shard0 = orchestrator.shards[0]
+    pre_failure_akid = shard0.ca.authority_key_id
+    result = orchestrator.run()
+    stats = result.stats
+
+    print(stats.render())
+
+    print("\nPer-epoch shard history:")
+    for shard in stats.per_shard:
+        epochs = (
+            f"epoch 1 (provisioned) -> failed -> epoch {shard.epoch} (rejoined)"
+            if shard.epoch > 1
+            else "epoch 1 (provisioned, never failed)"
+        )
+        print(
+            f"  shard {shard.index}: {epochs};"
+            f" migrations +{shard.migrations_in}/-{shard.migrations_out},"
+            f" {shard.handovers_in} failover handovers in"
+        )
+    print(
+        f"  trust store: shard-0 CA now at chain epoch"
+        f" {store.chain_epoch(shard0.ca_certificate.subject_id)};"
+        f" pre-failure authority {pre_failure_akid.hex()[:8]}… retired ="
+        f" {store.is_retired(pre_failure_akid)}"
+    )
+
+    migrant = next((v for v in result.vehicles if v.migrations > 0), None)
+    if migrant is not None:
+        print(f"\nA vehicle that lived through the churn ({migrant.name}):")
+        print(migrant.timeline())
+
+    stale = [
+        v
+        for v in result.vehicles
+        for e in v.events
+        if e.kind == "re-enroll" and "chain epoch rolled" in e.detail
+    ]
+    if stale:
+        print(
+            f"\n{len(stale)} establishment(s) were blocked by the"
+            " chain-epoch check and re-enrolled first — a dead CA's"
+            " certificates never validate again."
+        )
+
+    print(
+        f"\nStats digest (same seed always reproduces it):"
+        f" {stats.digest()}"
+    )
+
+
+if __name__ == "__main__":
+    main()

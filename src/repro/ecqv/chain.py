@@ -89,6 +89,16 @@ _INTERMEDIATE_POLICY = ValidationPolicy(required_usage=USAGE_CERT_SIGN)
 class TrustStore:
     """Resolves certificate issuers through ECQV intermediates to one root.
 
+    Intermediates carry a **chain epoch**: the first certificate registered
+    for a subject (a shard CA identity) is epoch 1, and every
+    :meth:`replace_intermediate` — a shard CA re-provisioned after
+    failure/rejoin with a fresh key pair chained to the same root — bumps
+    the subject's epoch and *retires* the previous intermediate.  Leaf
+    certificates issued by a retired intermediate stop resolving: the
+    chain-epoch check raises instead of silently validating against a key
+    the fleet has already rolled, which is what forces pre-failure
+    credentials to re-enroll after a gateway rejoin.
+
     Args:
         root_public: the fleet root CA public key (the single anchor).
         intermediates: optional initial intermediate certificates.
@@ -102,31 +112,106 @@ class TrustStore:
         self.root_public = root_public
         self.root_key_id = authority_key_identifier(root_public)
         self._intermediates: dict[bytes, Certificate] = {}
+        #: subject_id -> (current authority key id, current chain epoch)
+        self._subjects: dict[bytes, tuple[bytes, int]] = {}
+        #: retired authority key id -> (subject_id, epoch it served as)
+        self._retired: dict[bytes, tuple[bytes, int]] = {}
         for certificate in intermediates:
             self.add_intermediate(certificate)
+
+    def _register(self, certificate: Certificate, epoch: int) -> bytes:
+        own_public = reconstruct_public_key(certificate, self.root_public)
+        key_id = authority_key_identifier(own_public)
+        self._intermediates[key_id] = certificate
+        self._subjects[certificate.subject_id] = (key_id, epoch)
+        return key_id
 
     def add_intermediate(self, certificate: Certificate) -> None:
         """Register a root-issued intermediate (e.g. a shard CA) cert.
 
         The certificate must name the root as its authority; it is indexed
         by the key identifier of its *reconstructed own* public key, which
-        is what leaf certificates carry in ``authority_key_id``.
+        is what leaf certificates carry in ``authority_key_id``.  The new
+        intermediate starts at chain epoch 1; a subject that already holds
+        a live intermediate must go through :meth:`replace_intermediate`
+        so the rollover is explicit.
         """
         if certificate.authority_key_id != self.root_key_id:
             raise CertificateError(
                 "intermediate certificate is not anchored at this root"
             )
+        if certificate.subject_id in self._subjects:
+            raise CertificateError(
+                f"subject {certificate.subject_id.hex()} already holds a"
+                " live intermediate; use replace_intermediate to roll it"
+            )
+        self._register(certificate, 1)
+
+    def replace_intermediate(self, certificate: Certificate) -> int:
+        """Roll a subject's intermediate to a fresh certificate.
+
+        The subject's previous intermediate is retired — leaves chained
+        through it raise the chain-epoch error from then on — and the new
+        certificate becomes the subject's current intermediate at the next
+        chain epoch, which is returned.
+        """
+        if certificate.authority_key_id != self.root_key_id:
+            raise CertificateError(
+                "intermediate certificate is not anchored at this root"
+            )
+        try:
+            old_key_id, old_epoch = self._subjects[certificate.subject_id]
+        except KeyError:
+            raise CertificateError(
+                f"subject {certificate.subject_id.hex()} has no live"
+                " intermediate to replace"
+            ) from None
         own_public = reconstruct_public_key(certificate, self.root_public)
-        self._intermediates[authority_key_identifier(own_public)] = certificate
+        new_key_id = authority_key_identifier(own_public)
+        if new_key_id == old_key_id:
+            # Re-registering the same key would leave it both live and
+            # retired at once (is_retired() true for a resolvable
+            # authority — downstream re-enrollment would loop forever).
+            raise CertificateError(
+                "replacement intermediate reuses the retired key pair;"
+                " an epoch roll must carry fresh key material"
+            )
+        del self._intermediates[old_key_id]
+        self._retired[old_key_id] = (certificate.subject_id, old_epoch)
+        self._intermediates[new_key_id] = certificate
+        self._subjects[certificate.subject_id] = (new_key_id, old_epoch + 1)
+        return old_epoch + 1
+
+    def is_retired(self, authority_key_id: bytes) -> bool:
+        """True if this authority key id belonged to a rolled intermediate."""
+        return authority_key_id in self._retired
+
+    def chain_epoch(self, subject_id: bytes) -> int:
+        """Current chain epoch of a subject's intermediate (0 if unknown)."""
+        entry = self._subjects.get(subject_id)
+        return entry[1] if entry is not None else 0
 
     def intermediate_for(self, authority_key_id: bytes) -> Certificate:
-        """The registered intermediate matching an authority key id."""
+        """The live intermediate matching an authority key id.
+
+        Raises :class:`~repro.errors.CertificateError` both for unknown
+        authorities and — with an explicit chain-epoch message — for
+        authorities that were retired by :meth:`replace_intermediate`.
+        """
         try:
             return self._intermediates[authority_key_id]
         except KeyError:
+            pass
+        if authority_key_id in self._retired:
+            subject_id, epoch = self._retired[authority_key_id]
             raise CertificateError(
-                f"no trust path for authority {authority_key_id.hex()}"
-            ) from None
+                f"authority {authority_key_id.hex()} was retired: subject"
+                f" {subject_id.hex()} rolled past chain epoch {epoch};"
+                " the leaf must re-enroll at the current intermediate"
+            )
+        raise CertificateError(
+            f"no trust path for authority {authority_key_id.hex()}"
+        ) from None
 
     def resolve_issuer(self, certificate: Certificate, now: int) -> Point:
         """The public key of ``certificate``'s issuer, chain-validated.

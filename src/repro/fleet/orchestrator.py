@@ -21,7 +21,15 @@ is explicit rather than implied:
   certificate chain through the shared :class:`~repro.ecqv.TrustStore`;
 * a shard can **fail mid-run**: its queued requests are re-queued and its
   vehicles re-key at surviving shards (their chained credentials stay
-  valid), with the disruption visible in the latency statistics.
+  valid), with the disruption visible in the latency statistics;
+* vehicles **live-migrate** between healthy shards — either through the
+  explicit :meth:`FleetOrchestrator.migrate` API or the
+  ``migrate_threshold`` re-balancing policy — draining their gateway
+  sessions and re-enrolling through the target sub-CA;
+* a failed shard can **rejoin** at a scheduled time with a fresh sub-CA
+  chained to the same root at the next *chain epoch*; the trust store
+  retires the dead epoch, stale credentials re-enroll before their next
+  establishment, and the re-balancer migrates vehicles back.
 
 ``shards=1, v2v_fraction=0`` is the degenerate case and reproduces the
 original single-gateway fleet *bit-for-bit* — same DRBG streams, same
@@ -140,6 +148,21 @@ class FleetConfig:
         shard_fail_at_ms: simulated time at which shard ``fail_shard``
             goes down (``None`` disables; requires ``shards >= 2``).
         fail_shard: index of the shard the failure scenario kills.
+        shard_rejoin_at_ms: simulated time at which the failed shard
+            comes back (``None`` disables; requires ``shard_fail_at_ms``
+            and must be later than it).  The rejoined shard is
+            re-provisioned with a fresh sub-CA chained to the same fleet
+            root at the next **chain epoch**; the trust store retires the
+            dead epoch, so credentials it issued must re-enroll before
+            their next establishment.
+        migrate_threshold: live re-balancing policy (``None`` disables;
+            requires ``shards >= 2``).  Checked at every application
+            send: when the sending vehicle's shard holds more than
+            ``migrate_threshold`` active vehicles above the least-loaded
+            alive shard, the vehicle live-migrates there — its gateway
+            sessions are dropped on both halves (the dead half can only
+            see ``SessionExpired``), it re-enrolls through the target
+            sub-CA and re-establishes before resuming traffic.
         authenticate_requests: vehicles sign their enrollment requests
             (proof of possession) and CAs batch-verify whole queues of
             them via :func:`~repro.ecdsa.verify_batch` before issuing.
@@ -168,6 +191,8 @@ class FleetConfig:
     v2v_records: int = 10
     shard_fail_at_ms: float | None = None
     fail_shard: int = 0
+    shard_rejoin_at_ms: float | None = None
+    migrate_threshold: int | None = None
     authenticate_requests: bool = False
 
     def __post_init__(self) -> None:
@@ -199,6 +224,22 @@ class FleetConfig:
                 raise SimulationError("shard_fail_at_ms must be positive")
         if not 0 <= self.fail_shard < self.shards:
             raise SimulationError("fail_shard out of range")
+        if self.shard_rejoin_at_ms is not None:
+            if self.shard_fail_at_ms is None:
+                raise SimulationError(
+                    "a rejoin schedule needs a failure schedule"
+                )
+            if self.shard_rejoin_at_ms <= self.shard_fail_at_ms:
+                raise SimulationError(
+                    "shard_rejoin_at_ms must be after shard_fail_at_ms"
+                )
+        if self.migrate_threshold is not None:
+            if self.shards < 2:
+                raise SimulationError(
+                    "live migration needs at least two shards"
+                )
+            if self.migrate_threshold < 1:
+                raise SimulationError("migrate_threshold must be positive")
         get_protocol(self.protocol)  # fail fast on unknown names
 
 
@@ -284,6 +325,13 @@ class FleetOrchestrator:
         self._v2v_rekeys = 0
         self._v2v_cross_shard = 0
         self._v2v_records_sent = 0
+        self._migrations = 0
+        self._rejoins = 0
+        self._re_enrollments = 0
+        self._migration_latencies: list[float] = []
+        #: Continuations coalesced onto a vehicle's in-flight
+        #: re-enrollment (keyed by vehicle index).
+        self._re_enroll_followups: dict[int, list] = {}
 
     # -- deterministic context factories --------------------------------------
 
@@ -361,18 +409,26 @@ class FleetOrchestrator:
                 else f"queued at shard {shard.index}"
             )
             vehicle.log(self.sim.now, "request", detail)
-            shard.queue.append((vehicle, requester, request, self.sim.now))
+            shard.queue.append(
+                (vehicle, requester, request, self.sim.now, None)
+            )
             self._pump_ca(shard)
 
         self.sim.schedule_after(duration, submit)
 
     def _pump_ca(self, shard: GatewayShard) -> None:
-        """Serve one shard's CA queue: one batched issuance at a time."""
+        """Serve one shard's CA queue: one batched issuance at a time.
+
+        Queue entries are ``(vehicle, requester, request, queued_at,
+        then)`` — ``then`` is ``None`` for first enrollments (the standard
+        enrolled→establish continuation) and a callback for churn
+        re-enrollments (migration, chain-epoch roll).
+        """
         if shard.failed or shard.issuing or not shard.queue:
             return
         batch_size = min(len(shard.queue), self.config.ca_batch_limit)
         batch = [shard.queue.popleft() for _ in range(batch_size)]
-        requests = [request for _, _, request, _ in batch]
+        requests = [request for _, _, request, _, _ in batch]
         with trace.trace("ca:issue") as cost:
             if self.config.use_batch_ec:
                 issued = shard.ca.issue_batch(
@@ -387,10 +443,13 @@ class FleetOrchestrator:
                     )
                     for request in requests
                 ]
+        # Bind the issuing key now: a rejoin may roll shard.ca to a new
+        # epoch before this batch's delivery event fires.
+        issuer_public = shard.ca.public_key
         duration = shard.device.time_ms(cost)
         shard.energy_mj += shard.device.energy_mj(cost)
         start, end = shard.resource.reserve(self.sim.now, duration)
-        for _, _, _, queued_at in batch:
+        for _, _, _, queued_at, _ in batch:
             wait = start - queued_at
             shard.queue_latencies.append(wait)
             self._queue_latencies.append(wait)
@@ -400,20 +459,32 @@ class FleetOrchestrator:
 
         def deliver() -> None:
             shard.issuing = False
-            for (vehicle, requester, _, _), certificate in zip(batch, issued):
-                self._receive_certificate(vehicle, requester, certificate)
+            for (vehicle, requester, _, _, then), certificate in zip(
+                batch, issued
+            ):
+                self._receive_certificate(
+                    vehicle, requester, certificate, issuer_public, then
+                )
             self._pump_ca(shard)
 
         self.sim.schedule_at(end, deliver)
 
-    def _receive_certificate(self, vehicle, requester, issued) -> None:
+    def _receive_certificate(
+        self, vehicle, requester, issued, issuer_public, then=None
+    ) -> None:
         shard = self.shards[vehicle.shard]
         vehicle.log(self.sim.now, "certified", f"serial {issued.certificate.serial}")
         with trace.trace(f"{vehicle.name}:reception") as cost:
             vehicle.credential = requester.process_response(
-                issued, shard.ca.public_key
+                issued, issuer_public
             )
-            if self.config.use_batch_ec and self.config.pool_size > 0:
+            if (
+                self.config.use_batch_ec
+                and self.config.pool_size > 0
+                and vehicle.pool is None
+            ):
+                # Re-enrollments keep the existing pool: its DRBG stream
+                # must never be replayed from the start.
                 vehicle.pool = EphemeralPool(
                     self.config.curve,
                     HmacDrbg(
@@ -428,6 +499,10 @@ class FleetOrchestrator:
 
         def enrolled() -> None:
             shard.enrollments += 1
+            if then is not None:
+                vehicle.log(self.sim.now, "re-enrolled")
+                then()
+                return
             vehicle.enrolled_at = self.sim.now
             self._enrollment_latencies.append(
                 self.sim.now - vehicle.arrival_ms
@@ -458,7 +533,7 @@ class FleetOrchestrator:
         pending = list(shard.queue)
         shard.queue.clear()
         touched: list[GatewayShard] = []
-        for vehicle, requester, request, queued_at in pending:
+        for vehicle, requester, request, queued_at, then in pending:
             shard.active_vehicles -= 1
             adopter = self.topology.assign(vehicle)
             adopter.adopt(vehicle)
@@ -468,7 +543,9 @@ class FleetOrchestrator:
                 "requeue",
                 f"shard {shard.index} -> shard {adopter.index}",
             )
-            adopter.queue.append((vehicle, requester, request, queued_at))
+            adopter.queue.append(
+                (vehicle, requester, request, queued_at, then)
+            )
             touched.append(adopter)
         for adopter in touched:
             self._pump_ca(adopter)
@@ -477,8 +554,8 @@ class FleetOrchestrator:
         """Move a vehicle from its failed shard to a surviving one."""
         old = self.shards[vehicle.shard]
         adopter = self.topology.assign(vehicle)
-        vehicle.manager.sessions.pop(old.gateway_id, None)
-        old.manager.sessions.pop(vehicle.device_id, None)
+        vehicle.manager.drop(old.gateway_id)
+        old.manager.drop(vehicle.device_id)
         old.active_vehicles -= 1
         adopter.adopt(vehicle)
         vehicle.handovers += 1
@@ -490,12 +567,219 @@ class FleetOrchestrator:
         )
         return adopter
 
+    # -- churn: rejoin, migration, re-enrollment --------------------------------
+
+    def _rejoin_shard(self) -> None:
+        """Scheduled recovery: the failed shard comes back, next epoch.
+
+        Provisioning (fresh chained sub-CA, gateway credential, pool) is
+        delegated to :meth:`~repro.fleet.topology.FleetTopology.rejoin_shard`;
+        here the shard gets a *fresh* session manager, so any vehicle still
+        holding a pre-failure session re-keys at its next send (the new
+        gateway knows no old keys — the stale half can only ever miss,
+        never MAC-fail), re-enrolling first because the trust store
+        retired its certificate's chain epoch.  Vehicles migrate back
+        under the re-balancing policy as they send.
+        """
+        shard = self.shards[self.config.fail_shard]
+        if not shard.failed:
+            return
+        self.topology.rejoin_shard(shard.index)
+        shard.manager = SessionManager(
+            self._gateway_context_factory(shard),
+            "B",
+            protocol=self.config.protocol,
+            policy=self._policy,
+            clock=self._clock,
+        )
+        self._rejoins += 1
+
+    def migrate(self, vehicle: Vehicle, shard: "GatewayShard | int") -> None:
+        """Live-migrate a vehicle to another healthy shard.
+
+        Both halves of the vehicle↔gateway session are dropped through
+        the managers (the drained half can only raise ``SessionExpired``
+        afterwards), the vehicle re-enrolls through the target shard's
+        sub-CA — a fresh certificate under the target's chain epoch — and
+        re-establishes there before resuming its record stream.  This is
+        the explicit API; the ``migrate_threshold`` re-balancing policy
+        calls it at deterministic points (application sends).
+        """
+        target = self.shards[shard] if isinstance(shard, int) else shard
+        old = self.shards[vehicle.shard]
+        if target.index == old.index:
+            raise SimulationError(
+                f"{vehicle.name} already lives on shard {target.index}"
+            )
+        if old.failed or target.failed:
+            raise SimulationError(
+                "live migration runs between two healthy shards"
+                " (failover handles dead ones)"
+            )
+        if vehicle.migrating:
+            raise SimulationError(f"{vehicle.name} is already migrating")
+        if vehicle.re_enrolling:
+            raise SimulationError(
+                f"{vehicle.name} is mid re-enrollment; migrate after it"
+                " completes"
+            )
+        vehicle.migrating = True
+        started = self.sim.now
+        vehicle.manager.drop(old.gateway_id)
+        old.manager.drop(vehicle.device_id)
+        old.active_vehicles -= 1
+        old.migrations_out += 1
+        target.receive_migration(vehicle)
+        vehicle.migrations += 1
+        self._migrations += 1
+        vehicle.log(
+            self.sim.now,
+            "migrate",
+            f"shard {old.index} -> shard {target.index}",
+        )
+
+        def established() -> None:
+            vehicle.migrating = False
+            self._migration_latencies.append(self.sim.now - started)
+
+        self._re_enroll(
+            vehicle,
+            target,
+            reason=f"migration from shard {old.index}",
+            then=lambda: self._establish(vehicle, then=established),
+        )
+
+    def _maybe_migrate(self, vehicle: Vehicle, shard: GatewayShard) -> bool:
+        """Re-balancing policy: migrate when the shard is over threshold."""
+        threshold = self.config.migrate_threshold
+        if (
+            threshold is None
+            or vehicle.migrating
+            or vehicle.re_enrolling
+            or shard.failed
+        ):
+            return False
+        alive = self.topology.alive_shards()
+        if len(alive) < 2:
+            return False
+        target = min(alive, key=lambda s: (s.active_vehicles, s.index))
+        if target.index == shard.index:
+            return False
+        if shard.active_vehicles - target.active_vehicles <= threshold:
+            return False
+        self.migrate(vehicle, target)
+        return True
+
+    def _re_enroll(self, vehicle, shard, reason, then) -> None:
+        """Pull a fresh certificate from ``shard``'s CA, then ``then()``.
+
+        Runs the full priced enrollment pipeline — request on the vehicle
+        device, the shard CA's batched issuance queue, reception — but
+        keeps the vehicle's pool and routes completion into ``then``
+        instead of the first-enrollment bookkeeping.
+
+        One chain-epoch roll can trigger re-enrollment from two paths at
+        once (the gateway re-key in :meth:`_establish` and a V2V re-key
+        in :meth:`_establish_v2v`); a second request while one is in
+        flight is *coalesced* — its continuation just waits for the
+        fresh certificate instead of running the pipeline twice.
+        """
+        if vehicle.re_enrolling:
+            self._re_enroll_followups[vehicle.index].append(then)
+            vehicle.log(
+                self.sim.now, "re-enroll", f"coalesced ({reason})"
+            )
+            return
+        vehicle.re_enrolling = True
+        self._re_enroll_followups[vehicle.index] = []
+
+        def complete() -> None:
+            vehicle.re_enrolling = False
+            followups = self._re_enroll_followups.pop(vehicle.index, [])
+            then()
+            for followup in followups:
+                followup()
+
+        vehicle.re_enrollments += 1
+        self._re_enrollments += 1
+        vehicle.log(
+            self.sim.now, "re-enroll", f"at shard {shard.index} ({reason})"
+        )
+        requester = CertificateRequester(
+            self.config.curve,
+            vehicle.device_id,
+            HmacDrbg(
+                self.config.seed,
+                personalization=b"fleet|%s|enroll|%d"
+                % (vehicle.name.encode(), vehicle.re_enrollments),
+            ),
+        )
+        with trace.trace(f"{vehicle.name}:request") as cost:
+            request = requester.create_request(
+                authenticate=self.config.authenticate_requests
+            )
+        duration = self.vehicle_device.time_ms(cost)
+        self._vehicle_energy_mj += self.vehicle_device.energy_mj(cost)
+
+        def submit() -> None:
+            target = shard
+            if target.failed:
+                # The chosen shard died while the request was being
+                # computed: hand over to a survivor instead of stranding
+                # the request in a dead queue (same accounting as
+                # _handover, so the dead shard's active count and the
+                # vehicle's handover tally stay truthful for the
+                # post-rejoin re-balancer).
+                target.active_vehicles -= 1
+                target = self.topology.assign(vehicle)
+                target.adopt(vehicle)
+                vehicle.handovers += 1
+                self._handovers += 1
+                vehicle.log(
+                    self.sim.now,
+                    "requeue",
+                    f"shard {shard.index} -> shard {target.index}",
+                )
+            vehicle.log(
+                self.sim.now,
+                "request",
+                f"re-enroll queued at shard {target.index}",
+            )
+            target.queue.append(
+                (vehicle, requester, request, self.sim.now, complete)
+            )
+            self._pump_ca(target)
+
+        self.sim.schedule_after(duration, submit)
+
     # -- session establishment -------------------------------------------------
 
-    def _establish(self, vehicle: Vehicle) -> None:
+    def _credential_retired(self, vehicle: Vehicle) -> bool:
+        """True when the vehicle's certificate chain epoch was rolled."""
+        store = self.topology.trust_store
+        return (
+            store is not None
+            and vehicle.credential is not None
+            and store.is_retired(
+                vehicle.credential.certificate.authority_key_id
+            )
+        )
+
+    def _establish(self, vehicle: Vehicle, then=None) -> None:
         shard = self.shards[vehicle.shard]
         if shard.failed:
             shard = self._handover(vehicle)
+        if self._credential_retired(vehicle):
+            # The issuing sub-CA's epoch was rolled by a gateway rejoin:
+            # the trust store rejects the old chain, so pull a fresh
+            # certificate at the serving shard before establishing.
+            self._re_enroll(
+                vehicle,
+                shard,
+                reason="chain epoch rolled",
+                then=lambda: self._establish(vehicle, then=then),
+            )
+            return
         started = self.sim.now
         ctx_vehicle = vehicle.manager.context_factory()
         ctx_gateway = shard.manager.context_factory()
@@ -539,6 +823,8 @@ class FleetOrchestrator:
             )
             if vehicle.sessions == 1 and vehicle.v2v_peer_index is not None:
                 self._v2v_mark_ready(vehicle)
+            if then is not None:
+                then()
             self.sim.schedule_after(
                 self.config.send_interval_ms, lambda: self._send(vehicle)
             )
@@ -559,13 +845,19 @@ class FleetOrchestrator:
             # re-key at a surviving shard (handled inside _establish).
             self._establish(vehicle)
             return
+        if self._maybe_migrate(vehicle, shard):
+            # Re-balancing moved the vehicle: it resumes sending once
+            # re-enrolled and re-established at the target shard.
+            return
         if vehicle.manager.needs_rekey(
             shard.gateway_id
         ) or shard.manager.needs_rekey(vehicle.device_id):
-            # Policy expired the key on either side: drop both halves and
-            # run a fresh establishment (fresh ephemerals, next generation).
-            vehicle.manager.sessions.pop(shard.gateway_id, None)
-            shard.manager.sessions.pop(vehicle.device_id, None)
+            # Policy expired the key on either side — or a rejoined
+            # gateway came back with a fresh manager that knows no old
+            # keys: drop both halves and run a fresh establishment
+            # (fresh ephemerals, next generation).
+            vehicle.manager.drop(shard.gateway_id)
+            shard.manager.drop(vehicle.device_id)
             vehicle.rekeys += 1
             shard.rekeys += 1
             self._rekeys += 1
@@ -625,6 +917,23 @@ class FleetOrchestrator:
         CAs, which the trust store resolves to the fleet root on both
         sides — the chained-validation path this topology exists for.
         """
+        for vehicle in (initiator, responder):
+            if self._credential_retired(vehicle):
+                # A gateway rejoin rolled this endpoint's chain epoch
+                # since its last enrollment; the peer's trust store would
+                # reject the stale chain, so re-enroll first and retry.
+                shard = self.shards[vehicle.shard]
+                if shard.failed:
+                    shard = self._handover(vehicle)
+                self._re_enroll(
+                    vehicle,
+                    shard,
+                    reason="chain epoch rolled (v2v)",
+                    then=lambda: self._establish_v2v(
+                        initiator, responder, rekey
+                    ),
+                )
+                return
         started = self.sim.now
         ctx_initiator = initiator.manager.context_factory()
         ctx_responder = responder.manager.context_factory()
@@ -692,8 +1001,8 @@ class FleetOrchestrator:
         if initiator.manager.needs_rekey(
             responder.device_id
         ) or responder.manager.needs_rekey(initiator.device_id):
-            initiator.manager.sessions.pop(responder.device_id, None)
-            responder.manager.sessions.pop(initiator.device_id, None)
+            initiator.manager.drop(responder.device_id)
+            responder.manager.drop(initiator.device_id)
             initiator.log(
                 self.sim.now,
                 "v2v-rekey",
@@ -741,6 +1050,10 @@ class FleetOrchestrator:
         if self.config.shard_fail_at_ms is not None:
             self.sim.schedule_at(
                 self.config.shard_fail_at_ms, self._fail_shard
+            )
+        if self.config.shard_rejoin_at_ms is not None:
+            self.sim.schedule_at(
+                self.config.shard_rejoin_at_ms, self._rejoin_shard
             )
         self.sim.run(max_events=max_events)
         unfinished = [v.name for v in self.vehicles if v.done_at is None]
@@ -799,6 +1112,12 @@ class FleetOrchestrator:
             v2v_records_sent=self._v2v_records_sent,
             v2v_latency=LatencySummary.from_samples(self._v2v_latencies),
             handovers=self._handovers,
+            migrations=self._migrations,
+            rejoins=self._rejoins,
+            re_enrollments=self._re_enrollments,
+            migration_latency=LatencySummary.from_samples(
+                self._migration_latencies
+            ),
         )
         return FleetResult(stats=stats, vehicles=self.vehicles)
 

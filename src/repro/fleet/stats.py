@@ -85,10 +85,30 @@ class LatencySummary:
             "max_ms": self.max_ms,
         }
 
+    @classmethod
+    def from_dict(cls, data: dict) -> "LatencySummary":
+        """Rebuild a summary from its :meth:`as_dict` mapping."""
+        return cls(
+            count=data["count"],
+            min_ms=data["min_ms"],
+            mean_ms=data["mean_ms"],
+            p50_ms=data["p50_ms"],
+            p95_ms=data["p95_ms"],
+            max_ms=data["max_ms"],
+            p99_ms=data["p99_ms"],
+        )
+
 
 @dataclass(frozen=True)
 class ShardStats:
-    """One gateway shard's share of a fleet run."""
+    """One gateway shard's share of a fleet run.
+
+    The churn fields (``epoch``, ``migrations_in``, ``migrations_out``)
+    default to the values every pre-churn run had, and :meth:`row` only
+    renders them when they moved off those defaults — which is what keeps
+    every historical shard digest bit-stable while making any epoch roll
+    or migration visible in the digest of a churn run.
+    """
 
     index: int
     name: str
@@ -104,10 +124,23 @@ class ShardStats:
     ca_max_batch: int
     queue_latency: LatencySummary
     ca_energy_mj: float
+    # -- churn extensions (defaults keep legacy digests bit-stable) ----------
+    epoch: int = 1
+    migrations_in: int = 0
+    migrations_out: int = 0
+
+    @property
+    def churned(self) -> bool:
+        """True when this shard saw an epoch roll or any migration."""
+        return (
+            self.epoch != 1
+            or self.migrations_in > 0
+            or self.migrations_out > 0
+        )
 
     def row(self) -> str:
         """One-line rendering used by reports and the shard digest."""
-        return (
+        rendered = (
             f"shard {self.index} ({self.name}){' [FAILED]' if self.failed else ''}:"
             f" {self.vehicles_assigned} assigned, {self.enrollments} enrolled,"
             f" {self.sessions_established} sessions ({self.rekeys} re-keys,"
@@ -118,10 +151,61 @@ class ShardStats:
             f" queue [{self.queue_latency.row()}],"
             f" energy {self.ca_energy_mj:.3f} mJ"
         )
+        if self.churned:
+            rendered += (
+                f", epoch {self.epoch},"
+                f" migrations +{self.migrations_in}/-{self.migrations_out}"
+            )
+        return rendered
 
     def digest(self) -> str:
         """Stable hash of this shard's aggregate numbers."""
         return sha256(self.row().encode()).hex()
+
+    def as_dict(self) -> dict:
+        """JSON-ready mapping of this shard's breakdown."""
+        return {
+            "index": self.index,
+            "name": self.name,
+            "vehicles_assigned": self.vehicles_assigned,
+            "enrollments": self.enrollments,
+            "sessions_established": self.sessions_established,
+            "rekeys": self.rekeys,
+            "handovers_in": self.handovers_in,
+            "failed": self.failed,
+            "ca_busy_ms": self.ca_busy_ms,
+            "ca_utilisation": self.ca_utilisation,
+            "ca_batches": self.ca_batches,
+            "ca_max_batch": self.ca_max_batch,
+            "queue_latency": self.queue_latency.as_dict(),
+            "ca_energy_mj": self.ca_energy_mj,
+            "epoch": self.epoch,
+            "migrations_in": self.migrations_in,
+            "migrations_out": self.migrations_out,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ShardStats":
+        """Rebuild a shard breakdown from its :meth:`as_dict` mapping."""
+        return cls(
+            index=data["index"],
+            name=data["name"],
+            vehicles_assigned=data["vehicles_assigned"],
+            enrollments=data["enrollments"],
+            sessions_established=data["sessions_established"],
+            rekeys=data["rekeys"],
+            handovers_in=data["handovers_in"],
+            failed=data["failed"],
+            ca_busy_ms=data["ca_busy_ms"],
+            ca_utilisation=data["ca_utilisation"],
+            ca_batches=data["ca_batches"],
+            ca_max_batch=data["ca_max_batch"],
+            queue_latency=LatencySummary.from_dict(data["queue_latency"]),
+            ca_energy_mj=data["ca_energy_mj"],
+            epoch=data.get("epoch", 1),
+            migrations_in=data.get("migrations_in", 0),
+            migrations_out=data.get("migrations_out", 0),
+        )
 
 
 def merge_shard_stats(shards: "tuple[ShardStats, ...] | list[ShardStats]") -> dict:
@@ -143,6 +227,9 @@ def merge_shard_stats(shards: "tuple[ShardStats, ...] | list[ShardStats]") -> di
         "ca_max_batch": max((s.ca_max_batch for s in shards), default=0),
         "ca_energy_mj": sum(s.ca_energy_mj for s in shards),
         "failed_shards": sum(1 for s in shards if s.failed),
+        "migrations_in": sum(s.migrations_in for s in shards),
+        "migrations_out": sum(s.migrations_out for s in shards),
+        "max_epoch": max((s.epoch for s in shards), default=1),
     }
 
 
@@ -182,28 +269,47 @@ class FleetStats:
     v2v_records_sent: int = 0
     v2v_latency: LatencySummary = field(default_factory=_empty_latency)
     handovers: int = 0
+    # -- churn extensions (defaults keep legacy construction valid) ----------
+    migrations: int = 0
+    rejoins: int = 0
+    re_enrollments: int = 0
+    migration_latency: LatencySummary = field(default_factory=_empty_latency)
 
     @property
     def throughput_records_per_s(self) -> float:
         """Application records delivered per simulated second."""
-        if self.duration_ms <= 0:
+        seconds = self.duration_ms / 1000.0
+        # Guard the *computed* denominator: a subnormal duration can
+        # underflow to exactly 0.0 even though duration_ms > 0.
+        if seconds <= 0:
             return 0.0
-        return self.records_sent / (self.duration_ms / 1000.0)
+        return self.records_sent / seconds
 
     @property
     def sessions_per_s(self) -> float:
         """Session establishments (incl. re-keys) per simulated second."""
-        if self.duration_ms <= 0:
+        seconds = self.duration_ms / 1000.0
+        if seconds <= 0:
             return 0.0
-        return self.sessions_established / (self.duration_ms / 1000.0)
+        return self.sessions_established / seconds
 
     @property
     def is_topology_run(self) -> bool:
-        """True when sharding, V2V traffic or failover shaped this run."""
+        """True when sharding, V2V, failover or churn shaped this run."""
         return (
             len(self.per_shard) > 1
             or self.v2v_sessions > 0
             or self.handovers > 0
+            or self.is_churn_run
+        )
+
+    @property
+    def is_churn_run(self) -> bool:
+        """True when live migration, re-enrollment or a rejoin happened."""
+        return (
+            self.migrations > 0
+            or self.rejoins > 0
+            or self.re_enrollments > 0
         )
 
     def render(self) -> str:
@@ -244,6 +350,17 @@ class FleetStats:
                     f"  handovers           : {self.handovers}"
                     " (gateway failover)"
                 )
+            if self.is_churn_run:
+                lines.append(
+                    f"  churn               : {self.migrations} migrations,"
+                    f" {self.re_enrollments} re-enrollments,"
+                    f" {self.rejoins} gateway rejoins"
+                )
+                if self.migration_latency.count:
+                    lines.append(
+                        f"  migration latency   :"
+                        f" {self.migration_latency.row()}"
+                    )
             for shard in self.per_shard:
                 lines.append(f"  {shard.row()}")
         return "\n".join(lines)
@@ -279,27 +396,65 @@ class FleetStats:
                 "latency": self.v2v_latency.as_dict(),
             },
             "handovers": self.handovers,
-            "per_shard": [
-                {
-                    "index": shard.index,
-                    "name": shard.name,
-                    "vehicles_assigned": shard.vehicles_assigned,
-                    "enrollments": shard.enrollments,
-                    "sessions_established": shard.sessions_established,
-                    "rekeys": shard.rekeys,
-                    "handovers_in": shard.handovers_in,
-                    "failed": shard.failed,
-                    "ca_busy_ms": shard.ca_busy_ms,
-                    "ca_utilisation": shard.ca_utilisation,
-                    "ca_batches": shard.ca_batches,
-                    "ca_max_batch": shard.ca_max_batch,
-                    "queue_latency": shard.queue_latency.as_dict(),
-                    "ca_energy_mj": shard.ca_energy_mj,
-                }
-                for shard in self.per_shard
-            ],
+            "churn": {
+                "migrations": self.migrations,
+                "rejoins": self.rejoins,
+                "re_enrollments": self.re_enrollments,
+                "migration_latency": self.migration_latency.as_dict(),
+            },
+            "per_shard": [shard.as_dict() for shard in self.per_shard],
             "digest": self.digest(),
         }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FleetStats":
+        """Rebuild the aggregate from its :meth:`as_dict` mapping.
+
+        Derived fields (throughputs, the digest) are recomputed, so a
+        round-tripped instance compares equal to — and digests identically
+        to — the original; the regression-gate tooling relies on this.
+        """
+        churn = data.get("churn", {})
+        return cls(
+            vehicles=data["vehicles"],
+            enrollments=data["enrollments"],
+            sessions_established=data["sessions_established"],
+            rekeys=data["rekeys"],
+            records_sent=data["records_sent"],
+            duration_ms=data["duration_ms"],
+            ca_busy_ms=data["ca_busy_ms"],
+            ca_utilisation=data["ca_utilisation"],
+            ca_batches=data["ca_batches"],
+            ca_max_batch=data["ca_max_batch"],
+            enrollment_latency=LatencySummary.from_dict(
+                data["enrollment_latency"]
+            ),
+            establishment_latency=LatencySummary.from_dict(
+                data["establishment_latency"]
+            ),
+            vehicle_energy_mj=data["energy_mj"]["vehicles"],
+            ca_energy_mj=data["energy_mj"]["ca"],
+            per_shard=tuple(
+                ShardStats.from_dict(shard) for shard in data["per_shard"]
+            ),
+            ca_queue_latency=LatencySummary.from_dict(
+                data["ca_queue_latency"]
+            ),
+            v2v_sessions=data["v2v"]["sessions"],
+            v2v_rekeys=data["v2v"]["rekeys"],
+            v2v_cross_shard=data["v2v"]["cross_shard"],
+            v2v_records_sent=data["v2v"]["records_sent"],
+            v2v_latency=LatencySummary.from_dict(data["v2v"]["latency"]),
+            handovers=data["handovers"],
+            migrations=churn.get("migrations", 0),
+            rejoins=churn.get("rejoins", 0),
+            re_enrollments=churn.get("re_enrollments", 0),
+            migration_latency=LatencySummary.from_dict(
+                churn["migration_latency"]
+            )
+            if "migration_latency" in churn
+            else _empty_latency(),
+        )
 
     def digest(self) -> str:
         """Stable hash of the aggregate numbers (reproducibility checks).
@@ -339,6 +494,19 @@ class FleetStats:
                 f"v2vlat={self.v2v_latency.row()}",
                 f"ho={self.handovers}",
             ]
+            if self.is_churn_run:
+                # Churn sub-segment: only churn runs hash it, so every
+                # pre-churn topology digest stays bit-identical.  Epoch
+                # awareness rides in through the per-shard digests below
+                # (ShardStats.row renders epoch/migration counters).
+                extension.extend(
+                    [
+                        f"mig={self.migrations}",
+                        f"rej={self.rejoins}",
+                        f"reenr={self.re_enrollments}",
+                        f"miglat={self.migration_latency.row()}",
+                    ]
+                )
             extension.extend(
                 f"shard{shard.index}={shard.digest()}"
                 for shard in self.per_shard

@@ -19,6 +19,12 @@ run.  This module generalizes the deployment to an explicit topology:
 * **Failover** — a shard can be marked failed mid-run; its vehicles are
   adopted by surviving shards (policy-driven), re-keying there with their
   existing chained credentials.
+* **Churn lifecycle** — vehicles *migrate* between healthy shards
+  (re-enrolling at the target sub-CA), and a failed shard can *rejoin*:
+  :meth:`FleetTopology.rejoin_shard` re-provisions it with a fresh sub-CA
+  key pair chained to the same root at the next **chain epoch**, retiring
+  the old epoch's intermediate in the trust store so stale credentials
+  are rejected instead of silently validating.
 
 The degenerate topology (``shards=1``) reproduces the PR 1 deployment
 byte-for-byte: same device names, same DRBG personalizations, no root CA
@@ -98,6 +104,9 @@ class GatewayShard:
     pool: EphemeralPool | None
     manager: SessionManager | None = None
     failed: bool = False
+    #: Chain epoch of the shard's CA: 1 at provisioning, bumped by every
+    #: post-failure rejoin (the trust store retires the old epoch's cert).
+    epoch: int = 1
     # -- orchestration accounting --------------------------------------------
     queue: deque = field(default_factory=deque)
     issuing: bool = False
@@ -109,6 +118,8 @@ class GatewayShard:
     sessions_established: int = 0
     rekeys: int = 0
     handovers_in: int = 0
+    migrations_in: int = 0
+    migrations_out: int = 0
     queue_latencies: list[float] = field(default_factory=list)
     energy_mj: float = 0.0
     session_counter: int = 0
@@ -123,6 +134,13 @@ class GatewayShard:
         self.vehicles_assigned += 1
         self.active_vehicles += 1
         self.handovers_in += 1
+        vehicle.shard = self.index
+
+    def receive_migration(self, vehicle: Vehicle) -> None:
+        """Take over a vehicle migrating in from a *healthy* shard."""
+        self.vehicles_assigned += 1
+        self.active_vehicles += 1
+        self.migrations_in += 1
         vehicle.shard = self.index
 
     def stats(self, now: float) -> ShardStats:
@@ -142,6 +160,9 @@ class GatewayShard:
             ca_max_batch=self.max_batch,
             queue_latency=LatencySummary.from_samples(self.queue_latencies),
             ca_energy_mj=self.energy_mj,
+            epoch=self.epoch,
+            migrations_in=self.migrations_in,
+            migrations_out=self.migrations_out,
         )
 
 
@@ -196,41 +217,25 @@ class FleetTopology:
 
     # -- construction ---------------------------------------------------------
 
-    def _build_shard(self, index: int, total: int) -> GatewayShard:
+    def _enroll_gateway(
+        self,
+        ca: CertificateAuthority,
+        gateway_name: str,
+        enroll_pers: bytes,
+        pool_pers: bytes,
+        pool_entries: int,
+    ):
+        """Enroll a gateway at its shard CA and build its ephemeral pool.
+
+        Shared by every provisioning path (degenerate, chained, rejoin);
+        the personalization strings are passed in verbatim so each path
+        keeps its historical DRBG streams bit-for-bit.
+        """
         config = self.config
-        seed = config.seed
-        curve = config.curve
-        clock = lambda: DEFAULT_NOW  # noqa: E731
-        ca_name = shard_ca_name(index, total)
-        gateway_name = shard_gateway_name(index, total)
-        if total == 1:
-            # Degenerate deployment: byte-identical to the PR 1 fleet.
-            ca = CertificateAuthority(
-                curve,
-                device_id(ca_name),
-                HmacDrbg(seed, personalization=b"fleet|ca"),
-                clock=clock,
-                require_signed_requests=config.authenticate_requests,
-            )
-            ca_certificate = None
-            enroll_pers = b"fleet|gateway|enroll"
-            pool_pers = b"fleet|gateway|pool"
-        else:
-            ca, ca_certificate = make_sub_ca(
-                self.root_ca,
-                device_id(ca_name),
-                HmacDrbg(seed, personalization=b"fleet|shard%d|ca" % index),
-                clock=clock,
-                validity_seconds=config.cert_validity_seconds,
-                authenticate_request=config.authenticate_requests,
-            )
-            ca.require_signed_requests = config.authenticate_requests
-            enroll_pers = b"fleet|gw%d|enroll" % index
-            pool_pers = b"fleet|gw%d|pool" % index
         gw_requester = CertificateRequester(
-            curve,
+            config.curve,
             device_id(gateway_name),
-            HmacDrbg(seed, personalization=enroll_pers),
+            HmacDrbg(config.seed, personalization=enroll_pers),
         )
         gw_issued = ca.issue(
             gw_requester.create_request(
@@ -243,24 +248,87 @@ class FleetTopology:
         )
         pool: EphemeralPool | None = None
         if config.use_batch_ec and config.pool_size > 0:
-            # A shard serves ~n/M vehicles, so its pool is sized for its
-            # share (2 sessions' worth each); the single-shard size stays
-            # 2*n exactly (PR 1 bit-parity).  Handover surges past the
-            # pool degrade gracefully to on-demand Op1.
-            entries = (
-                2 * config.n_vehicles
-                if total == 1
-                else 2 * -(-config.n_vehicles // total)
-            )
             pool = EphemeralPool(
-                curve,
-                HmacDrbg(seed, personalization=pool_pers),
-                entries,
+                config.curve,
+                HmacDrbg(config.seed, personalization=pool_pers),
+                pool_entries,
             )
         precompute_point(ca.public_key)
         precompute_point(gateway_credential.public_key)
-        if ca_certificate is not None:
-            precompute_point(ca_certificate.reconstruction_point)
+        return gateway_credential, pool
+
+    def _provision_chained_shard(
+        self,
+        index: int,
+        total: int,
+        ca_name: str,
+        gateway_name: str,
+        epoch: int,
+    ):
+        """Provision one sharded deployment's CA, gateway and pool.
+
+        The single recipe behind both initial provisioning (``epoch=1``,
+        bare personalizations — PR 2 bit-parity) and a post-failure
+        rejoin (``epoch>=2``, every DRBG stream suffixed with the epoch
+        so the reborn shard's key material is fresh but deterministic).
+        """
+        config = self.config
+        clock = lambda: DEFAULT_NOW  # noqa: E731
+        suffix = b"" if epoch == 1 else b"|epoch%d" % epoch
+        ca, ca_certificate = make_sub_ca(
+            self.root_ca,
+            device_id(ca_name),
+            HmacDrbg(
+                config.seed,
+                personalization=b"fleet|shard%d|ca" % index + suffix,
+            ),
+            clock=clock,
+            validity_seconds=config.cert_validity_seconds,
+            authenticate_request=config.authenticate_requests,
+        )
+        ca.require_signed_requests = config.authenticate_requests
+        # A shard serves ~n/M vehicles, so its pool is sized for its
+        # share (2 sessions' worth each).  Handover/migration surges
+        # past the pool degrade gracefully to on-demand Op1.
+        gateway_credential, pool = self._enroll_gateway(
+            ca,
+            gateway_name,
+            enroll_pers=b"fleet|gw%d|enroll" % index + suffix,
+            pool_pers=b"fleet|gw%d|pool" % index + suffix,
+            pool_entries=2 * -(-config.n_vehicles // total),
+        )
+        precompute_point(ca_certificate.reconstruction_point)
+        return ca, ca_certificate, gateway_credential, pool
+
+    def _build_shard(self, index: int, total: int) -> GatewayShard:
+        config = self.config
+        ca_name = shard_ca_name(index, total)
+        gateway_name = shard_gateway_name(index, total)
+        if total == 1:
+            # Degenerate deployment: byte-identical to the PR 1 fleet
+            # (single anchor CA, 2*n pool, legacy personalizations).
+            clock = lambda: DEFAULT_NOW  # noqa: E731
+            ca = CertificateAuthority(
+                config.curve,
+                device_id(ca_name),
+                HmacDrbg(config.seed, personalization=b"fleet|ca"),
+                clock=clock,
+                require_signed_requests=config.authenticate_requests,
+            )
+            ca_certificate = None
+            gateway_credential, pool = self._enroll_gateway(
+                ca,
+                gateway_name,
+                enroll_pers=b"fleet|gateway|enroll",
+                pool_pers=b"fleet|gateway|pool",
+                pool_entries=2 * config.n_vehicles,
+            )
+        else:
+            ca, ca_certificate, gateway_credential, pool = (
+                self._provision_chained_shard(
+                    index, total, ca_name, gateway_name, epoch=1
+                )
+            )
         return GatewayShard(
             index=index,
             ca_name=ca_name,
@@ -272,6 +340,52 @@ class FleetTopology:
             device=get_device(config.ca_device),
             pool=pool,
         )
+
+    # -- churn: gateway rejoin -------------------------------------------------
+
+    def rejoin_shard(self, index: int) -> GatewayShard:
+        """Re-provision a failed shard at the next chain epoch.
+
+        The shard comes back with a *fresh* CA key pair — enrolled at the
+        same fleet root, so every peer still validates it through the one
+        anchor — and a fresh gateway credential and ephemeral pool keyed
+        by the new epoch's DRBG personalizations.  The trust store rolls
+        the shard's intermediate (:meth:`~repro.ecqv.TrustStore.replace_intermediate`),
+        which *retires* the pre-failure epoch: certificates issued by the
+        dead CA stop resolving, so holders must re-enroll rather than keep
+        presenting credentials whose issuing key died with the gateway.
+
+        Like initial provisioning this happens off the simulated timeline
+        (the gateway is assumed re-imaged out of band); the orchestrator
+        schedules *when* it happens and rebuilds the session manager.
+        """
+        if self.root_ca is None or self.trust_store is None:
+            raise SimulationError(
+                "gateway rejoin requires a sharded (rooted) topology"
+            )
+        shard = self.shards[index]
+        if not shard.failed:
+            raise SimulationError(
+                f"shard {index} is alive; only failed shards can rejoin"
+            )
+        epoch = shard.epoch + 1
+        ca, ca_certificate, gateway_credential, pool = (
+            self._provision_chained_shard(
+                index,
+                len(self.shards),
+                shard.ca_name,
+                shard.gateway_name,
+                epoch=epoch,
+            )
+        )
+        self.trust_store.replace_intermediate(ca_certificate)
+        shard.ca = ca
+        shard.ca_certificate = ca_certificate
+        shard.gateway_credential = gateway_credential
+        shard.pool = pool
+        shard.failed = False
+        shard.epoch = epoch
+        return shard
 
     # -- shard assignment ------------------------------------------------------
 

@@ -26,6 +26,7 @@ class TimelineEvent:
     #          # | "established" | "rekey" | "done"
     #          # | "requeue" | "handover" (gateway failover)
     #          # | "v2v-established" | "v2v-rekey" | "v2v-done"
+    #          # | "migrate" | "re-enroll" | "re-enrolled" (fleet churn)
     detail: str = ""
 
 
@@ -34,9 +35,11 @@ class Vehicle:
     """One fleet member's mutable orchestration state.
 
     ``shard`` tracks the gateway shard currently serving the vehicle; it
-    changes only on failover handover.  The ``v2v_*`` fields exist when
-    the topology paired this vehicle with another fleet member for direct
-    (non-hub) sessions.
+    changes on failover handover and on live migration.  The ``v2v_*``
+    fields exist when the topology paired this vehicle with another fleet
+    member for direct (non-hub) sessions.  ``migrations`` counts live
+    cross-shard moves, ``re_enrollments`` the fresh certificates the
+    vehicle pulled after a migration or a chain-epoch roll.
     """
 
     name: str
@@ -56,6 +59,10 @@ class Vehicle:
     session_counter: int = 0
     shard: int = 0
     handovers: int = 0
+    migrations: int = 0
+    re_enrollments: int = 0
+    migrating: bool = False
+    re_enrolling: bool = False
     v2v_peer_index: int | None = None
     v2v_sessions: int = 0
     v2v_records_sent: int = 0

@@ -146,6 +146,25 @@ class SessionManager:
     def _drop(self, session: ManagedSession) -> None:
         self.sessions.pop(session.peer_id, None)
 
+    def drop(self, peer_id: bytes) -> bool:
+        """Explicitly tear down the session with a peer, if any.
+
+        The churn paths (gateway failover, live migration, rejoin) retire
+        keys *before* their budgets expire; dropping through the manager —
+        rather than reaching into :attr:`sessions` — guarantees the dead
+        half can only ever see :class:`SessionExpired` afterwards, never a
+        wrong-key MAC failure, while the peer's generation counter keeps
+        advancing monotonically across the next :meth:`install`.
+
+        Returns:
+            True if a live session was dropped, False if none existed.
+        """
+        return self.sessions.pop(bytes(peer_id), None) is not None
+
+    def generation_of(self, peer_id: bytes) -> int:
+        """Highest generation ever installed for a peer (0 if never)."""
+        return self._generations.get(bytes(peer_id), 0)
+
     def needs_rekey(self, peer_id: bytes) -> bool:
         """True if the peer has no live session under the policy."""
         try:

@@ -139,3 +139,106 @@ class TestTrustStore:
         leaf = _leaf(sub)
         with pytest.raises(CertificateError, match="validity window"):
             store.resolve_issuer(leaf.certificate, DEFAULT_NOW + 3600)
+
+
+class TestChainEpochs:
+    """Intermediate rollover: the rejoin story's chain-epoch check."""
+
+    def _rolled_store(self, root):
+        """A store whose sub-CA was replaced once (epoch 1 -> 2)."""
+        old_sub, old_cert = _sub(root, b"rolling")
+        store = TrustStore(root.public_key, [old_cert])
+        # Same subject identity, fresh key material — a rejoined gateway.
+        new_sub, new_cert = make_sub_ca(
+            root,
+            device_id("rolling"),
+            HmacDrbg(b"chain", personalization=b"sub|rolling|epoch2"),
+            clock=lambda: DEFAULT_NOW,
+        )
+        return store, old_sub, old_cert, new_sub, new_cert
+
+    def test_first_registration_is_epoch_one(self, root):
+        _, cert = _sub(root)
+        store = TrustStore(root.public_key, [cert])
+        assert store.chain_epoch(cert.subject_id) == 1
+        assert store.chain_epoch(device_id("nobody")) == 0
+
+    def test_replace_bumps_epoch_and_retires_old(self, root):
+        store, old_sub, old_cert, new_sub, new_cert = self._rolled_store(root)
+        assert store.replace_intermediate(new_cert) == 2
+        assert store.chain_epoch(new_cert.subject_id) == 2
+        old_leaf = _leaf(old_sub, name="old-epoch-leaf")
+        with pytest.raises(CertificateError, match="chain epoch"):
+            store.resolve_issuer(old_leaf.certificate, DEFAULT_NOW)
+        assert store.is_retired(old_leaf.certificate.authority_key_id)
+
+    def test_new_epoch_leaves_resolve(self, root):
+        store, _, _, new_sub, new_cert = self._rolled_store(root)
+        store.replace_intermediate(new_cert)
+        leaf = _leaf(new_sub, name="new-epoch-leaf")
+        assert (
+            store.resolve_and_validate(leaf.certificate, DEFAULT_NOW)
+            == leaf.public_key
+        )
+
+    def test_double_add_same_subject_rejected(self, root):
+        store, _, old_cert, _, new_cert = self._rolled_store(root)
+        with pytest.raises(CertificateError, match="replace_intermediate"):
+            store.add_intermediate(new_cert)
+
+    def test_replace_without_live_intermediate_rejected(self, root):
+        _, cert = _sub(root, b"never-added")
+        store = TrustStore(root.public_key)
+        with pytest.raises(CertificateError, match="no live intermediate"):
+            store.replace_intermediate(cert)
+
+    def test_replace_with_same_key_material_rejected(self, root):
+        # Rolling an epoch onto the *same* certificate would leave its
+        # authority key id both live and retired at once.
+        sub, cert = _sub(root, b"same-key")
+        store = TrustStore(root.public_key, [cert])
+        with pytest.raises(CertificateError, match="fresh key material"):
+            store.replace_intermediate(cert)
+        # The original registration is untouched by the failed replace.
+        assert store.chain_epoch(cert.subject_id) == 1
+        leaf = _leaf(sub, name="same-key-leaf")
+        assert (
+            store.resolve_issuer(leaf.certificate, DEFAULT_NOW)
+            == sub.public_key
+        )
+
+    def test_replace_foreign_intermediate_rejected(self, root):
+        store, *_ = self._rolled_store(root)
+        other_root = CertificateAuthority(
+            SECP256R1,
+            device_id("other-root-2"),
+            HmacDrbg(b"chain", personalization=b"other2"),
+        )
+        _, foreign = make_sub_ca(
+            other_root,
+            device_id("rolling"),
+            HmacDrbg(b"chain", personalization=b"sub|foreign-roll"),
+        )
+        with pytest.raises(CertificateError, match="not anchored"):
+            store.replace_intermediate(foreign)
+
+    def test_epochs_roll_independently_per_subject(self, root):
+        _, cert_a = _sub(root, b"shard-a")
+        sub_b, cert_b = _sub(root, b"shard-b")
+        store = TrustStore(root.public_key, [cert_a, cert_b])
+        _, fresh_a = make_sub_ca(
+            root,
+            device_id("shard-a"),
+            HmacDrbg(b"chain", personalization=b"sub|shard-a|epoch2"),
+            clock=lambda: DEFAULT_NOW,
+        )
+        assert store.replace_intermediate(fresh_a) == 2
+        assert store.chain_epoch(cert_a.subject_id) == 2
+        assert store.chain_epoch(cert_b.subject_id) == 1
+        # shard-b's chain is untouched by shard-a's roll: its leaves
+        # still resolve.
+        leaf_b = _leaf(sub_b, name="b-leaf")
+        assert (
+            store.resolve_issuer(leaf_b.certificate, DEFAULT_NOW)
+            == sub_b.public_key
+        )

@@ -1,0 +1,295 @@
+"""Property-based invariants for fleet statistics (conservation laws).
+
+Golden digests pin exact values; these tests pin *structure*: for random
+shard breakdowns and random small fleet runs (sharding × V2V × churn),
+the per-shard counters must sum to the fleet totals, cross-shard merges
+must not depend on shard order, and ``as_dict()`` must round-trip — laws
+that hold for every configuration, not just the ones we hand-picked.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.fleet import (
+    FleetConfig,
+    FleetStats,
+    LatencySummary,
+    ShardStats,
+    merge_shard_stats,
+    run_fleet,
+)
+
+# -- strategies ---------------------------------------------------------------
+
+_counts = st.integers(min_value=0, max_value=10_000)
+_millis = st.floats(
+    min_value=0.0, max_value=1e7, allow_nan=False, allow_infinity=False
+)
+
+
+@st.composite
+def latency_summaries(draw):
+    samples = draw(
+        st.lists(_millis, min_size=0, max_size=40)
+    )
+    return LatencySummary.from_samples(samples)
+
+
+@st.composite
+def shard_stats(draw, index=None):
+    return ShardStats(
+        index=draw(st.integers(0, 15)) if index is None else index,
+        name=draw(st.sampled_from(["central-ca", "central-ca-1", "edge"])),
+        vehicles_assigned=draw(_counts),
+        enrollments=draw(_counts),
+        sessions_established=draw(_counts),
+        rekeys=draw(_counts),
+        handovers_in=draw(_counts),
+        failed=draw(st.booleans()),
+        ca_busy_ms=draw(_millis),
+        ca_utilisation=draw(st.floats(0.0, 1.0, allow_nan=False)),
+        ca_batches=draw(_counts),
+        ca_max_batch=draw(_counts),
+        queue_latency=draw(latency_summaries()),
+        ca_energy_mj=draw(_millis),
+        epoch=draw(st.integers(1, 5)),
+        migrations_in=draw(_counts),
+        migrations_out=draw(_counts),
+    )
+
+
+@st.composite
+def fleet_stats(draw):
+    shards = tuple(
+        draw(shard_stats(index=i)) for i in range(draw(st.integers(1, 4)))
+    )
+    return FleetStats(
+        vehicles=draw(_counts),
+        enrollments=draw(_counts),
+        sessions_established=draw(_counts),
+        rekeys=draw(_counts),
+        records_sent=draw(_counts),
+        duration_ms=draw(_millis),
+        ca_busy_ms=draw(_millis),
+        ca_utilisation=draw(st.floats(0.0, 1.0, allow_nan=False)),
+        ca_batches=draw(_counts),
+        ca_max_batch=draw(_counts),
+        enrollment_latency=draw(latency_summaries()),
+        establishment_latency=draw(latency_summaries()),
+        vehicle_energy_mj=draw(_millis),
+        ca_energy_mj=draw(_millis),
+        per_shard=shards,
+        ca_queue_latency=draw(latency_summaries()),
+        v2v_sessions=draw(_counts),
+        v2v_rekeys=draw(_counts),
+        v2v_cross_shard=draw(_counts),
+        v2v_records_sent=draw(_counts),
+        v2v_latency=draw(latency_summaries()),
+        handovers=draw(_counts),
+        migrations=draw(_counts),
+        rejoins=draw(_counts),
+        re_enrollments=draw(_counts),
+        migration_latency=draw(latency_summaries()),
+    )
+
+
+# -- latency summary invariants ----------------------------------------------
+
+
+class TestLatencySummaryProperties:
+    @given(st.lists(_millis, min_size=1, max_size=60))
+    def test_percentiles_are_ordered(self, samples):
+        summary = LatencySummary.from_samples(samples)
+        assert summary.count == len(samples)
+        assert (
+            summary.min_ms
+            <= summary.p50_ms
+            <= summary.p95_ms
+            <= summary.p99_ms
+            <= summary.max_ms
+        )
+        # The mean is sum/len over floats, which can land one ulp
+        # outside [min, max] (e.g. three identical samples); allow that
+        # representation noise, nothing more.
+        tolerance = 1e-9 * max(1.0, summary.max_ms)
+        assert summary.min_ms - tolerance <= summary.mean_ms
+        assert summary.mean_ms <= summary.max_ms + tolerance
+
+    @given(st.lists(_millis, min_size=1, max_size=30), st.randoms())
+    def test_summary_is_permutation_invariant(self, samples, rng):
+        shuffled = list(samples)
+        rng.shuffle(shuffled)
+        assert LatencySummary.from_samples(
+            shuffled
+        ) == LatencySummary.from_samples(samples)
+
+    @given(latency_summaries())
+    def test_as_dict_round_trips(self, summary):
+        assert LatencySummary.from_dict(summary.as_dict()) == summary
+        # ...and survives an actual JSON encode/decode.
+        assert (
+            LatencySummary.from_dict(json.loads(json.dumps(summary.as_dict())))
+            == summary
+        )
+
+
+# -- merge invariants ---------------------------------------------------------
+
+
+class TestMergeProperties:
+    @given(st.lists(shard_stats(), min_size=1, max_size=6), st.randoms())
+    def test_merge_is_order_independent(self, shards, rng):
+        merged = merge_shard_stats(shards)
+        shuffled = list(shards)
+        rng.shuffle(shuffled)
+        remerged = merge_shard_stats(shuffled)
+        for key, value in merged.items():
+            if isinstance(value, float):
+                assert remerged[key] == pytest.approx(value)
+            else:
+                assert remerged[key] == value
+
+    @given(st.lists(shard_stats(), min_size=1, max_size=6))
+    def test_merge_conserves_counters(self, shards):
+        merged = merge_shard_stats(shards)
+        assert merged["enrollments"] == sum(s.enrollments for s in shards)
+        assert merged["sessions_established"] == sum(
+            s.sessions_established for s in shards
+        )
+        assert merged["migrations_in"] == sum(
+            s.migrations_in for s in shards
+        )
+        assert merged["migrations_out"] == sum(
+            s.migrations_out for s in shards
+        )
+        assert merged["max_epoch"] == max(s.epoch for s in shards)
+        assert merged["ca_max_batch"] == max(s.ca_max_batch for s in shards)
+
+    def test_merge_of_one_shard_is_identity(self):
+        shard = ShardStats(
+            index=0,
+            name="central-ca",
+            vehicles_assigned=5,
+            enrollments=5,
+            sessions_established=9,
+            rekeys=4,
+            handovers_in=0,
+            failed=False,
+            ca_busy_ms=123.456,
+            ca_utilisation=0.5,
+            ca_batches=3,
+            ca_max_batch=2,
+            queue_latency=LatencySummary.from_samples([1.0, 2.0]),
+            ca_energy_mj=10.0,
+        )
+        merged = merge_shard_stats([shard])
+        assert merged["ca_busy_ms"] == shard.ca_busy_ms
+        assert merged["enrollments"] == shard.enrollments
+        assert merged["max_epoch"] == 1
+
+
+# -- round-trip invariants ----------------------------------------------------
+
+
+class TestRoundTripProperties:
+    @given(shard_stats())
+    def test_shard_stats_round_trip(self, shard):
+        assert ShardStats.from_dict(shard.as_dict()) == shard
+        assert (
+            ShardStats.from_dict(shard.as_dict()).digest() == shard.digest()
+        )
+
+    @given(fleet_stats())
+    def test_fleet_stats_round_trip(self, stats):
+        rebuilt = FleetStats.from_dict(stats.as_dict())
+        assert rebuilt == stats
+        assert rebuilt.digest() == stats.digest()
+
+    @given(fleet_stats())
+    def test_fleet_stats_round_trip_through_json(self, stats):
+        payload = json.loads(json.dumps(stats.as_dict(), sort_keys=True))
+        rebuilt = FleetStats.from_dict(payload)
+        assert rebuilt == stats
+        assert payload["digest"] == rebuilt.digest()
+
+    @given(shard_stats())
+    def test_churn_fields_only_render_when_churned(self, shard):
+        row = shard.row()
+        if shard.churned:
+            assert "epoch" in row
+        else:
+            assert "epoch" not in row and "migrations" not in row
+
+
+# -- real-run conservation laws ----------------------------------------------
+
+
+@st.composite
+def fleet_configs(draw):
+    """Random *small* fleet configs across shards × V2V × churn."""
+    shards = draw(st.integers(1, 3))
+    churn = shards >= 2 and draw(st.booleans())
+    v2v = draw(st.sampled_from([0.0, 0.5]))
+    seed = b"stats-prop-%d" % draw(st.integers(0, 7))
+    kwargs = dict(
+        n_vehicles=draw(st.integers(3, 6)),
+        seed=seed,
+        records_per_vehicle=draw(st.integers(2, 4)),
+        max_records=4,
+        send_interval_ms=20.0,
+        arrival_spread_ms=15.0,
+        shards=shards,
+        shard_policy=draw(
+            st.sampled_from(["static-hash", "least-loaded", "round-robin"])
+        ),
+        v2v_fraction=v2v,
+        v2v_records=2,
+    )
+    if churn:
+        kwargs.update(
+            shard_fail_at_ms=3_000.0,
+            fail_shard=draw(st.integers(0, shards - 1)),
+            shard_rejoin_at_ms=4_500.0,
+            migrate_threshold=draw(st.sampled_from([1, 2])),
+            records_per_vehicle=12,
+            max_records=draw(st.sampled_from([5, 100])),
+        )
+    return FleetConfig(**kwargs)
+
+
+class TestRunConservation:
+    @settings(max_examples=6, deadline=None, derandomize=True)
+    @given(fleet_configs())
+    def test_per_shard_counters_sum_to_fleet_totals(self, config):
+        stats = run_fleet(config).stats
+        per_shard = stats.per_shard
+        assert len(per_shard) == config.shards
+        # Conservation laws — structure, not golden values.
+        assert sum(s.sessions_established for s in per_shard) == (
+            stats.sessions_established
+        )
+        assert sum(s.rekeys for s in per_shard) == stats.rekeys
+        assert sum(s.enrollments for s in per_shard) == (
+            stats.enrollments + stats.re_enrollments
+        )
+        assert sum(s.handovers_in for s in per_shard) == stats.handovers
+        assert sum(s.migrations_in for s in per_shard) == stats.migrations
+        assert sum(s.migrations_out for s in per_shard) == stats.migrations
+        assert stats.ca_batches == sum(s.ca_batches for s in per_shard)
+        assert stats.ca_busy_ms == pytest.approx(
+            sum(s.ca_busy_ms for s in per_shard)
+        )
+        assert stats.ca_energy_mj == pytest.approx(
+            sum(s.ca_energy_mj for s in per_shard)
+        )
+        assert stats.enrollments == config.n_vehicles
+        assert stats.records_sent == (
+            config.n_vehicles * config.records_per_vehicle
+        )
+        assert stats.migration_latency.count == stats.migrations
+        # The whole aggregate still round-trips after a real run.
+        assert FleetStats.from_dict(stats.as_dict()) == stats

@@ -1,0 +1,234 @@
+"""Interleaving stress: migration / handover / re-key overlap.
+
+The fleet churn paths (live migration, gateway failover, rejoin) all
+retire session keys *early* — before the policy budget would.  The
+contract the orchestrator builds on, pinned here under deterministic
+random interleavings:
+
+* the dead half of a drained session can only ever see
+  :class:`SessionExpired` — never a wrong-key MAC failure
+  (:class:`AuthenticationError`) and never a silent decrypt;
+* generations are strictly monotonic per peer across any churn order, so
+  a stale-generation send is structurally impossible through the manager
+  (the manager only ever encrypts on the newest installed channel);
+* a rejoined gateway's *fresh* manager (it knows no pre-failure keys)
+  misses cleanly, forcing a re-key instead of MAC-failing.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import AuthenticationError
+from repro.protocols import (
+    SessionExpired,
+    SessionManager,
+    SessionPolicy,
+    connect_managers,
+)
+from repro.testbed import make_testbed
+
+
+def _manager(testbed, name, role, policy=None):
+    return SessionManager(
+        lambda: testbed.context(name),
+        role,
+        policy=policy if policy is not None else SessionPolicy(),
+    )
+
+
+@pytest.fixture()
+def mesh():
+    """One vehicle, two gateways (the minimal migration topology)."""
+    testbed = make_testbed(
+        ("veh", "gw0", "gw1"), seed=b"manager-churn"
+    )
+    vehicle = _manager(testbed, "veh", "A")
+    gateways = [_manager(testbed, "gw0", "B"), _manager(testbed, "gw1", "B")]
+    return testbed, vehicle, gateways
+
+
+class TestDrainSemantics:
+    def test_drop_then_use_raises_session_expired_not_mac(self, mesh):
+        _, vehicle, (gw0, _) = mesh
+        gw_id, veh_id = connect_managers(vehicle, gw0)
+        record = vehicle.send(gw_id, b"alive")
+        assert gw0.receive(veh_id, record) == b"alive"
+        # Migration drains both halves through the manager API.
+        assert vehicle.drop(gw_id)
+        assert gw0.drop(veh_id)
+        with pytest.raises(SessionExpired):
+            vehicle.send(gw_id, b"stale")
+        with pytest.raises(SessionExpired):
+            gw0.receive(veh_id, record)
+
+    def test_drop_is_idempotent(self, mesh):
+        _, vehicle, (gw0, _) = mesh
+        gw_id, _ = connect_managers(vehicle, gw0)
+        assert vehicle.drop(gw_id)
+        assert not vehicle.drop(gw_id)
+        assert not vehicle.drop(b"\x00" * 16)
+
+    def test_migration_pattern_never_mac_fails(self, mesh):
+        _, vehicle, (gw0, gw1) = mesh
+        gw0_id, veh_id = connect_managers(vehicle, gw0)
+        # Live migration: drain at gw0, re-establish at gw1.
+        vehicle.drop(gw0_id)
+        gw0.drop(veh_id)
+        gw1_id, _ = connect_managers(vehicle, gw1)
+        record = vehicle.send(gw1_id, b"post-migration")
+        assert gw1.receive(veh_id, record) == b"post-migration"
+        # The drained gateway half can only miss — it holds no key at
+        # all, so a wrong-key MAC failure cannot happen.
+        with pytest.raises(SessionExpired):
+            gw0.receive(veh_id, record)
+
+    def test_rejoined_gateway_fresh_manager_misses_cleanly(self, mesh):
+        testbed, vehicle, (gw0, _) = mesh
+        gw0_id, veh_id = connect_managers(vehicle, gw0)
+        # The gateway dies and rejoins: a *fresh* manager, same identity.
+        rejoined = _manager(testbed, "gw0", "B")
+        assert rejoined.needs_rekey(veh_id)
+        # The vehicle still holds the pre-failure session and sends on
+        # it; the rejoined gateway has no key, so the orchestrator's
+        # needs_rekey check fires — and even a raw receive misses with
+        # SessionExpired, never a MAC failure on a wrong key.
+        stale_record = vehicle.send(gw0_id, b"into the void")
+        with pytest.raises(SessionExpired):
+            rejoined.receive(veh_id, stale_record)
+        # Re-key: both sides drop and re-establish — traffic resumes at
+        # the next generation.
+        vehicle.drop(gw0_id)
+        connect_managers(vehicle, rejoined)
+        assert vehicle.session_for(gw0_id).generation == 2
+        record = vehicle.send(gw0_id, b"re-keyed")
+        assert rejoined.receive(veh_id, record) == b"re-keyed"
+
+    def test_generations_monotonic_across_churn(self, mesh):
+        _, vehicle, (gw0, _) = mesh
+        gw0_id, veh_id = connect_managers(vehicle, gw0)
+        seen = [vehicle.session_for(gw0_id).generation]
+        for _ in range(4):
+            vehicle.drop(gw0_id)
+            gw0.drop(veh_id)
+            connect_managers(vehicle, gw0)
+            seen.append(vehicle.session_for(gw0_id).generation)
+        assert seen == [1, 2, 3, 4, 5]
+        assert vehicle.generation_of(gw0_id) == 5
+        assert gw0.generation_of(veh_id) == 5
+
+
+class TestInterleavingStress:
+    """Seeded random walks over migrate/handover/re-key/send overlap."""
+
+    @pytest.mark.parametrize("walk_seed", [1, 2, 3])
+    def test_random_churn_interleaving_upholds_invariants(
+        self, mesh, walk_seed
+    ):
+        testbed, vehicle, gateways = mesh
+        # A tight record budget makes policy expiry overlap the forced
+        # churn: re-keys, migrations and handovers interleave.
+        policy = SessionPolicy(max_age_seconds=3600.0, max_records=3)
+        vehicle = _manager(testbed, "veh", "A", policy)
+        gateways = [
+            _manager(testbed, "gw0", "B", policy),
+            _manager(testbed, "gw1", "B", policy),
+        ]
+        rng = random.Random(walk_seed)
+        live = 0  # index of the currently serving gateway
+        gw_ids = {}
+        veh_id = None
+
+        def establish(index):
+            nonlocal veh_id
+            gw_id, veh_id = connect_managers(vehicle, gateways[index])
+            gw_ids[index] = gw_id
+            return gw_id
+
+        establish(live)
+        generations = {0: vehicle.generation_of(gw_ids[0]), 1: 0}
+        delivered = 0
+        for step in range(60):
+            op = rng.choice(
+                ["send", "send", "send", "rekey", "migrate", "handover"]
+            )
+            gw = gateways[live]
+            gw_id = gw_ids[live]
+            if op == "send":
+                # The orchestrator pattern: check the budget on both
+                # halves first, re-keying if either side expired.
+                if vehicle.needs_rekey(gw_id) or gw.needs_rekey(veh_id):
+                    vehicle.drop(gw_id)
+                    gw.drop(veh_id)
+                    establish(live)
+                payload = b"record-%02d" % step
+                record = vehicle.send(gw_ids[live], payload)
+                assert gw.receive(veh_id, record) == payload
+                delivered += 1
+            elif op == "rekey":
+                vehicle.drop(gw_id)
+                gw.drop(veh_id)
+                establish(live)
+            elif op == "migrate":
+                vehicle.drop(gw_id)
+                gw.drop(veh_id)
+                with pytest.raises(SessionExpired):
+                    vehicle.send(gw_id, b"drained")
+                live = 1 - live
+                establish(live)
+            else:  # handover: the gateway loses its half unilaterally
+                gw.drop(veh_id)
+                if vehicle.needs_rekey(gw_id):
+                    # The vehicle's own half was already at budget: the
+                    # overlap resolves as a plain expiry (still only ever
+                    # SessionExpired).
+                    with pytest.raises(SessionExpired):
+                        vehicle.send(gw_id, b"orphan")
+                else:
+                    record = vehicle.send(gw_id, b"orphan")
+                    with pytest.raises(SessionExpired):
+                        gw.receive(veh_id, record)
+                vehicle.drop(gw_id)
+                live = 1 - live
+                establish(live)
+            # Invariant: generations only ever move forward, on every
+            # manager, regardless of interleaving.
+            for index in (0, 1):
+                if index in gw_ids:
+                    current = vehicle.generation_of(gw_ids[index])
+                    assert current >= generations[index]
+                    generations[index] = current
+            # Invariant: the live pairing always works end to end.
+            if vehicle.needs_rekey(gw_ids[live]) or gateways[
+                live
+            ].needs_rekey(veh_id):
+                vehicle.drop(gw_ids[live])
+                gateways[live].drop(veh_id)
+                establish(live)
+            probe = vehicle.send(gw_ids[live], b"probe")
+            assert gateways[live].receive(veh_id, probe) == b"probe"
+        assert delivered > 0
+
+    def test_cross_generation_records_cannot_mix(self, mesh):
+        """A record from generation N MAC-fails under generation N+1 keys
+        — which is exactly why the manager must *drop before re-keying*:
+        going through ``drop`` turns that MAC failure into a clean
+        :class:`SessionExpired` miss instead."""
+        _, vehicle, (gw0, _) = mesh
+        gw0_id, veh_id = connect_managers(vehicle, gw0)
+        old_record = vehicle.send(gw0_id, b"generation-1")
+        # Re-key both sides (drop + fresh establishment).
+        vehicle.drop(gw0_id)
+        gw0.drop(veh_id)
+        connect_managers(vehicle, gw0)
+        # Replaying the old-generation record against the new channel is
+        # a wrong-key MAC failure...
+        with pytest.raises(AuthenticationError):
+            gw0.receive(veh_id, old_record)
+        # ...which the churn paths never produce, because they drain the
+        # dead half entirely: a dropped manager misses instead.
+        gw0.drop(veh_id)
+        with pytest.raises(SessionExpired):
+            gw0.receive(veh_id, old_record)

@@ -1,0 +1,229 @@
+"""The BENCH_*.json regression gate: matching, thresholds, fail-closed.
+
+The gate itself must be trustworthy: these tests pin its cell-matching
+(structural keys, mode-aware baselines, nothing silently dropped), its
+threshold semantics (>25 % worse fails, improvements don't, zero
+baselines are skipped), and — as an integration check — that the
+*committed* artifacts gate cleanly against the committed baselines, which
+is the exact invocation CI runs after the smoke jobs.
+"""
+
+from __future__ import annotations
+
+import copy
+import importlib.util
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+_GATE_PATH = os.path.join(_REPO_ROOT, "benchmarks", "regression_gate.py")
+
+_spec = importlib.util.spec_from_file_location("regression_gate", _GATE_PATH)
+gate = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(gate)
+
+
+def _topology_payload(p50=10.0, throughput=100.0, churn_cell=True) -> dict:
+    def cell(shards, v2v, churn=False):
+        latency = {
+            "count": 10,
+            "min_ms": 1.0,
+            "mean_ms": p50,
+            "p50_ms": p50,
+            "p95_ms": p50 * 2,
+            "p99_ms": p50 * 3,
+            "max_ms": p50 * 4,
+        }
+        return {
+            "shards": shards,
+            "v2v_fraction": v2v,
+            "n_vehicles": 50,
+            "churn": churn,
+            "host_wall_s": 12.34,  # must never be gated
+            "fleet": {
+                "throughput_records_per_s": throughput,
+                "sessions_per_s": throughput / 2,
+                "enrollment_latency": latency,
+                "establishment_latency": latency,
+                "ca_queue_latency": latency,
+            },
+        }
+
+    cells = [cell(1, 0.0), cell(2, 0.0), cell(4, 0.0), cell(2, 0.3)]
+    if churn_cell:
+        cells.append(cell(2, 0.0, churn=True))
+    return {"benchmark": "topology", "mode": "quick", "cells": cells}
+
+
+class TestCellExtraction:
+    def test_topology_cells_keyed_structurally(self):
+        cells = gate.extract_cells(_topology_payload())
+        assert ("topology", 1, 0.0, 50, False) in cells
+        assert ("topology", 2, 0.0, 50, True) in cells
+        # The churn cell and the plain 2-shard cell are distinct keys.
+        assert len(cells) == 5
+
+    def test_fleet_payload_is_one_cell(self):
+        payload = {
+            "benchmark": "fleet_scale",
+            "mode": "full",
+            "config": {"n_vehicles": 250},
+            "fleet": {"throughput_records_per_s": 1.0},
+        }
+        cells = gate.extract_cells(payload)
+        assert list(cells) == [("fleet_scale", 1, 0.0, 250, False)]
+
+    def test_mode_selects_baseline_file(self):
+        quick = {"mode": "quick"}
+        full = {"mode": "full"}
+        assert gate.baseline_path_for(
+            quick, "/b", "BENCH_topology.json"
+        ) == "/b/BENCH_topology_quick.json"
+        assert gate.baseline_path_for(
+            full, "/b", "BENCH_topology.json"
+        ) == "/b/BENCH_topology.json"
+
+
+class TestThresholdSemantics:
+    def test_identical_payloads_pass(self):
+        cells = gate.extract_cells(_topology_payload())
+        report = gate.compare_cells(cells, cells)
+        assert report["matched"] == 5
+        assert report["regressions"] == []
+        assert report["only_in_baseline"] == []
+        assert report["only_in_candidate"] == []
+
+    def test_p50_regression_over_threshold_fails(self):
+        base = gate.extract_cells(_topology_payload(p50=10.0))
+        cand = gate.extract_cells(_topology_payload(p50=13.5))  # +35 %
+        report = gate.compare_cells(base, cand)
+        assert report["regressions"]
+        metrics = {entry["metric"] for entry in report["regressions"]}
+        assert "enrollment_latency.p50_ms" in metrics
+
+    def test_throughput_drop_over_threshold_fails(self):
+        base = gate.extract_cells(_topology_payload(throughput=100.0))
+        cand = gate.extract_cells(_topology_payload(throughput=70.0))
+        report = gate.compare_cells(base, cand)
+        assert any(
+            entry["metric"] == "throughput_records_per_s"
+            for entry in report["regressions"]
+        )
+
+    def test_within_threshold_drift_passes(self):
+        base = gate.extract_cells(_topology_payload(p50=10.0))
+        cand = gate.extract_cells(
+            _topology_payload(p50=12.0, throughput=85.0)
+        )  # +20 % / -15 %
+        report = gate.compare_cells(base, cand)
+        assert report["regressions"] == []
+
+    def test_improvements_never_fail(self):
+        base = gate.extract_cells(_topology_payload(p50=10.0, throughput=100.0))
+        cand = gate.extract_cells(_topology_payload(p50=2.0, throughput=400.0))
+        report = gate.compare_cells(base, cand)
+        assert report["regressions"] == []
+        assert report["improvements"]
+
+    def test_zero_baseline_latency_appearing_is_a_regression(self):
+        # A zero baseline has no ratio, but it must not be a permanent
+        # exemption: latency appearing past the absolute floor fails.
+        base = gate.extract_cells(_topology_payload(p50=0.0))
+        cand = gate.extract_cells(_topology_payload(p50=50.0))
+        report = gate.compare_cells(base, cand)
+        assert any(
+            "latency" in entry["metric"] for entry in report["regressions"]
+        )
+
+    def test_zero_baseline_noise_below_floor_passes(self):
+        base = gate.extract_cells(_topology_payload(p50=0.0))
+        cand = gate.extract_cells(_topology_payload(p50=0.3))
+        report = gate.compare_cells(base, cand)
+        assert not any(
+            "latency" in entry["metric"] for entry in report["regressions"]
+        )
+
+    def test_unmatched_cells_are_reported_not_dropped(self):
+        base = gate.extract_cells(_topology_payload(churn_cell=False))
+        cand = gate.extract_cells(_topology_payload(churn_cell=True))
+        report = gate.compare_cells(base, cand)
+        assert report["matched"] == 4
+        assert report["only_in_candidate"] == [
+            ("topology", 2, 0.0, 50, True)
+        ]
+
+    def test_lost_baseline_cells_fail_the_gate(self, tmp_path):
+        # A candidate that stopped producing baseline cells (e.g. the
+        # sweep was accidentally truncated) must fail, even though the
+        # surviving cell matches perfectly.
+        baseline = tmp_path / "baselines" / "BENCH_topology_quick.json"
+        baseline.parent.mkdir()
+        baseline.write_text(json.dumps(_topology_payload()))
+        truncated = _topology_payload()
+        truncated["cells"] = truncated["cells"][:1]
+        candidate = tmp_path / "BENCH_topology.json"
+        candidate.write_text(json.dumps(truncated))
+        result = subprocess.run(
+            [
+                sys.executable,
+                _GATE_PATH,
+                "--baseline-dir",
+                str(baseline.parent),
+                "--candidate-dir",
+                str(tmp_path),
+            ],
+            capture_output=True,
+            text=True,
+        )
+        assert result.returncode == 1
+        assert "LOST CELL" in result.stdout
+
+
+class TestCommittedArtifacts:
+    """The acceptance invocation: gate the committed BENCH_*.json."""
+
+    def test_committed_artifacts_pass_against_baselines(self):
+        # Exactly what CI runs (default dirs): committed artifacts vs
+        # committed baselines must gate clean.
+        result = subprocess.run(
+            [sys.executable, _GATE_PATH],
+            capture_output=True,
+            text=True,
+            cwd=_REPO_ROOT,
+        )
+        assert result.returncode == 0, result.stdout + result.stderr
+        assert "regression gate: OK" in result.stdout
+
+    def test_perturbed_committed_topology_fails(self, tmp_path):
+        with open(os.path.join(_REPO_ROOT, "BENCH_topology.json")) as fh:
+            payload = json.load(fh)
+        bad = copy.deepcopy(payload)
+        for cell in bad["cells"]:
+            summary = cell["fleet"]["enrollment_latency"]
+            summary["p50_ms"] *= 1.5
+            summary["p99_ms"] *= 1.5
+        candidate = tmp_path / "BENCH_topology.json"
+        candidate.write_text(json.dumps(bad))
+        baseline = os.path.join(
+            _REPO_ROOT, "benchmarks", "baselines", "BENCH_topology.json"
+        )
+        report = gate.gate_file(baseline, str(candidate))
+        assert report["regressions"]
+
+    def test_gate_fails_closed_on_nothing_comparable(self, tmp_path):
+        result = subprocess.run(
+            [
+                sys.executable,
+                _GATE_PATH,
+                "--candidate-dir",
+                str(tmp_path),  # empty: no artifacts at all
+            ],
+            capture_output=True,
+            text=True,
+        )
+        assert result.returncode == 1
+        assert "failing closed" in result.stdout
