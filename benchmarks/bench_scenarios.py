@@ -1,0 +1,254 @@
+"""Scenario benchmark: the named workload sweep, adversary included.
+
+Runs every named scenario of :mod:`repro.fleet.scenario` against a fixed
+fleet shape and asserts the scenario engine's three contracts:
+
+1. **Determinism** — every scenario cell is run twice in-process and must
+   produce bit-identical :class:`~repro.fleet.FleetStats` digests.
+2. **Legacy bit-parity** — the ``legacy-uniform`` scenario runs the exact
+   ``bench_topology`` single-shard workload through the scenario engine
+   and must reproduce the committed PR 2/PR 3 golden digest bit for bit;
+   any drift in the degenerate path fails the benchmark before the
+   regression gate even runs.
+3. **Attacks fail loudly** — every adversarial scenario must report
+   nonzero attack attempts, all of them rejected, with **zero**
+   successful forgeries.
+
+Run standalone (used by the acceptance check)::
+
+    PYTHONPATH=src python benchmarks/bench_scenarios.py          # full
+    PYTHONPATH=src python benchmarks/bench_scenarios.py --quick  # CI smoke
+
+Either mode writes a machine-readable ``BENCH_scenarios.json`` (one
+record per scenario: throughput, latency percentiles, per-shard
+breakdown, profile counters, injection accounting, digest); ``--json``
+overrides the path.  Under pytest the module contributes fast,
+small-fleet versions of the same assertions.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from bench_topology import PR2_GOLDEN_DIGESTS, topology_config  # noqa: E402
+
+from repro.fleet import (  # noqa: E402
+    FleetConfig,
+    FleetOrchestrator,
+    NAMED_SCENARIOS,
+    get_scenario,
+)
+
+#: Scenarios whose schedules carry injections (gated by the forgery
+#: assertions below); everything else is a pure workload shape.
+ADVERSARIAL = ("replay-storm", "stale-cert-flood", "ca-flood")
+
+
+def scenario_config(name: str, quick: bool) -> FleetConfig:
+    """The fleet shape one named scenario runs against.
+
+    ``legacy-uniform`` reuses the exact ``bench_topology`` single-shard
+    cell (same seed, same budgets) so its digest is comparable against
+    the committed golden; every other scenario runs a common
+    ``bench-scenarios`` shape with the topology features it needs.
+    """
+    if name == "legacy-uniform":
+        return topology_config(
+            50 if quick else 250, 1, 0.0, 50.0 if quick else 200.0
+        )
+    n_vehicles = 24 if quick else 96
+    base = dict(
+        n_vehicles=n_vehicles,
+        seed=b"bench-scenarios",
+        records_per_vehicle=8,
+        max_records=4,
+        send_interval_ms=25.0,
+        arrival_spread_ms=300.0,
+        shards=2,
+    )
+    if name == "diurnal-commute":
+        base["shards"] = 1
+    elif name == "platoon-convoys":
+        base["shards"] = 4
+    elif name == "stale-cert-flood":
+        base.update(
+            records_per_vehicle=12,
+            max_records=5,
+            arrival_spread_ms=50.0,
+            shard_fail_at_ms=4_500.0,
+            fail_shard=0,
+            shard_rejoin_at_ms=6_000.0,
+            migrate_threshold=1,
+        )
+    elif name == "ca-flood":
+        base.update(shards=1, authenticate_requests=True)
+    return FleetConfig(**base)
+
+
+def run_scenario_cell(name: str, quick: bool) -> tuple[dict, float]:
+    """Run one named scenario twice; assert determinism and defenses."""
+    scenario = get_scenario(name)
+    config = scenario_config(name, quick)
+    wall = 0.0
+    digests = []
+    stats = None
+    for _ in range(2):
+        t0 = time.perf_counter()
+        stats = FleetOrchestrator(config, scenario=scenario).run().stats
+        wall += time.perf_counter() - t0
+        digests.append(stats.digest())
+    if digests[0] != digests[1]:
+        raise AssertionError(
+            f"non-deterministic scenario {name!r}:"
+            f" {digests[0]} != {digests[1]}"
+        )
+    if name in ADVERSARIAL:
+        if stats.attack_attempts <= 0:
+            raise AssertionError(
+                f"adversarial scenario {name!r} never attacked"
+            )
+        if stats.attack_rejections <= 0:
+            raise AssertionError(
+                f"adversarial scenario {name!r} reports no rejections"
+            )
+        if stats.attack_successes != 0:
+            raise AssertionError(
+                f"SECURITY: scenario {name!r} saw"
+                f" {stats.attack_successes} successful forgeries"
+            )
+        if stats.attack_rejections != stats.attack_attempts:
+            raise AssertionError(
+                f"scenario {name!r} lost attempts:"
+                f" {stats.attack_rejections} rejected"
+                f" != {stats.attack_attempts} attempted"
+            )
+    record = {
+        "scenario": name,
+        "shards": config.shards,
+        "v2v_fraction": config.v2v_fraction,
+        "n_vehicles": config.n_vehicles,
+        "churn": config.shard_rejoin_at_ms is not None,
+        "host_wall_s": wall,
+        "fleet": stats.as_dict(),
+    }
+    return record, wall
+
+
+def main() -> None:
+    """Drive the full named-scenario sweep and write the JSON record."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke mode: 24-vehicle fleets (50 for the legacy cell)",
+    )
+    parser.add_argument(
+        "--json",
+        default="BENCH_scenarios.json",
+        metavar="PATH",
+        help="machine-readable output path",
+    )
+    args = parser.parse_args()
+    mode = "quick" if args.quick else "full"
+    golden = PR2_GOLDEN_DIGESTS[mode][(1, 0.0)]
+
+    cells = []
+    for name in NAMED_SCENARIOS:
+        record, wall = run_scenario_cell(name, args.quick)
+        fleet = record["fleet"]
+        detail = ""
+        if name in ADVERSARIAL:
+            injections = fleet["scenario"]["injections"]
+            detail = "  " + " ".join(
+                f"{inj['kind']}:{inj['rejected']}/{inj['attempts']} rejected"
+                for inj in injections
+            )
+        elif fleet["scenario"]["profiles"]:
+            detail = "  profiles " + ",".join(
+                f"{profile}={count}"
+                for profile, count in fleet["scenario"]["profiles"]
+            )
+        print(
+            f"{name:<20s} vehicles={record['n_vehicles']:<4d}"
+            f" shards={record['shards']}"
+            f" sessions={fleet['sessions_established']:<5d}"
+            f" throughput={fleet['throughput_records_per_s']:8.2f} rec/s"
+            f" wall={wall:5.1f} s (x2, digest identical){detail}"
+        )
+        if name == "legacy-uniform" and fleet["digest"] != golden:
+            raise AssertionError(
+                "legacy-uniform drifted off the PR 3 golden digest:"
+                f" {fleet['digest']} != {golden}"
+            )
+        cells.append(record)
+
+    adversarial_cells = [c for c in cells if c["scenario"] in ADVERSARIAL]
+    if len(cells) < 6 or len(adversarial_cells) < 2:
+        raise AssertionError(
+            f"sweep shrank: {len(cells)} scenarios"
+            f" ({len(adversarial_cells)} adversarial)"
+        )
+
+    payload = {
+        "benchmark": "scenarios",
+        "mode": mode,
+        "cells": cells,
+    }
+    with open(args.json, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {args.json}")
+    print("OK")
+
+
+# -- fast pytest-facing versions of the same assertions ------------------------
+
+
+def test_small_adversarial_scenario_is_deterministic_and_rejects():
+    """Replay storm at pytest scale: identical digests, zero forgeries."""
+    from repro.fleet import ReplayStorm, Scenario
+
+    config = FleetConfig(
+        n_vehicles=8,
+        seed=b"bench-scenarios-pytest",
+        records_per_vehicle=6,
+        max_records=4,
+        arrival_spread_ms=40.0,
+        shards=2,
+    )
+    scenario = Scenario(
+        name="pytest-replay",
+        injections=(ReplayStorm(at_ms=4_500.0, replays=12),),
+    )
+    first = FleetOrchestrator(config, scenario=scenario).run().stats
+    second = FleetOrchestrator(config, scenario=scenario).run().stats
+    assert first.digest() == second.digest()
+    assert first.attack_attempts == 12
+    assert first.attack_rejections == 12
+    assert first.attack_successes == 0
+
+
+def test_small_legacy_scenario_matches_plain_run():
+    """The legacy scenario is bit-identical to running with no scenario."""
+    config = FleetConfig(
+        n_vehicles=8,
+        seed=b"bench-scenarios-pytest",
+        records_per_vehicle=4,
+        max_records=4,
+        arrival_spread_ms=40.0,
+    )
+    plain = FleetOrchestrator(config).run().stats
+    scenario = FleetOrchestrator(
+        config, scenario=get_scenario("legacy-uniform")
+    ).run().stats
+    assert plain.digest() == scenario.digest()
+
+
+if __name__ == "__main__":
+    main()

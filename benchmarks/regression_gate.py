@@ -68,6 +68,7 @@ ARTIFACTS = (
     "BENCH_fleet.json",
     "BENCH_topology.json",
     "BENCH_topology_churn.json",
+    "BENCH_scenarios.json",
 )
 
 
@@ -88,7 +89,11 @@ def extract_cells(payload: dict) -> dict:
     """Map a BENCH payload to ``{cell_key: fleet_stats_dict}``.
 
     Topology payloads contribute one cell per sweep entry; fleet-scale
-    payloads contribute a single cell keyed by their workload shape.
+    payloads contribute a single cell keyed by their workload shape;
+    scenario payloads key each cell by its scenario name on top of the
+    structural fields (the pre-scenario artifacts carry no ``scenario``
+    field and key with an empty name, so historical baselines keep
+    matching).
     """
     benchmark = payload.get("benchmark", "unknown")
     if "cells" in payload:
@@ -96,6 +101,7 @@ def extract_cells(payload: dict) -> dict:
         for cell in payload["cells"]:
             key = (
                 benchmark,
+                cell.get("scenario", ""),
                 cell["shards"],
                 cell["v2v_fraction"],
                 cell["n_vehicles"],
@@ -104,7 +110,7 @@ def extract_cells(payload: dict) -> dict:
             cells[key] = cell["fleet"]
         return cells
     config = payload.get("config", {})
-    key = (benchmark, 1, 0.0, config.get("n_vehicles", 0), False)
+    key = (benchmark, "", 1, 0.0, config.get("n_vehicles", 0), False)
     return {key: payload["fleet"]}
 
 

@@ -20,9 +20,14 @@ Run:  PYTHONPATH=src python examples/fleet_mesh.py
 
 from __future__ import annotations
 
+import os
+
 from repro.fleet import FleetConfig, FleetOrchestrator
 
-VEHICLES = 18
+#: The examples smoke test (and CI) sets REPRO_EXAMPLES_QUICK=1 to run a
+#: scaled-down mesh; the narrative stays identical.
+QUICK = bool(os.environ.get("REPRO_EXAMPLES_QUICK"))
+VEHICLES = 9 if QUICK else 18
 
 
 def main() -> None:

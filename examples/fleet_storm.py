@@ -19,9 +19,14 @@ Run:  PYTHONPATH=src python examples/fleet_storm.py
 
 from __future__ import annotations
 
+import os
+
 from repro.fleet import FleetConfig, FleetOrchestrator
 
-VEHICLES = 24
+#: The examples smoke test (and CI) sets REPRO_EXAMPLES_QUICK=1 to run a
+#: scaled-down storm; the narrative stays identical.
+QUICK = bool(os.environ.get("REPRO_EXAMPLES_QUICK"))
+VEHICLES = 8 if QUICK else 24
 
 
 def main() -> None:

@@ -69,6 +69,25 @@ class SimulationError(ReproError):
     """Errors from the discrete-event simulator."""
 
 
+class ConfigError(SimulationError):
+    """A simulation/fleet configuration carries nonsense values.
+
+    Subclasses :class:`SimulationError` so callers catching simulation
+    errors keep working; raised with actionable messages naming the bad
+    field and the accepted range.
+    """
+
+
+class ScenarioError(SimulationError):
+    """A fleet scenario spec is invalid or inconsistent with its config.
+
+    Covers both spec-level nonsense (negative rates, overlapping burst
+    waves, empty names) and compile-time mismatches (profiles claiming
+    more vehicles than the fleet has, injections that need topology
+    features the :class:`~repro.fleet.FleetConfig` did not enable).
+    """
+
+
 class HardwareModelError(ReproError):
     """A device model is missing a cost entry or got invalid parameters."""
 

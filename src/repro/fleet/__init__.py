@@ -10,6 +10,12 @@ issuance, ephemeral pooling, enforced session-key lifetimes and aggregate
 throughput/latency/energy statistics (with per-shard breakdowns) are
 priced on the hardware cost model; ``shards=1, v2v_fraction=0`` is the
 original single-gateway fleet, bit-for-bit.
+
+The workload itself is declarative (:mod:`repro.fleet.scenario`): a
+JSON-round-trippable :class:`Scenario` composes arrival processes,
+vehicle behavior profiles and adversarial injections (replay storms,
+stale-cert floods, CA-queue floods — all rejected, all accounted), and
+compiles deterministically to the event schedule the orchestrator runs.
 """
 
 from .orchestrator import (
@@ -19,7 +25,30 @@ from .orchestrator import (
     GATEWAY_NAME,
     run_fleet,
 )
-from .stats import FleetStats, LatencySummary, ShardStats, merge_shard_stats
+from .scenario import (
+    BehaviorProfile,
+    BurstArrivals,
+    CaQueueFlood,
+    CompiledProfile,
+    DiurnalArrivals,
+    NAMED_SCENARIOS,
+    PoissonArrivals,
+    ReplayStorm,
+    Scenario,
+    ScenarioSchedule,
+    StaleCertFlood,
+    UniformArrivals,
+    compile_scenario,
+    get_scenario,
+    load_scenario,
+)
+from .stats import (
+    FleetStats,
+    InjectionStats,
+    LatencySummary,
+    ShardStats,
+    merge_shard_stats,
+)
 from .topology import (
     FleetTopology,
     GatewayShard,
@@ -35,6 +64,11 @@ from .topology import (
 from .vehicle import TimelineEvent, Vehicle
 
 __all__ = [
+    "BehaviorProfile",
+    "BurstArrivals",
+    "CaQueueFlood",
+    "CompiledProfile",
+    "DiurnalArrivals",
     "FleetConfig",
     "FleetOrchestrator",
     "FleetResult",
@@ -42,15 +76,26 @@ __all__ = [
     "FleetTopology",
     "GATEWAY_NAME",
     "GatewayShard",
+    "InjectionStats",
     "LatencySummary",
+    "NAMED_SCENARIOS",
     "POLICY_LEAST_LOADED",
     "POLICY_ROUND_ROBIN",
     "POLICY_STATIC_HASH",
+    "PoissonArrivals",
     "ROOT_CA_NAME",
+    "ReplayStorm",
     "SHARD_POLICIES",
+    "Scenario",
+    "ScenarioSchedule",
     "ShardStats",
+    "StaleCertFlood",
     "TimelineEvent",
+    "UniformArrivals",
     "Vehicle",
+    "compile_scenario",
+    "get_scenario",
+    "load_scenario",
     "merge_shard_stats",
     "plan_v2v_pairs",
     "run_fleet",

@@ -59,17 +59,24 @@ Determinism: all randomness flows from seeded DRBGs and one seeded
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass, field
 
 from .. import trace
-from ..ec import Curve, SECP256R1
-from ..ecqv import CertificateRequester
-from ..errors import SimulationError
+from ..ec import Curve, SECP256R1, mul_base
+from ..ecdsa import sign, verify_batch
+from ..ecqv import CertificateRequest, CertificateRequester
+from ..errors import (
+    AuthenticationError,
+    CertificateError,
+    ConfigError,
+    ScenarioError,
+    SimulationError,
+)
 from ..hardware import DeviceModel, get_device
-from ..primitives import HmacDrbg, sha256
+from ..primitives import HmacDrbg
 from ..protocols import (
     SessionContext,
+    SessionExpired,
     SessionManager,
     SessionPolicy,
     install_pairwise_key,
@@ -79,7 +86,15 @@ from ..protocols.pool import EphemeralPool
 from ..protocols.registry import get_protocol
 from ..sim.engine import Simulator
 from ..testbed import DEFAULT_NOW, device_id
-from .stats import FleetStats, LatencySummary, merge_shard_stats
+from .scenario import (
+    CaQueueFlood,
+    ReplayStorm,
+    Scenario,
+    StaleCertFlood,
+    UniformArrivals,
+    compile_scenario,
+)
+from .stats import FleetStats, InjectionStats, LatencySummary, merge_shard_stats
 from .topology import (
     FleetTopology,
     GATEWAY_NAME,
@@ -197,50 +212,122 @@ class FleetConfig:
 
     def __post_init__(self) -> None:
         if self.n_vehicles <= 0:
-            raise SimulationError("fleet needs at least one vehicle")
+            raise ConfigError(
+                f"fleet needs at least one vehicle, got {self.n_vehicles}"
+            )
         if self.records_per_vehicle <= 0 or self.max_records <= 0:
-            raise SimulationError("record budgets must be positive")
+            raise ConfigError(
+                "record budgets must be positive, got"
+                f" records_per_vehicle={self.records_per_vehicle},"
+                f" max_records={self.max_records}"
+            )
         if self.send_interval_ms <= 0 or self.max_age_ms <= 0:
-            raise SimulationError("intervals must be positive")
+            raise ConfigError(
+                "intervals must be positive, got"
+                f" send_interval_ms={self.send_interval_ms},"
+                f" max_age_ms={self.max_age_ms}"
+            )
+        if self.arrival_spread_ms < 0:
+            raise ConfigError(
+                f"arrival_spread_ms must be >= 0, got {self.arrival_spread_ms}"
+            )
+        if self.record_bytes <= 0:
+            raise ConfigError(
+                f"record_bytes must be positive, got {self.record_bytes}"
+            )
+        if self.bus_ms_per_byte < 0:
+            raise ConfigError(
+                f"bus_ms_per_byte must be >= 0, got {self.bus_ms_per_byte}"
+            )
+        if self.pool_size < 0:
+            raise ConfigError(
+                f"pool_size must be >= 0 (0 disables pooling),"
+                f" got {self.pool_size}"
+            )
         if self.ca_batch_limit <= 0:
-            raise SimulationError("ca_batch_limit must be positive")
+            raise ConfigError(
+                f"ca_batch_limit must be positive, got {self.ca_batch_limit}"
+            )
+        if self.cert_validity_seconds <= 0:
+            raise ConfigError(
+                "cert_validity_seconds must be positive,"
+                f" got {self.cert_validity_seconds}"
+            )
         if self.shards <= 0:
-            raise SimulationError("fleet needs at least one gateway shard")
+            raise ConfigError(
+                f"fleet needs at least one gateway shard, got {self.shards}"
+            )
         if self.shard_policy not in SHARD_POLICIES:
-            raise SimulationError(
+            raise ConfigError(
                 f"unknown shard policy {self.shard_policy!r};"
                 f" have {SHARD_POLICIES}"
             )
         if not 0.0 <= self.v2v_fraction <= 1.0:
-            raise SimulationError("v2v_fraction must be within [0, 1]")
+            raise ConfigError(
+                f"v2v_fraction must be within [0, 1], got {self.v2v_fraction}"
+            )
         if self.v2v_records <= 0:
-            raise SimulationError("v2v_records must be positive")
+            raise ConfigError(
+                f"v2v_records must be positive, got {self.v2v_records}"
+            )
         if self.shard_fail_at_ms is not None:
             if self.shards < 2:
-                raise SimulationError(
+                raise ConfigError(
                     "failover scenarios need at least two shards"
                 )
             if self.shard_fail_at_ms <= 0:
-                raise SimulationError("shard_fail_at_ms must be positive")
+                raise ConfigError(
+                    f"shard_fail_at_ms must be positive,"
+                    f" got {self.shard_fail_at_ms}"
+                )
         if not 0 <= self.fail_shard < self.shards:
-            raise SimulationError("fail_shard out of range")
+            raise ConfigError(
+                f"fail_shard {self.fail_shard} out of range for"
+                f" {self.shards} shard(s)"
+            )
         if self.shard_rejoin_at_ms is not None:
             if self.shard_fail_at_ms is None:
-                raise SimulationError(
-                    "a rejoin schedule needs a failure schedule"
+                raise ConfigError(
+                    "a rejoin schedule needs a failure schedule: set"
+                    " shard_fail_at_ms as well"
                 )
             if self.shard_rejoin_at_ms <= self.shard_fail_at_ms:
-                raise SimulationError(
-                    "shard_rejoin_at_ms must be after shard_fail_at_ms"
+                raise ConfigError(
+                    f"shard_rejoin_at_ms ({self.shard_rejoin_at_ms}) must be"
+                    f" after shard_fail_at_ms ({self.shard_fail_at_ms})"
                 )
         if self.migrate_threshold is not None:
             if self.shards < 2:
-                raise SimulationError(
+                raise ConfigError(
                     "live migration needs at least two shards"
                 )
             if self.migrate_threshold < 1:
-                raise SimulationError("migrate_threshold must be positive")
+                raise ConfigError(
+                    f"migrate_threshold must be positive,"
+                    f" got {self.migrate_threshold}"
+                )
         get_protocol(self.protocol)  # fail fast on unknown names
+
+
+@dataclass
+class _QueueEntry:
+    """One request waiting in a shard CA's issuance queue.
+
+    ``then`` is ``None`` for first enrollments (the standard
+    enrolled→establish continuation) and a callback for churn
+    re-enrollments (migration, chain-epoch roll).  ``adversarial`` is
+    ``None`` for legitimate requests and the *injection index* for
+    forged requests enqueued by a CA-flood injection (``vehicle`` and
+    ``requester`` are then ``None`` — no fleet member stands behind the
+    request).
+    """
+
+    vehicle: "Vehicle | None"
+    requester: "CertificateRequester | None"
+    request: CertificateRequest
+    queued_at: float
+    then: object = None
+    adversarial: int | None = None
 
 
 @dataclass
@@ -252,10 +339,25 @@ class FleetResult:
 
 
 class FleetOrchestrator:
-    """Drives a whole fleet through enrollment, sessions and re-keys."""
+    """Drives a whole fleet through enrollment, sessions and re-keys.
 
-    def __init__(self, config: FleetConfig) -> None:
+    An optional :class:`~repro.fleet.scenario.Scenario` makes the
+    workload declarative: the compiled schedule supplies per-vehicle
+    arrival times, behavior-profile overrides (record budgets, send
+    intervals, re-key budgets, roaming, convoy shard pins) and
+    adversarial injections executed against the live fleet.  Without a
+    scenario — or with the legacy uniform scenario — every code path and
+    DRBG stream is bit-identical to the pre-scenario orchestrator.
+    """
+
+    def __init__(
+        self, config: FleetConfig, scenario: "Scenario | None" = None
+    ) -> None:
         self.config = config
+        self.scenario = scenario
+        self.schedule = (
+            compile_scenario(scenario, config) if scenario is not None else None
+        )
         self.sim = Simulator()
         self.vehicle_device: DeviceModel = get_device(config.vehicle_device)
         self.ca_device: DeviceModel = get_device(config.ca_device)
@@ -285,24 +387,41 @@ class FleetOrchestrator:
         self.gateway_id = self.shards[0].gateway_id
         self.gateway_manager = self.shards[0].manager
         self._gateway_pool = self.shards[0].pool
-        jitter = random.Random(
-            int.from_bytes(sha256(seed + b"|arrivals"), "big")
-        )
+        if self.schedule is None:
+            # One authoritative implementation of the legacy jitter
+            # stream: UniformArrivals replays it bit-identically (pinned
+            # by test_uniform_matches_legacy_jitter).
+            arrivals = list(UniformArrivals().compile(config))
+        else:
+            arrivals = list(self.schedule.arrival_ms)
         self.vehicles: list[Vehicle] = []
         for index in range(config.n_vehicles):
             name = f"veh{index:04d}"
-            arrival = jitter.uniform(0.0, config.arrival_spread_ms)
             vehicle = Vehicle(
                 name=name,
                 index=index,
                 device_id=device_id(name),
-                arrival_ms=arrival,
+                arrival_ms=arrivals[index],
             )
+            vehicle_policy = policy
+            if self.schedule is not None:
+                vehicle.profile = self.schedule.profile_of[index]
+                vehicle.pinned_shard = self.schedule.pinned_shard[index]
+                profile = self.schedule.profile_for(index)
+                if profile is not None and profile.max_records is not None:
+                    # A commuter re-key cadence: the vehicle-side manager
+                    # enforces the tighter record budget (the gateway side
+                    # keeps the fleet policy; whichever expires first
+                    # forces the re-key).
+                    vehicle_policy = SessionPolicy(
+                        max_age_seconds=config.max_age_ms / 1000.0,
+                        max_records=profile.max_records,
+                    )
             vehicle.manager = SessionManager(
                 self._vehicle_context_factory(vehicle),
                 "A",
                 protocol=config.protocol,
-                policy=policy,
+                policy=vehicle_policy,
                 clock=clock,
             )
             self.vehicles.append(vehicle)
@@ -332,6 +451,28 @@ class FleetOrchestrator:
         #: Continuations coalesced onto a vehicle's in-flight
         #: re-enrollment (keyed by vehicle index).
         self._re_enroll_followups: dict[int, list] = {}
+        # -- scenario injection state -----------------------------------------
+        injections = (
+            self.schedule.injections if self.schedule is not None else ()
+        )
+        #: Per-injection accounting, index-aligned with the schedule.
+        self._injection_log: list[dict] = [
+            {"kind": spec.kind, "at_ms": spec.at_ms, "attempts": 0,
+             "rejected": 0, "succeeded": 0}
+            for spec in injections
+        ]
+        #: Replay storms need a wire capture: latest vehicle→gateway
+        #: record per vehicle index (populated only when needed).
+        self._capture_wire = any(
+            isinstance(spec, ReplayStorm) for spec in injections
+        )
+        self._captured_records: dict[int, bytes] = {}
+        #: Stale-cert floods need the failing shard's epoch-1 leaf
+        #: certificates, snapshotted at failure time.
+        self._capture_stale = any(
+            isinstance(spec, StaleCertFlood) for spec in injections
+        )
+        self._stale_certs: list = []
 
     # -- deterministic context factories --------------------------------------
 
@@ -410,7 +551,7 @@ class FleetOrchestrator:
             )
             vehicle.log(self.sim.now, "request", detail)
             shard.queue.append(
-                (vehicle, requester, request, self.sim.now, None)
+                _QueueEntry(vehicle, requester, request, self.sim.now)
             )
             self._pump_ca(shard)
 
@@ -419,18 +560,43 @@ class FleetOrchestrator:
     def _pump_ca(self, shard: GatewayShard) -> None:
         """Serve one shard's CA queue: one batched issuance at a time.
 
-        Queue entries are ``(vehicle, requester, request, queued_at,
-        then)`` — ``then`` is ``None`` for first enrollments (the standard
-        enrolled→establish continuation) and a callback for churn
-        re-enrollments (migration, chain-epoch roll).
+        A batch may interleave legitimate enrollments with forged
+        CA-flood requests; the CA screens the forged ones with a real
+        batched proof-of-possession verification inside the same priced
+        service window (the DoS cost legitimate requests queue behind),
+        rejects them, and issues certificates only for the survivors.
         """
         if shard.failed or shard.issuing or not shard.queue:
             return
         batch_size = min(len(shard.queue), self.config.ca_batch_limit)
         batch = [shard.queue.popleft() for _ in range(batch_size)]
-        requests = [request for _, _, request, _, _ in batch]
+        legit = [entry for entry in batch if entry.adversarial is None]
+        attacks = [entry for entry in batch if entry.adversarial is not None]
         with trace.trace("ca:issue") as cost:
-            if self.config.use_batch_ec:
+            if attacks:
+                # Screen the flood: one batched ECDSA pass over every
+                # forged proof of possession.  A verifying forgery would
+                # be a successful attack (asserted zero downstream).
+                outcomes = verify_batch(
+                    [
+                        (
+                            entry.request.request_point,
+                            entry.request.signed_payload(),
+                            entry.request.signature,
+                        )
+                        for entry in attacks
+                    ]
+                )
+                for entry, ok in zip(attacks, outcomes):
+                    log = self._injection_log[entry.adversarial]
+                    if ok:
+                        log["succeeded"] += 1
+                    else:
+                        log["rejected"] += 1
+            requests = [entry.request for entry in legit]
+            if not requests:
+                issued = []
+            elif self.config.use_batch_ec:
                 issued = shard.ca.issue_batch(
                     requests,
                     validity_seconds=self.config.cert_validity_seconds,
@@ -449,8 +615,8 @@ class FleetOrchestrator:
         duration = shard.device.time_ms(cost)
         shard.energy_mj += shard.device.energy_mj(cost)
         start, end = shard.resource.reserve(self.sim.now, duration)
-        for _, _, _, queued_at, _ in batch:
-            wait = start - queued_at
+        for entry in legit:
+            wait = start - entry.queued_at
             shard.queue_latencies.append(wait)
             self._queue_latencies.append(wait)
         shard.issuing = True
@@ -459,11 +625,13 @@ class FleetOrchestrator:
 
         def deliver() -> None:
             shard.issuing = False
-            for (vehicle, requester, _, _, then), certificate in zip(
-                batch, issued
-            ):
+            for entry, certificate in zip(legit, issued):
                 self._receive_certificate(
-                    vehicle, requester, certificate, issuer_public, then
+                    entry.vehicle,
+                    entry.requester,
+                    certificate,
+                    issuer_public,
+                    entry.then,
                 )
             self._pump_ca(shard)
 
@@ -530,10 +698,28 @@ class FleetOrchestrator:
         if len(self.topology.alive_shards()) < 2:
             raise SimulationError("failover requires a surviving shard")
         shard.failed = True
+        if self._capture_stale:
+            # Snapshot the epoch-1 leaf certificates this CA issued: the
+            # stale-cert flood presents exactly these after the rejoin
+            # rolls the chain epoch.
+            stale_akid = shard.ca.authority_key_id
+            self._stale_certs = [
+                v.credential.certificate
+                for v in self.vehicles
+                if v.credential is not None
+                and v.credential.certificate.authority_key_id == stale_akid
+            ]
         pending = list(shard.queue)
         shard.queue.clear()
         touched: list[GatewayShard] = []
-        for vehicle, requester, request, queued_at, then in pending:
+        for entry in pending:
+            if entry.adversarial is not None:
+                # The flood died with its target: requests queued at a
+                # gateway that failed before serving them are dropped.
+                log = self._injection_log[entry.adversarial]
+                log["rejected"] += 1
+                continue
+            vehicle = entry.vehicle
             shard.active_vehicles -= 1
             adopter = self.topology.assign(vehicle)
             adopter.adopt(vehicle)
@@ -543,9 +729,7 @@ class FleetOrchestrator:
                 "requeue",
                 f"shard {shard.index} -> shard {adopter.index}",
             )
-            adopter.queue.append(
-                (vehicle, requester, request, queued_at, then)
-            )
+            adopter.queue.append(entry)
             touched.append(adopter)
         for adopter in touched:
             self._pump_ca(adopter)
@@ -657,7 +841,10 @@ class FleetOrchestrator:
             or vehicle.migrating
             or vehicle.re_enrolling
             or shard.failed
+            or vehicle.pinned_shard is not None
         ):
+            # Pinned (platoon) vehicles stay with their convoy's shard;
+            # the re-balancer never peels them off.
             return False
         alive = self.topology.alive_shards()
         if len(alive) < 2:
@@ -746,7 +933,9 @@ class FleetOrchestrator:
                 f"re-enroll queued at shard {target.index}",
             )
             target.queue.append(
-                (vehicle, requester, request, self.sim.now, complete)
+                _QueueEntry(
+                    vehicle, requester, request, self.sim.now, complete
+                )
             )
             self._pump_ca(target)
 
@@ -826,15 +1015,66 @@ class FleetOrchestrator:
             if then is not None:
                 then()
             self.sim.schedule_after(
-                self.config.send_interval_ms, lambda: self._send(vehicle)
+                self._send_interval(vehicle), lambda: self._send(vehicle)
             )
 
         self.sim.schedule_at(done, finish)
 
     # -- managed traffic ---------------------------------------------------------
 
+    def _profile_of(self, vehicle: Vehicle):
+        """The vehicle's compiled behavior profile (None = defaults)."""
+        if self.schedule is None or not vehicle.profile:
+            return None
+        return self.schedule.profiles[vehicle.profile]
+
+    def _records_target(self, vehicle: Vehicle) -> int:
+        """Records this vehicle must deliver (profile-aware)."""
+        profile = self._profile_of(vehicle)
+        if profile is None:
+            return self.config.records_per_vehicle
+        return profile.records_per_vehicle
+
+    def _send_interval(self, vehicle: Vehicle) -> float:
+        """Spacing between this vehicle's records (profile-aware)."""
+        profile = self._profile_of(vehicle)
+        if profile is None:
+            return self.config.send_interval_ms
+        return profile.send_interval_ms
+
+    def _maybe_roam(self, vehicle: Vehicle, shard: GatewayShard) -> bool:
+        """Roamer profiles: migrate every ``roam_every`` records.
+
+        Deterministic target: the next alive shard after the current one
+        in index order.  The ``last_roam_records`` marker keeps one
+        record count from triggering twice (the post-migration establish
+        resumes sending at the same count).
+        """
+        profile = self._profile_of(vehicle)
+        if (
+            profile is None
+            or profile.roam_every is None
+            or vehicle.records_sent <= 0
+            or vehicle.records_sent % profile.roam_every != 0
+            or vehicle.records_sent == vehicle.last_roam_records
+            or vehicle.migrating
+            or vehicle.re_enrolling
+        ):
+            return False
+        alive = self.topology.alive_shards()
+        if len(alive) < 2 or shard.failed:
+            return False
+        successors = [s for s in alive if s.index > shard.index]
+        target = successors[0] if successors else alive[0]
+        if target.index == shard.index:
+            return False
+        vehicle.last_roam_records = vehicle.records_sent
+        vehicle.roams += 1
+        self.migrate(vehicle, target)
+        return True
+
     def _send(self, vehicle: Vehicle) -> None:
-        if vehicle.records_sent >= self.config.records_per_vehicle:
+        if vehicle.records_sent >= self._records_target(vehicle):
             vehicle.done_at = self.sim.now
             self.shards[vehicle.shard].active_vehicles -= 1
             vehicle.log(self.sim.now, "done", f"{vehicle.records_sent} records")
@@ -844,6 +1084,10 @@ class FleetOrchestrator:
             # The gateway died under an open session: fail over and
             # re-key at a surviving shard (handled inside _establish).
             self._establish(vehicle)
+            return
+        if self._maybe_roam(vehicle, shard):
+            # A roamer profile moved the vehicle: it resumes sending once
+            # re-enrolled and re-established at the next shard over.
             return
         if self._maybe_migrate(vehicle, shard):
             # Re-balancing moved the vehicle: it resumes sending once
@@ -880,12 +1124,15 @@ class FleetOrchestrator:
         shard.resource.reserve(
             self.sim.now, shard.device.time_ms(recv_cost)
         )
+        if self._capture_wire:
+            # The replay-storm adversary records the wire verbatim.
+            self._captured_records[vehicle.index] = record
         vehicle.records_sent += 1
         self._records_sent += 1
         send_ms = self.vehicle_device.time_ms(send_cost)
         bus_ms = len(record) * self.config.bus_ms_per_byte
         self.sim.schedule_after(
-            self.config.send_interval_ms + send_ms + bus_ms,
+            self._send_interval(vehicle) + send_ms + bus_ms,
             lambda: self._send(vehicle),
         )
 
@@ -1039,6 +1286,152 @@ class FleetOrchestrator:
             lambda: self._send_v2v(initiator, responder),
         )
 
+    # -- adversarial injections --------------------------------------------------
+
+    def _charge_gateway(self, shard: GatewayShard, cost) -> None:
+        """Price defensive work on the shard's device and resource.
+
+        The adversary's own compute is free (it runs on attacker
+        hardware), but every verification/validation the *gateway* does
+        to reject an attack contends the shard resource — the DoS
+        pressure legitimate traffic feels.
+        """
+        shard.energy_mj += shard.device.energy_mj(cost)
+        shard.resource.reserve(self.sim.now, shard.device.time_ms(cost))
+
+    def _inject_replay_storm(self, spec: ReplayStorm, log: dict) -> None:
+        """Replay captured vehicle→gateway records at the target shard.
+
+        Victims are the vehicles currently served by the target shard
+        whose traffic the adversary captured, cycled in index order.
+        Every replay runs the real record channel on the gateway: a
+        verbatim replay dies on the sequence window, a replay across a
+        re-key dies on the MAC.  An accepted record would count as a
+        success (and is asserted zero by the benchmarks).
+        """
+        shard = self.shards[spec.target_shard]
+        if shard.failed:
+            # Nothing listens: the storm hits a dead gateway.
+            log["attempts"] += spec.replays
+            log["rejected"] += spec.replays
+            return
+        victims = [
+            vehicle
+            for vehicle in self.vehicles
+            if vehicle.shard == shard.index
+            and vehicle.index in self._captured_records
+        ]
+        if not victims:
+            # A storm with nothing to replay would report a vacuous
+            # defense success (0/0 rejected); fail loudly instead so the
+            # misconfigured timing is fixed rather than misread.
+            raise ScenarioError(
+                f"replay-storm at {spec.at_ms} ms fired before any"
+                f" application record was captured at shard"
+                f" {shard.index}; schedule it after traffic starts"
+            )
+        for attempt in range(spec.replays):
+            victim = victims[attempt % len(victims)]
+            record = self._captured_records[victim.index]
+            log["attempts"] += 1
+            with trace.trace("gateway:replay-verify") as cost:
+                try:
+                    shard.manager.receive(victim.device_id, record)
+                except (AuthenticationError, SessionExpired):
+                    log["rejected"] += 1
+                else:
+                    log["succeeded"] += 1
+            self._charge_gateway(shard, cost)
+
+    def _inject_stale_cert_flood(self, spec: StaleCertFlood, log: dict) -> None:
+        """Present retired chain-epoch certificates for validation.
+
+        Each attempt runs the full trust-chain resolution against the
+        fleet store on the rejoined gateway; the retired epoch must
+        raise the chain-epoch :class:`~repro.errors.CertificateError`.
+        A validation that *passes* is a successful stale-credential
+        acceptance (asserted zero downstream).
+        """
+        store = self.topology.trust_store
+        certs = self._stale_certs
+        if store is None or not certs:
+            # compile_scenario guarantees a rejoin is scheduled, so an
+            # empty capture means the shard failed before issuing any
+            # leaf certificate — a vacuous 0/0 "defense" if we returned.
+            raise ScenarioError(
+                f"stale-cert-flood at {spec.at_ms} ms has no retired"
+                " certificates to present: the failed shard issued"
+                " nothing before it died; move the failure later or the"
+                " arrivals earlier"
+            )
+        shard = self.shards[self.config.fail_shard]
+        for attempt in range(spec.attempts):
+            certificate = certs[attempt % len(certs)]
+            log["attempts"] += 1
+            with trace.trace("gateway:chain-validate") as cost:
+                try:
+                    store.resolve_and_validate(certificate, DEFAULT_NOW)
+                except CertificateError:
+                    log["rejected"] += 1
+                else:
+                    log["succeeded"] += 1
+            self._charge_gateway(shard, cost)
+
+    def _inject_ca_flood(
+        self, index: int, spec: CaQueueFlood, log: dict
+    ) -> None:
+        """Enqueue forged enrollment requests at the target shard CA.
+
+        Each request carries a real (but forged) proof-of-possession
+        signature — made with a scalar unrelated to the request point —
+        so the CA's batched screening pass must reject it.  The requests
+        take real slots in the issuance queue and real verification time
+        in the service window: the DoS legitimate enrollments feel.
+        """
+        shard = self.shards[spec.target_shard]
+        if shard.failed:
+            log["attempts"] += spec.requests
+            log["rejected"] += spec.requests
+            return
+        rng = HmacDrbg(
+            self.config.seed,
+            personalization=b"scenario|ca-flood|%d" % index,
+        )
+        curve = self.config.curve
+        for j in range(spec.requests):
+            scalar = rng.random_scalar(curve.n)
+            point = mul_base(scalar, curve)
+            subject = device_id(f"attacker{index:02d}-{j:04d}")
+            unsigned = CertificateRequest(subject, point)
+            forged = sign(
+                curve, rng.random_scalar(curve.n), unsigned.signed_payload()
+            )
+            log["attempts"] += 1
+            shard.queue.append(
+                _QueueEntry(
+                    vehicle=None,
+                    requester=None,
+                    request=CertificateRequest(
+                        subject, point, signature=forged
+                    ),
+                    queued_at=self.sim.now,
+                    adversarial=index,
+                )
+            )
+        self._pump_ca(shard)
+
+    def _run_injection(self, index: int, spec) -> None:
+        """Dispatch one scheduled injection to its executor."""
+        log = self._injection_log[index]
+        if isinstance(spec, ReplayStorm):
+            self._inject_replay_storm(spec, log)
+        elif isinstance(spec, StaleCertFlood):
+            self._inject_stale_cert_flood(spec, log)
+        elif isinstance(spec, CaQueueFlood):
+            self._inject_ca_flood(index, spec, log)
+        else:  # pragma: no cover - compile_scenario validates kinds
+            raise SimulationError(f"unknown injection {spec!r}")
+
     # -- driving -----------------------------------------------------------------
 
     def run(self, max_events: int = 5_000_000) -> FleetResult:
@@ -1055,6 +1448,14 @@ class FleetOrchestrator:
             self.sim.schedule_at(
                 self.config.shard_rejoin_at_ms, self._rejoin_shard
             )
+        if self.schedule is not None:
+            for index, spec in enumerate(self.schedule.injections):
+                self.sim.schedule_at(
+                    spec.at_ms,
+                    (
+                        lambda i, s: lambda: self._run_injection(i, s)
+                    )(index, spec),
+                )
         self.sim.run(max_events=max_events)
         unfinished = [v.name for v in self.vehicles if v.done_at is None]
         if unfinished:
@@ -1118,12 +1519,32 @@ class FleetOrchestrator:
             migration_latency=LatencySummary.from_samples(
                 self._migration_latencies
             ),
+            scenario=(
+                self.scenario.name if self.scenario is not None else ""
+            ),
+            profile_counts=(
+                self.schedule.profile_counts
+                if self.schedule is not None
+                else ()
+            ),
+            injection_stats=tuple(
+                InjectionStats(
+                    kind=log["kind"],
+                    at_ms=log["at_ms"],
+                    attempts=log["attempts"],
+                    rejected=log["rejected"],
+                    succeeded=log["succeeded"],
+                )
+                for log in self._injection_log
+            ),
         )
         return FleetResult(stats=stats, vehicles=self.vehicles)
 
 
-def run_fleet(config: FleetConfig | None = None) -> FleetResult:
+def run_fleet(
+    config: FleetConfig | None = None, scenario: "Scenario | None" = None
+) -> FleetResult:
     """Convenience one-shot: build an orchestrator and run it."""
     return FleetOrchestrator(
-        config if config is not None else FleetConfig()
+        config if config is not None else FleetConfig(), scenario=scenario
     ).run()

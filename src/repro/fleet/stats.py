@@ -208,6 +208,52 @@ class ShardStats:
         )
 
 
+@dataclass(frozen=True)
+class InjectionStats:
+    """Outcome accounting of one adversarial scenario injection.
+
+    ``attempts`` counts the attack operations the adversary actually ran
+    against the live fleet, ``rejected`` how many the defenses threw out
+    (sequence/MAC checks, chain-epoch retirement, proof-of-possession
+    screening), and ``succeeded`` the forgeries that got through — which
+    the scenario benchmarks assert to be zero.
+    """
+
+    kind: str
+    at_ms: float
+    attempts: int
+    rejected: int
+    succeeded: int
+
+    def row(self) -> str:
+        """One-line rendering used by reports and the scenario digest."""
+        return (
+            f"{self.kind}@{self.at_ms:.3f}ms: attempts={self.attempts}"
+            f" rejected={self.rejected} succeeded={self.succeeded}"
+        )
+
+    def as_dict(self) -> dict:
+        """JSON-ready mapping of this injection's accounting."""
+        return {
+            "kind": self.kind,
+            "at_ms": self.at_ms,
+            "attempts": self.attempts,
+            "rejected": self.rejected,
+            "succeeded": self.succeeded,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "InjectionStats":
+        """Rebuild the accounting from its :meth:`as_dict` mapping."""
+        return cls(
+            kind=data["kind"],
+            at_ms=data["at_ms"],
+            attempts=data["attempts"],
+            rejected=data["rejected"],
+            succeeded=data["succeeded"],
+        )
+
+
 def merge_shard_stats(shards: "tuple[ShardStats, ...] | list[ShardStats]") -> dict:
     """Cross-shard merge: fold per-shard breakdowns into fleet-level CA totals.
 
@@ -274,6 +320,12 @@ class FleetStats:
     rejoins: int = 0
     re_enrollments: int = 0
     migration_latency: LatencySummary = field(default_factory=_empty_latency)
+    # -- scenario extensions (defaults keep legacy construction valid) -------
+    #: Scenario name (metadata only — never hashed, so the same workload
+    #: digests identically whether it ran as a named scenario or not).
+    scenario: str = ""
+    profile_counts: tuple[tuple[str, int], ...] = ()
+    injection_stats: tuple[InjectionStats, ...] = ()
 
     @property
     def throughput_records_per_s(self) -> float:
@@ -311,6 +363,33 @@ class FleetStats:
             or self.rejoins > 0
             or self.re_enrollments > 0
         )
+
+    @property
+    def is_scenario_run(self) -> bool:
+        """True when behavior profiles or injections shaped this run.
+
+        A scenario that only swaps the arrival process (no profiles, no
+        injections) is deliberately *not* a scenario run for digest
+        purposes: its behavior difference is already fully visible in the
+        base aggregates, and the legacy uniform scenario must hash
+        bit-identically to the pre-scenario orchestrator.
+        """
+        return bool(self.profile_counts) or bool(self.injection_stats)
+
+    @property
+    def attack_attempts(self) -> int:
+        """Total adversarial attempts across every injection."""
+        return sum(s.attempts for s in self.injection_stats)
+
+    @property
+    def attack_rejections(self) -> int:
+        """Total rejected adversarial attempts across every injection."""
+        return sum(s.rejected for s in self.injection_stats)
+
+    @property
+    def attack_successes(self) -> int:
+        """Total successful forgeries (zero on every healthy defense)."""
+        return sum(s.succeeded for s in self.injection_stats)
 
     def render(self) -> str:
         """Human-readable multi-line report."""
@@ -363,6 +442,15 @@ class FleetStats:
                     )
             for shard in self.per_shard:
                 lines.append(f"  {shard.row()}")
+        if self.scenario:
+            lines.append(f"  scenario            : {self.scenario}")
+        if self.profile_counts:
+            rendered = ", ".join(
+                f"{name}={count}" for name, count in self.profile_counts
+            )
+            lines.append(f"  profiles            : {rendered}")
+        for injection in self.injection_stats:
+            lines.append(f"  injection           : {injection.row()}")
         return "\n".join(lines)
 
     def as_dict(self) -> dict:
@@ -403,6 +491,15 @@ class FleetStats:
                 "migration_latency": self.migration_latency.as_dict(),
             },
             "per_shard": [shard.as_dict() for shard in self.per_shard],
+            "scenario": {
+                "name": self.scenario,
+                "profiles": [
+                    [name, count] for name, count in self.profile_counts
+                ],
+                "injections": [
+                    injection.as_dict() for injection in self.injection_stats
+                ],
+            },
             "digest": self.digest(),
         }
 
@@ -415,6 +512,7 @@ class FleetStats:
         to — the original; the regression-gate tooling relies on this.
         """
         churn = data.get("churn", {})
+        scenario = data.get("scenario", {})
         return cls(
             vehicles=data["vehicles"],
             enrollments=data["enrollments"],
@@ -454,6 +552,14 @@ class FleetStats:
             )
             if "migration_latency" in churn
             else _empty_latency(),
+            scenario=scenario.get("name", ""),
+            profile_counts=tuple(
+                (name, count) for name, count in scenario.get("profiles", [])
+            ),
+            injection_stats=tuple(
+                InjectionStats.from_dict(entry)
+                for entry in scenario.get("injections", [])
+            ),
         )
 
     def digest(self) -> str:
@@ -512,4 +618,21 @@ class FleetStats:
                 for shard in self.per_shard
             )
             canonical = canonical + "|" + "|".join(extension)
+        if self.is_scenario_run:
+            # Scenario sub-segment: only runs shaped by profiles or
+            # injections hash it, so every historical digest — including
+            # a named scenario that merely swaps the arrival process —
+            # stays bit-identical.  The scenario *name* is metadata and
+            # deliberately excluded.
+            scenario_extension = [
+                "profiles="
+                + ",".join(
+                    f"{name}:{count}" for name, count in self.profile_counts
+                ),
+                *(
+                    f"inj{index}={injection.row()}"
+                    for index, injection in enumerate(self.injection_stats)
+                ),
+            ]
+            canonical = canonical + "|" + "|".join(scenario_extension)
         return sha256(canonical.encode()).hex()

@@ -405,6 +405,13 @@ class FleetTopology:
         alive = self.alive_shards()
         if not alive:
             raise SimulationError("no alive gateway shard to assign to")
+        if vehicle.pinned_shard is not None:
+            # Platoon convoys pin to one shard; the pin wins over every
+            # policy while its shard is alive and falls back to the
+            # policy (failover adoption) while it is down.
+            pinned = self.shards[vehicle.pinned_shard]
+            if not pinned.failed:
+                return pinned
         policy = self.config.shard_policy
         if policy == POLICY_STATIC_HASH:
             digest = sha256(b"fleet|shard-assign|" + vehicle.device_id)

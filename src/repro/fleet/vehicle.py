@@ -67,6 +67,17 @@ class Vehicle:
     v2v_sessions: int = 0
     v2v_records_sent: int = 0
     v2v_done_at: float | None = None
+    # -- scenario extensions (defaults = config-driven behavior) -------------
+    #: Behavior-profile name assigned by the compiled scenario ("" = none).
+    profile: str = ""
+    #: Shard this vehicle is pinned to (platoon convoys); ``None`` lets the
+    #: topology's assignment policy place it.
+    pinned_shard: int | None = None
+    #: Record count at the last roamer-triggered migration (guards against
+    #: re-triggering on the same record after the post-migrate establish).
+    last_roam_records: int = -1
+    #: Roamer-profile migrations this vehicle initiated.
+    roams: int = 0
 
     def log(self, time_ms: float, kind: str, detail: str = "") -> None:
         """Append one timeline event."""

@@ -140,3 +140,22 @@ THREATS_ON_ASSETS: dict[str, tuple[str, ...]] = {
     Asset.SESSION_DATA.value: ("T1", "T2", "T4", "T5"),
     Asset.SECURITY_CREDENTIALS.value: ("T2", "T3", "T5"),
 }
+
+#: The fleet-scale adversarial injections
+#: (:mod:`repro.fleet.scenario`) mapped onto this threat model: which
+#: paper threats each injection exercises against a *live sharded
+#: fleet* rather than a single recorded session.  ``replay-storm``
+#: replays recorded session data at a gateway (an active MitM move
+#: against session data, testing whether old key material buys the
+#: adversary anything — T2/T4); ``stale-cert-flood`` presents
+#: credentials whose issuing epoch died with a captured/failed gateway
+#: (T3 credential misuse, T5 exploiting the derivation chain);
+#: ``ca-flood`` feeds the key-derivation bootstrap forged
+#: proof-of-possession requests (T2 active insertion, T5 exploiting
+#: issuance).  The scenario engine asserts all of them are rejected
+#: with zero successful forgeries.
+FLEET_INJECTION_THREATS: dict[str, tuple[str, ...]] = {
+    "replay-storm": ("T2", "T4"),
+    "stale-cert-flood": ("T3", "T5"),
+    "ca-flood": ("T2", "T5"),
+}

@@ -153,6 +153,38 @@ class TestConfigValidation:
         with pytest.raises(ProtocolError):
             FleetConfig(protocol="no-such-protocol")
 
+    def test_bad_values_raise_typed_config_errors(self):
+        from repro.errors import ConfigError
+
+        # ConfigError subclasses SimulationError, so both catches work.
+        assert issubclass(ConfigError, SimulationError)
+        for kwargs in (
+            {"arrival_spread_ms": -1.0},
+            {"record_bytes": 0},
+            {"bus_ms_per_byte": -0.001},
+            {"pool_size": -1},
+            {"cert_validity_seconds": 0},
+            {"max_age_ms": -5.0},
+            {"v2v_fraction": 1.5},
+            {"v2v_fraction": -0.1},
+            {"shards": 2, "fail_shard": 2, "shard_fail_at_ms": 10.0},
+            {"shard_rejoin_at_ms": 10.0},  # rejoin without failure
+        ):
+            with pytest.raises(ConfigError):
+                FleetConfig(**kwargs)
+
+    def test_config_errors_are_actionable(self):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError, match="arrival_spread_ms"):
+            FleetConfig(arrival_spread_ms=-2.0)
+        with pytest.raises(ConfigError, match="v2v_fraction"):
+            FleetConfig(v2v_fraction=2.0)
+        with pytest.raises(ConfigError, match="shard_fail_at_ms"):
+            FleetConfig(
+                shards=2, shard_fail_at_ms=20.0, shard_rejoin_at_ms=10.0
+            )
+
     def test_orchestrator_exposes_resources(self):
         orchestrator = FleetOrchestrator(
             FleetConfig(n_vehicles=1, seed=b"expose")

@@ -1,0 +1,303 @@
+"""Property-based invariants for the scenario engine.
+
+Golden digests and the example-based tests pin specific scenarios; these
+pin the *laws*: any valid ``(spec, seed)`` pair must compile to the same
+schedule twice (bit-identical digests), JSON serialization must be a
+lossless inverse, arrivals must respect their declared envelopes, and
+the scenario extensions of :class:`~repro.fleet.FleetStats` must
+round-trip through ``as_dict``/``from_dict`` digest-stably.
+"""
+
+from __future__ import annotations
+
+import json
+
+from hypothesis import given, settings, strategies as st
+
+from repro.fleet import (
+    BehaviorProfile,
+    BurstArrivals,
+    CaQueueFlood,
+    DiurnalArrivals,
+    FleetConfig,
+    FleetStats,
+    InjectionStats,
+    LatencySummary,
+    PoissonArrivals,
+    ReplayStorm,
+    Scenario,
+    StaleCertFlood,
+    UniformArrivals,
+    compile_scenario,
+    load_scenario,
+)
+
+# -- strategies ---------------------------------------------------------------
+
+_times = st.floats(
+    min_value=0.0, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+_names = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz-", min_size=1, max_size=12
+)
+
+
+@st.composite
+def arrival_specs(draw):
+    """Any valid arrival process."""
+    choice = draw(st.integers(0, 3))
+    if choice == 0:
+        spread = draw(
+            st.one_of(st.none(), st.floats(0.0, 1e5, allow_nan=False))
+        )
+        return UniformArrivals(spread_ms=spread)
+    if choice == 1:
+        return PoissonArrivals(
+            rate_per_s=draw(st.floats(0.1, 1e4, allow_nan=False))
+        )
+    if choice == 2:
+        interval = draw(st.floats(1.0, 1e4, allow_nan=False))
+        return BurstArrivals(
+            waves=draw(st.integers(1, 8)),
+            wave_interval_ms=interval,
+            wave_spread_ms=draw(st.floats(0.0, 1.0)) * interval,
+        )
+    return DiurnalArrivals(
+        period_ms=draw(st.floats(1.0, 1e5, allow_nan=False)),
+        amplitude=draw(st.floats(0.0, 1.0)),
+    )
+
+
+@st.composite
+def behavior_profiles(draw, name):
+    """Any valid behavior profile with the given name."""
+    roam = draw(st.one_of(st.none(), st.integers(1, 10)))
+    convoy = (
+        None if roam is not None
+        else draw(st.one_of(st.none(), st.integers(2, 5)))
+    )
+    # Convoy profiles must claim whole convoys (compile rejects a
+    # trailing partial one).
+    count = (
+        convoy * draw(st.integers(1, 3))
+        if convoy is not None
+        else draw(st.integers(1, 6))
+    )
+    return BehaviorProfile(
+        name=name,
+        count=count,
+        records_per_vehicle=draw(st.one_of(st.none(), st.integers(1, 30))),
+        send_interval_ms=draw(
+            st.one_of(st.none(), st.floats(0.1, 1e3, allow_nan=False))
+        ),
+        max_records=draw(st.one_of(st.none(), st.integers(1, 20))),
+        roam_every=roam,
+        convoy_size=convoy,
+    )
+
+
+@st.composite
+def injection_specs(draw):
+    """Any valid injection spec."""
+    choice = draw(st.integers(0, 2))
+    at_ms = draw(st.floats(0.0, 1e5, allow_nan=False))
+    if choice == 0:
+        return ReplayStorm(
+            at_ms=at_ms,
+            replays=draw(st.integers(1, 200)),
+            target_shard=draw(st.integers(0, 3)),
+        )
+    if choice == 1:
+        return StaleCertFlood(at_ms=at_ms, attempts=draw(st.integers(1, 200)))
+    return CaQueueFlood(
+        at_ms=at_ms,
+        requests=draw(st.integers(1, 200)),
+        target_shard=draw(st.integers(0, 3)),
+    )
+
+
+@st.composite
+def scenarios(draw):
+    """Any structurally valid scenario spec."""
+    names = draw(
+        st.lists(_names, min_size=0, max_size=3, unique=True)
+    )
+    return Scenario(
+        name=draw(_names),
+        description=draw(st.text(max_size=40)),
+        arrivals=draw(arrival_specs()),
+        profiles=tuple(
+            draw(behavior_profiles(name)) for name in names
+        ),
+        injections=tuple(
+            draw(st.lists(injection_specs(), max_size=3))
+        ),
+    )
+
+
+# -- spec properties ----------------------------------------------------------
+
+
+@settings(max_examples=60, deadline=None)
+@given(scenarios())
+def test_scenario_json_round_trip_is_lossless(scenario):
+    assert load_scenario(scenario.as_dict()) == scenario
+    assert load_scenario(scenario.as_json()) == scenario
+    # And the canonical JSON itself is stable across the round trip.
+    assert load_scenario(scenario.as_json()).as_json() == scenario.as_json()
+    # as_dict is genuinely JSON-serializable (no exotic types leak out).
+    json.dumps(scenario.as_dict())
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    arrivals=arrival_specs(),
+    seed=st.binary(min_size=1, max_size=16),
+    n_vehicles=st.integers(1, 24),
+)
+def test_equal_spec_and_seed_compile_identically(arrivals, seed, n_vehicles):
+    scenario = Scenario(name="prop", arrivals=arrivals)
+    config = FleetConfig(n_vehicles=n_vehicles, seed=seed, shards=4)
+    first = compile_scenario(scenario, config)
+    second = compile_scenario(scenario, config)
+    assert first.digest() == second.digest()
+    assert first.arrival_ms == second.arrival_ms
+    # Round-tripping the spec through JSON must not perturb the schedule.
+    third = compile_scenario(load_scenario(scenario.as_dict()), config)
+    assert third.digest() == first.digest()
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    arrivals=arrival_specs(),
+    seed=st.binary(min_size=1, max_size=16),
+    n_vehicles=st.integers(1, 24),
+)
+def test_arrivals_are_nonnegative_and_fleet_sized(arrivals, seed, n_vehicles):
+    config = FleetConfig(n_vehicles=n_vehicles, seed=seed)
+    schedule = compile_scenario(
+        Scenario(name="prop", arrivals=arrivals), config
+    )
+    assert len(schedule.arrival_ms) == n_vehicles
+    assert all(t >= 0.0 for t in schedule.arrival_ms)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    seed=st.binary(min_size=1, max_size=16),
+    spread=st.floats(0.0, 1e5, allow_nan=False),
+    n_vehicles=st.integers(1, 24),
+)
+def test_uniform_arrivals_respect_their_spread(seed, spread, n_vehicles):
+    config = FleetConfig(n_vehicles=n_vehicles, seed=seed)
+    schedule = compile_scenario(
+        Scenario(name="prop", arrivals=UniformArrivals(spread_ms=spread)),
+        config,
+    )
+    assert all(0.0 <= t <= spread for t in schedule.arrival_ms)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    profiles=st.lists(_names, min_size=1, max_size=3, unique=True).flatmap(
+        lambda names: st.tuples(
+            *(behavior_profiles(name) for name in names)
+        )
+    ),
+    seed=st.binary(min_size=1, max_size=16),
+)
+def test_profile_claims_partition_the_fleet(profiles, seed):
+    claimed = sum(profile.count for profile in profiles)
+    config = FleetConfig(n_vehicles=claimed + 3, seed=seed, shards=2)
+    schedule = compile_scenario(
+        Scenario(name="prop", profiles=profiles), config
+    )
+    assert schedule.profile_counts == tuple(
+        (profile.name, profile.count) for profile in profiles
+    )
+    # Beyond the claimed block, nothing is assigned.
+    assert all(name == "" for name in schedule.profile_of[claimed:])
+    # Convoys partition exactly their profile's block.
+    for convoy in schedule.convoys:
+        names = {schedule.profile_of[i] for i in convoy}
+        assert len(names) == 1
+        assert len({schedule.pinned_shard[i] for i in convoy}) == 1
+
+
+# -- stats properties ---------------------------------------------------------
+
+_counts = st.integers(min_value=0, max_value=10_000)
+_millis = st.floats(
+    min_value=0.0, max_value=1e7, allow_nan=False, allow_infinity=False
+)
+
+
+@st.composite
+def injection_stats(draw):
+    """Arbitrary injection accounting rows."""
+    return InjectionStats(
+        kind=draw(
+            st.sampled_from(["replay-storm", "stale-cert-flood", "ca-flood"])
+        ),
+        at_ms=draw(_millis),
+        attempts=draw(_counts),
+        rejected=draw(_counts),
+        succeeded=draw(_counts),
+    )
+
+
+@st.composite
+def scenario_fleet_stats(draw):
+    """Minimal FleetStats carrying random scenario extensions."""
+    latency = LatencySummary.from_samples(
+        draw(st.lists(_millis, min_size=0, max_size=10))
+    )
+    return FleetStats(
+        vehicles=draw(_counts),
+        enrollments=draw(_counts),
+        sessions_established=draw(_counts),
+        rekeys=draw(_counts),
+        records_sent=draw(_counts),
+        duration_ms=draw(_millis),
+        ca_busy_ms=draw(_millis),
+        ca_utilisation=draw(st.floats(0.0, 1.0, allow_nan=False)),
+        ca_batches=draw(_counts),
+        ca_max_batch=draw(_counts),
+        enrollment_latency=latency,
+        establishment_latency=latency,
+        vehicle_energy_mj=draw(_millis),
+        ca_energy_mj=draw(_millis),
+        scenario=draw(_names),
+        profile_counts=tuple(
+            draw(
+                st.lists(
+                    st.tuples(_names, _counts), min_size=0, max_size=3
+                )
+            )
+        ),
+        injection_stats=tuple(
+            draw(st.lists(injection_stats(), min_size=0, max_size=3))
+        ),
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(scenario_fleet_stats())
+def test_fleet_stats_scenario_segments_round_trip(stats):
+    rebuilt = FleetStats.from_dict(stats.as_dict())
+    assert rebuilt == stats
+    assert rebuilt.digest() == stats.digest()
+    json.dumps(stats.as_dict())  # JSON-serializable end to end
+
+
+@settings(max_examples=40, deadline=None)
+@given(scenario_fleet_stats())
+def test_scenario_name_is_metadata_not_digest_material(stats):
+    from dataclasses import replace
+
+    renamed = replace(stats, scenario=stats.scenario + "-renamed")
+    assert renamed.digest() == stats.digest()
+    if stats.injection_stats or stats.profile_counts:
+        # But the accounting itself *is* digest material.
+        stripped = replace(stats, injection_stats=(), profile_counts=())
+        assert stripped.digest() != stats.digest()

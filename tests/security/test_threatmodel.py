@@ -75,3 +75,26 @@ class TestDefinitions:
             assert key in text
         assert "Session Data" in text
         assert "Security Credentials" in text
+
+
+class TestFleetInjectionMapping:
+    """The fleet-scale injections stay anchored to the paper's threats."""
+
+    def test_every_injection_kind_is_mapped(self):
+        from repro.fleet.scenario import INJECTION_KINDS
+        from repro.security import FLEET_INJECTION_THREATS
+
+        assert set(FLEET_INJECTION_THREATS) == set(INJECTION_KINDS)
+
+    def test_mapped_threats_exist_and_span_the_model(self):
+        from repro.security import FLEET_INJECTION_THREATS
+
+        covered = set()
+        for kind, threat_keys in FLEET_INJECTION_THREATS.items():
+            assert threat_keys, f"{kind} maps to no threats"
+            for key in threat_keys:
+                assert key in THREATS, f"{kind} maps to unknown {key}"
+            covered.update(threat_keys)
+        # Fleet-scale injections exercise an active-adversary slice of
+        # the model (T1 forward secrecy stays a recorded-session attack).
+        assert {"T2", "T3", "T4", "T5"} <= covered

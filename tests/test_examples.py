@@ -1,0 +1,55 @@
+"""Examples smoke test: every ``examples/*.py`` must run clean.
+
+Examples are documentation that executes; nothing rots faster than an
+example nobody runs.  This test discovers every script under
+``examples/`` (so a new example is covered the day it lands) and runs it
+in quick mode (``REPRO_EXAMPLES_QUICK=1``, honored by the fleet-scale
+examples to shrink their fleets) with the library importable from
+``src/``.  A non-zero exit, a traceback or a tripped in-example
+assertion fails the suite.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+_REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+_EXAMPLES = sorted((_REPO_ROOT / "examples").glob("*.py"))
+
+
+def test_every_example_is_collected():
+    """The discovery glob itself must keep finding the examples."""
+    names = {path.name for path in _EXAMPLES}
+    assert "quickstart.py" in names
+    assert "fleet_scenarios.py" in names
+    assert len(names) >= 10
+
+
+@pytest.mark.parametrize(
+    "example", _EXAMPLES, ids=[path.stem for path in _EXAMPLES]
+)
+def test_example_runs_clean(example, tmp_path):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(_REPO_ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    env["REPRO_EXAMPLES_QUICK"] = "1"
+    result = subprocess.run(
+        [sys.executable, str(example)],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=tmp_path,  # examples must not depend on (or dirty) the repo
+        timeout=300,
+    )
+    assert result.returncode == 0, (
+        f"{example.name} exited {result.returncode}\n"
+        f"stdout:\n{result.stdout[-2000:]}\n"
+        f"stderr:\n{result.stderr[-2000:]}"
+    )
+    assert result.stdout.strip(), f"{example.name} printed nothing"

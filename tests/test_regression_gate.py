@@ -62,9 +62,18 @@ def _topology_payload(p50=10.0, throughput=100.0, churn_cell=True) -> dict:
 class TestCellExtraction:
     def test_topology_cells_keyed_structurally(self):
         cells = gate.extract_cells(_topology_payload())
-        assert ("topology", 1, 0.0, 50, False) in cells
-        assert ("topology", 2, 0.0, 50, True) in cells
+        assert ("topology", "", 1, 0.0, 50, False) in cells
+        assert ("topology", "", 2, 0.0, 50, True) in cells
         # The churn cell and the plain 2-shard cell are distinct keys.
+        assert len(cells) == 5
+
+    def test_scenario_cells_keyed_by_name(self):
+        payload = _topology_payload()
+        payload["benchmark"] = "scenarios"
+        for name, cell in zip(("a", "b", "c", "d", "e"), payload["cells"]):
+            cell["scenario"] = name
+        cells = gate.extract_cells(payload)
+        assert ("scenarios", "a", 1, 0.0, 50, False) in cells
         assert len(cells) == 5
 
     def test_fleet_payload_is_one_cell(self):
@@ -75,7 +84,7 @@ class TestCellExtraction:
             "fleet": {"throughput_records_per_s": 1.0},
         }
         cells = gate.extract_cells(payload)
-        assert list(cells) == [("fleet_scale", 1, 0.0, 250, False)]
+        assert list(cells) == [("fleet_scale", "", 1, 0.0, 250, False)]
 
     def test_mode_selects_baseline_file(self):
         quick = {"mode": "quick"}
@@ -153,7 +162,7 @@ class TestThresholdSemantics:
         report = gate.compare_cells(base, cand)
         assert report["matched"] == 4
         assert report["only_in_candidate"] == [
-            ("topology", 2, 0.0, 50, True)
+            ("topology", "", 2, 0.0, 50, True)
         ]
 
     def test_lost_baseline_cells_fail_the_gate(self, tmp_path):
