@@ -13,6 +13,11 @@ fleet shape and asserts the scenario engine's three contracts:
 3. **Attacks fail loudly** — every adversarial scenario must report
    nonzero attack attempts, all of them rejected, with **zero**
    successful forgeries.
+4. **Backend parity** — a representative subset of the sweep (the legacy
+   cell plus every adversarial scenario) is re-run under the
+   ``accelerated`` crypto backend (:mod:`repro.backend`) and must
+   reproduce the reference digests bit-for-bit while cutting host
+   wall-clock.
 
 Run standalone (used by the acceptance check)::
 
@@ -29,6 +34,7 @@ small-fleet versions of the same assertions.
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
 import os
 import sys
@@ -48,6 +54,12 @@ from repro.fleet import (  # noqa: E402
 #: Scenarios whose schedules carry injections (gated by the forgery
 #: assertions below); everything else is a pure workload shape.
 ADVERSARIAL = ("replay-storm", "stale-cert-flood", "ca-flood")
+
+#: Scenarios re-run under the accelerated backend for the parity cell:
+#: the golden-anchored legacy workload plus every adversarial shape
+#: (injections exercise the record channel, chain epochs and the CA
+#: queue — the full crypto surface).
+PARITY_SCENARIOS = ("legacy-uniform",) + ADVERSARIAL
 
 
 def scenario_config(name: str, quick: bool) -> FleetConfig:
@@ -140,6 +152,64 @@ def run_scenario_cell(name: str, quick: bool) -> tuple[dict, float]:
     return record, wall
 
 
+def run_backend_parity(cells: list[dict], quick: bool) -> dict:
+    """Cross-backend parity cell over :data:`PARITY_SCENARIOS`.
+
+    Each selected scenario is re-run once on whichever backend the
+    sweep did *not* use (normally ``accelerated``; the opposite in the
+    ``REPRO_BACKEND=accelerated`` CI lane) and must reproduce the
+    digest its sweep cell recorded; the sweep's own double run prices
+    its side of the comparison.  Returns a JSON-ready summary
+    (per-scenario walls + aggregate speedup); raises on any digest
+    mismatch or on a speedup below 1.5x (the scenario mix is EC-heavier
+    than the plain storm, so the bar sits below the
+    ``bench_fleet_scale`` one).
+    """
+    from repro.backend import get_backend
+
+    reference_by_name = {cell["scenario"]: cell for cell in cells}
+    sweep_was_reference = get_backend().name == "reference"
+    summary = {"scenarios": {}, "speedup": None}
+    reference_wall = accelerated_wall = 0.0
+    for name in PARITY_SCENARIOS:
+        cell = reference_by_name[name]
+        # The sweep ran each cell twice (determinism check), so one run
+        # on the sweep's own backend costs half the recorded wall.  The
+        # cross-backend side — whichever backend the sweep did *not*
+        # run — is timed explicitly and digest-checked against the cell.
+        other = "accelerated" if sweep_was_reference else "reference"
+        other_config = dataclasses.replace(
+            scenario_config(name, quick), backend=other
+        )
+        t0 = time.perf_counter()
+        other_stats = FleetOrchestrator(
+            other_config, scenario=get_scenario(name)
+        ).run().stats
+        other_wall = time.perf_counter() - t0
+        if other_stats.digest() != cell["fleet"]["digest"]:
+            raise AssertionError(
+                f"backend parity violated for {name!r} ({other}):"
+                f" {other_stats.digest()} != {cell['fleet']['digest']}"
+            )
+        if sweep_was_reference:
+            ref_wall, accel_wall = cell["host_wall_s"] / 2.0, other_wall
+        else:
+            ref_wall, accel_wall = other_wall, cell["host_wall_s"] / 2.0
+        reference_wall += ref_wall
+        accelerated_wall += accel_wall
+        summary["scenarios"][name] = {
+            "reference_wall_s": ref_wall,
+            "accelerated_wall_s": accel_wall,
+        }
+    summary["speedup"] = reference_wall / accelerated_wall
+    if summary["speedup"] < 1.5:
+        raise AssertionError(
+            "accelerated backend failed to beat the reference sweep:"
+            f" {summary['speedup']:.2f}x < 1.5x"
+        )
+    return summary
+
+
 def main() -> None:
     """Drive the full named-scenario sweep and write the JSON record."""
     parser = argparse.ArgumentParser(description=__doc__)
@@ -195,10 +265,19 @@ def main() -> None:
             f" ({len(adversarial_cells)} adversarial)"
         )
 
+    backend_parity = run_backend_parity(cells, args.quick)
+    print(
+        f"{'accelerated-backend':<20s}"
+        f" {len(backend_parity['scenarios'])} scenarios re-run,"
+        f" digests bit-identical,"
+        f" speedup={backend_parity['speedup']:.2f}x"
+    )
+
     payload = {
         "benchmark": "scenarios",
         "mode": mode,
         "cells": cells,
+        "backend_parity": backend_parity,
     }
     with open(args.json, "w") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)

@@ -1,0 +1,145 @@
+"""Backend contract: the seam between *what* is computed and *how*.
+
+Every symmetric/hash primitive in :mod:`repro.primitives` dispatches its
+heavy lifting through a :class:`CryptoBackend`.  Two things are fixed by
+this module and therefore identical across backends:
+
+1. **Bytes.**  Both backends implement the same FIPS functions, so every
+   digest, tag, keystream and ciphertext is bit-identical.  The
+   hypothesis fuzz suite (``tests/backend/test_parity_fuzz.py``) locks
+   this down over random inputs.
+2. **Trace events.**  The hardware cost model prices *counted primitive
+   events* (``sha2.block``, ``aes.block``, ``hmac.call``, ...), not host
+   wall-clock.  The reference backend emits one event per actual
+   compression; an accelerated backend cannot observe individual
+   compressions inside ``hashlib``/OpenSSL, so it computes the exact
+   same counts **analytically** from message lengths using the helpers
+   below.  Because :class:`repro.trace.CostTrace` is a pure counter and
+   no trace scope can open or close in the middle of a primitive call,
+   emitting ``n`` events in one :func:`repro.trace.record` call is
+   indistinguishable from ``n`` single-event calls — which is what makes
+   every fleet digest bit-identical under both backends.
+
+The analytic accounting mirrors FIPS 180-4 padding: a message of ``L``
+bytes is padded with ``0x80``, zero bytes and a ``length_bytes``-byte
+bit-length field up to a whole number of ``block_size``-byte blocks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class HashInfo:
+    """Backend-independent metadata of one SHA-2 family member.
+
+    Attributes:
+        name: canonical lowercase name (``sha256`` ...).
+        block_size: compression-function input size in bytes (64/128).
+        digest_size: output size in bytes after truncation.
+        length_bytes: size of the FIPS 180-4 message-length field
+            appended by the padding (8 for 64-byte blocks, 16 for
+            128-byte blocks).
+    """
+
+    name: str
+    block_size: int
+    digest_size: int
+    length_bytes: int
+
+
+#: The four supported hashes.  This table is the single source of truth
+#: for block/digest geometry; both backends and every primitive that
+#: only needs metadata (HKDF, DRBG, RFC 6979) read it instead of
+#: touching a concrete implementation.
+HASH_INFO: dict[str, HashInfo] = {
+    "sha224": HashInfo("sha224", 64, 28, 8),
+    "sha256": HashInfo("sha256", 64, 32, 8),
+    "sha384": HashInfo("sha384", 128, 48, 16),
+    "sha512": HashInfo("sha512", 128, 64, 16),
+}
+
+
+def compression_blocks(message_len: int, info: HashInfo) -> int:
+    """Compressions needed to hash an ``message_len``-byte message.
+
+    FIPS 180-4 padding appends ``0x80``, zeros and the bit-length field,
+    so the padded message spans ``(message_len + length_bytes) //
+    block_size + 1`` blocks.  This is exactly how many ``sha2.block``
+    events the reference implementation records for a one-shot hash.
+    """
+    return (message_len + info.length_bytes) // info.block_size + 1
+
+
+def final_blocks(buffered_len: int, info: HashInfo) -> int:
+    """Compressions a streaming hash performs at finalization.
+
+    ``buffered_len`` is the number of not-yet-compressed message bytes
+    (``total_length % block_size``); padding always fits in one or two
+    more blocks.
+    """
+    return (buffered_len + info.length_bytes) // info.block_size + 1
+
+
+def hmac_sha2_blocks(key_len: int, message_len: int, info: HashInfo) -> int:
+    """Total ``sha2.block`` events of one HMAC computation.
+
+    Mirrors RFC 2104 over the reference implementation: an over-long key
+    is hashed down first, then the inner hash absorbs one key block plus
+    the message and the outer hash absorbs one key block plus the inner
+    digest.
+    """
+    blocks = 0
+    if key_len > info.block_size:
+        blocks += compression_blocks(key_len, info)
+    blocks += compression_blocks(info.block_size + message_len, info)
+    blocks += compression_blocks(info.block_size + info.digest_size, info)
+    return blocks
+
+
+class CryptoBackend:
+    """Abstract provider of the symmetric/hash primitives.
+
+    Implementations must preserve the two invariants documented in the
+    module docstring (byte parity and trace parity).  The primitive
+    layer (:mod:`repro.primitives`) is the only caller; user code keeps
+    importing ``repro.primitives`` and never sees the backend directly
+    unless it wants to switch it via :func:`repro.backend.set_backend`.
+    """
+
+    #: Registry name of the backend (``reference`` / ``accelerated``).
+    name: str = "abstract"
+
+    def create_hash(self, name: str, data: bytes = b""):
+        """Return a streaming hash object for ``name``.
+
+        The object must offer the reference surface: ``update(data)``
+        (chainable), ``digest()``/``hexdigest()`` (non-destructive,
+        repeatable), ``copy()``, plus ``name``, ``block_size`` and
+        ``digest_size`` attributes.
+        """
+        raise NotImplementedError
+
+    def hash_digest(self, name: str, data: bytes) -> bytes:
+        """One-shot digest of ``data`` (same events as a streamed hash)."""
+        raise NotImplementedError
+
+    def hmac_digest(self, key: bytes, message: bytes, hash_name: str) -> bytes:
+        """One-shot HMAC tag, emitting ``hmac.call`` + its hash blocks."""
+        raise NotImplementedError
+
+    def create_cipher(self, key: bytes):
+        """Return an AES cipher for ``key`` (16/24/32 bytes).
+
+        The object must offer ``encrypt_block``/``decrypt_block`` (one
+        ``aes.block`` event each) and the bulk helpers
+        ``encrypt_ecb``/``decrypt_ecb``, ``encrypt_cbc``/``decrypt_cbc``
+        (IV + whole blocks, no padding) and ``ctr_keystream`` — each
+        emitting one ``aes.block`` event per 16-byte block processed.
+        """
+        raise NotImplementedError
+
+    def describe(self) -> dict:
+        """Introspection for benchmarks and docs (JSON-serialisable)."""
+        return {"name": self.name}

@@ -1,0 +1,56 @@
+"""The reference backend: the unchanged from-scratch FIPS primitives.
+
+This is a thin adapter — the implementations themselves live in
+:mod:`repro.primitives` (SHA-2 in ``sha2.py``, AES in ``aes.py``, HMAC
+in ``hmac.py``) and are exactly the code the seed repository shipped.
+Trace events are emitted by the primitives as each compression/block
+actually executes, which defines the accounting every other backend must
+reproduce analytically.
+"""
+
+from __future__ import annotations
+
+from ..errors import CryptoError
+from .base import CryptoBackend, HASH_INFO
+
+
+class ReferenceBackend(CryptoBackend):
+    """From-scratch pure-Python primitives (the default backend)."""
+
+    name = "reference"
+
+    def create_hash(self, name: str, data: bytes = b""):
+        """Instantiate the from-scratch streaming hash class."""
+        from ..primitives.sha2 import HASHES
+
+        try:
+            return HASHES[name](data)
+        except KeyError:
+            raise CryptoError(
+                f"unknown hash {name!r}; known: {sorted(HASH_INFO)}"
+            ) from None
+
+    def hash_digest(self, name: str, data: bytes) -> bytes:
+        """One-shot digest through the streaming class."""
+        return self.create_hash(name, data).digest()
+
+    def hmac_digest(self, key: bytes, message: bytes, hash_name: str) -> bytes:
+        """One-shot HMAC through the streaming :class:`~repro.primitives.Hmac`."""
+        from ..primitives.hmac import Hmac
+
+        return Hmac(key, hash_name).update(message).digest()
+
+    def create_cipher(self, key: bytes):
+        """Instantiate the from-scratch AES (validates the key size)."""
+        from ..primitives.aes import Aes
+
+        return Aes(key)
+
+    def describe(self) -> dict:
+        """Introspection for benchmarks and docs."""
+        return {
+            "name": self.name,
+            "sha2": "from-scratch FIPS 180-4 (pure Python)",
+            "hmac": "RFC 2104 over the from-scratch SHA-2",
+            "aes": "from-scratch FIPS 197 (pure Python)",
+        }

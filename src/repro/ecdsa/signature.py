@@ -23,7 +23,8 @@ from ..ec import (
     mul_double_batch,
 )
 from ..errors import SignatureError
-from ..primitives import HASHES, new_hash
+from ..backend import HASH_INFO
+from ..primitives import new_hash
 from ..primitives.drbg import rfc6979_nonce
 from ..utils import bytes_to_int, int_to_bytes
 
@@ -93,7 +94,7 @@ def sign(
     """
     if not 1 <= private_key < curve.n:
         raise SignatureError("private key out of range")
-    if hash_name not in HASHES:
+    if hash_name not in HASH_INFO:
         raise SignatureError(f"unknown hash {hash_name!r}")
     trace.record("ecdsa.sign")
     message_hash = new_hash(hash_name, message).digest()
@@ -167,7 +168,7 @@ def verify_batch(
     items = list(items)
     if not items:
         return []
-    if hash_name not in HASHES:
+    if hash_name not in HASH_INFO:
         raise SignatureError(f"unknown hash {hash_name!r}")
     results = [False] * len(items)
     terms = []

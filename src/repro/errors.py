@@ -41,6 +41,15 @@ class SignatureError(CryptoError):
     """An ECDSA signature failed to verify or could not be produced."""
 
 
+class BackendError(CryptoError):
+    """A crypto backend is unknown or could not be activated.
+
+    Subclasses :class:`CryptoError` because backend selection is part of
+    the primitive layer's contract; raised with actionable messages
+    naming the offending backend and the registered alternatives.
+    """
+
+
 class CertificateError(ReproError):
     """An ECQV certificate is malformed, expired or fails validation."""
 

@@ -4,6 +4,13 @@ Contents: SHA-2 family, HMAC, HKDF + ANSI X9.63 KDF, AES-128/192/256 with
 ECB/CBC/CTR modes and PKCS#7 padding, AES-CMAC, HMAC-DRBG and RFC 6979
 deterministic nonces.  All primitives record cost-trace events so protocol
 runs can be priced by the hardware models.
+
+Every entry point dispatches through the pluggable :mod:`repro.backend`:
+the default ``reference`` backend runs the from-scratch classes defined
+here, while the ``accelerated`` backend swaps in ``hashlib``/``hmac``
+and (optionally) OpenSSL AES with bit-identical outputs *and*
+bit-identical trace streams — see ``docs/ARCHITECTURE.md`` for the
+parity contract.
 """
 
 from .aes import BLOCK_SIZE, Aes

@@ -4,12 +4,21 @@ Table-driven byte-oriented implementation, the same structure as tiny-AES
 (the C library the paper links against).  One ``aes.block`` trace event is
 recorded per block encryption/decryption, which is the unit the hardware
 cost model prices.
+
+:class:`Aes` is the **reference** cipher of the backend seam
+(:mod:`repro.backend`): alongside the single-block primitives it offers
+the bulk chaining helpers (``encrypt_ecb``/``encrypt_cbc``/
+``ctr_keystream``/...) that :mod:`repro.primitives.modes` and
+:mod:`repro.primitives.cmac` consume, so an accelerated cipher can
+override them with single C calls while keeping the identical
+one-event-per-block trace accounting.
 """
 
 from __future__ import annotations
 
 from .. import trace
 from ..errors import CryptoError
+from ..utils import chunks, xor_bytes
 
 
 def _build_sbox() -> tuple[bytes, bytes]:
@@ -203,3 +212,53 @@ class Aes:
         self._inv_sub_bytes(state)
         self._add_round_key(state, self._round_keys[0])
         return bytes(state)
+
+    # -- bulk chaining helpers (the backend cipher protocol) -----------------
+    # These per-block loops define the reference behaviour; an accelerated
+    # cipher overrides them with one C call per message while emitting the
+    # same one-event-per-block trace accounting.
+
+    def encrypt_ecb(self, data: bytes) -> bytes:
+        """ECB over whole blocks (no padding)."""
+        if len(data) % BLOCK_SIZE:
+            raise CryptoError("ECB requires whole blocks")
+        return b"".join(self.encrypt_block(b) for b in chunks(data, BLOCK_SIZE))
+
+    def decrypt_ecb(self, data: bytes) -> bytes:
+        """ECB decryption of whole blocks (no padding)."""
+        if len(data) % BLOCK_SIZE:
+            raise CryptoError("ECB requires whole blocks")
+        return b"".join(self.decrypt_block(b) for b in chunks(data, BLOCK_SIZE))
+
+    def encrypt_cbc(self, iv: bytes, data: bytes) -> bytes:
+        """CBC over pre-padded whole blocks."""
+        if len(data) % BLOCK_SIZE:
+            raise CryptoError("unpadded CBC requires whole blocks")
+        out = []
+        prev = iv
+        for block in chunks(data, BLOCK_SIZE):
+            prev = self.encrypt_block(xor_bytes(block, prev))
+            out.append(prev)
+        return b"".join(out)
+
+    def decrypt_cbc(self, iv: bytes, data: bytes) -> bytes:
+        """CBC decryption of whole blocks (no unpadding)."""
+        if len(data) % BLOCK_SIZE:
+            raise CryptoError("CBC ciphertext must be whole non-empty blocks")
+        out = []
+        prev = iv
+        for block in chunks(data, BLOCK_SIZE):
+            out.append(xor_bytes(self.decrypt_block(block), prev))
+            prev = block
+        return b"".join(out)
+
+    def ctr_keystream(self, nonce: bytes, length: int) -> bytes:
+        """AES-CTR keystream (128-bit big-endian counter, wraps mod 2^128)."""
+        counter = int.from_bytes(nonce, "big")
+        stream = bytearray()
+        while len(stream) < length:
+            stream += self.encrypt_block(
+                (counter % (1 << 128)).to_bytes(BLOCK_SIZE, "big")
+            )
+            counter += 1
+        return bytes(stream[:length])

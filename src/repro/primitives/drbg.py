@@ -5,15 +5,20 @@ introduction cites Hughes & Diffie on exactly this problem — so production
 stacks seed a deterministic bit generator once and use RFC 6979 for
 signature nonces.  We do the same, which also makes every experiment in
 this reproduction bit-for-bit replayable.
+
+Both constructions are pure HMAC chains, so they inherit whatever
+:mod:`repro.backend` is active through :func:`repro.primitives.hmac`;
+their output byte streams are backend-independent by the parity
+contract, keeping every seeded experiment replayable under acceleration.
 """
 
 from __future__ import annotations
 
 from .. import trace
+from ..backend import HASH_INFO
 from ..errors import CryptoError
 from ..utils import bytes_to_int, int_to_bytes
 from .hmac import hmac
-from .sha2 import HASHES
 
 
 class HmacDrbg:
@@ -31,12 +36,12 @@ class HmacDrbg:
         personalization: bytes = b"",
         hash_name: str = "sha256",
     ) -> None:
-        if hash_name not in HASHES:
+        if hash_name not in HASH_INFO:
             raise CryptoError(f"unknown hash {hash_name!r}")
         if not seed:
             raise CryptoError("DRBG seed must be non-empty")
         self.hash_name = hash_name
-        self._outlen = HASHES[hash_name].digest_size
+        self._outlen = HASH_INFO[hash_name].digest_size
         self._key = b"\x00" * self._outlen
         self._value = b"\x01" * self._outlen
         self._update(seed + personalization)
@@ -107,7 +112,7 @@ def rfc6979_nonce(
         extra_entropy: optional additional input (RFC 6979 §3.6 variant).
     """
     qlen = order.bit_length()
-    holen = HASHES[hash_name].digest_size
+    holen = HASH_INFO[hash_name].digest_size
     rolen = (qlen + 7) // 8
 
     def bits2int(data: bytes) -> int:

@@ -3,31 +3,40 @@
 The paper's protocol suite uses HMAC-SHA-256 for the symmetric
 authentication steps of the SCIANC and PORAMB baselines and for key
 confirmation ("finished") messages of the extended S-ECDSA protocol.
+
+The streaming :class:`Hmac` construction is generic over the active
+:mod:`repro.backend` (its inner/outer hashes dispatch), while the
+one-shot :func:`hmac` helper lets the backend shortcut the whole
+computation — the accelerated backend routes it through the C fast path
+of :func:`hmac.digest` with analytically identical trace accounting.
 """
 
 from __future__ import annotations
 
 from .. import trace
+from ..backend import HASH_INFO, get_backend
 from ..errors import CryptoError
 from ..utils import constant_time_equal
-from .sha2 import HASHES, new_hash
 
 
 class Hmac:
     """Streaming HMAC with the ``update()/digest()`` interface."""
 
     def __init__(self, key: bytes, hash_name: str = "sha256") -> None:
-        if hash_name not in HASHES:
+        info = HASH_INFO.get(hash_name)
+        if info is None:
             raise CryptoError(f"unknown hash {hash_name!r}")
         self.hash_name = hash_name
-        hasher_cls = HASHES[hash_name]
-        block = hasher_cls.block_size
+        backend = get_backend()
+        block = info.block_size
         if len(key) > block:
-            key = hasher_cls(key).digest()
+            key = backend.hash_digest(hash_name, key)
         key = key.ljust(block, b"\x00")
         self._outer_key = bytes(b ^ 0x5C for b in key)
-        self._inner = new_hash(hash_name, bytes(b ^ 0x36 for b in key))
-        self.digest_size = hasher_cls.digest_size
+        self._inner = backend.create_hash(
+            hash_name, bytes(b ^ 0x36 for b in key)
+        )
+        self.digest_size = info.digest_size
 
     def update(self, data: bytes) -> "Hmac":
         """Absorb message bytes; returns self for chaining."""
@@ -38,7 +47,9 @@ class Hmac:
         """Finalize (non-destructively) and return the tag."""
         trace.record("hmac.call")
         inner_digest = self._inner.digest()
-        return new_hash(self.hash_name, self._outer_key + inner_digest).digest()
+        return get_backend().hash_digest(
+            self.hash_name, self._outer_key + inner_digest
+        )
 
     def hexdigest(self) -> str:
         """Tag as lowercase hex."""
@@ -46,8 +57,8 @@ class Hmac:
 
 
 def hmac(key: bytes, message: bytes, hash_name: str = "sha256") -> bytes:
-    """One-shot HMAC tag."""
-    return Hmac(key, hash_name).update(message).digest()
+    """One-shot HMAC tag (dispatches through the active backend)."""
+    return get_backend().hmac_digest(key, message, hash_name)
 
 
 def hmac_verify(

@@ -9,16 +9,17 @@ curve shared secrets, so either can be plugged into the protocols.
 from __future__ import annotations
 
 from .. import trace
+from ..backend import HASH_INFO
 from ..errors import CryptoError
 from ..utils import int_to_bytes
 from .hmac import hmac
-from .sha2 import HASHES, new_hash
+from .sha2 import new_hash
 
 
 def hkdf_extract(salt: bytes, ikm: bytes, hash_name: str = "sha256") -> bytes:
     """HKDF-Extract: PRK = HMAC(salt, IKM)."""
     if not salt:
-        salt = b"\x00" * HASHES[hash_name].digest_size
+        salt = b"\x00" * HASH_INFO[hash_name].digest_size
     return hmac(salt, ikm, hash_name)
 
 
@@ -26,7 +27,7 @@ def hkdf_expand(
     prk: bytes, info: bytes, length: int, hash_name: str = "sha256"
 ) -> bytes:
     """HKDF-Expand: grow PRK into ``length`` output bytes."""
-    digest_size = HASHES[hash_name].digest_size
+    digest_size = HASH_INFO[hash_name].digest_size
     if length <= 0:
         raise CryptoError(f"output length must be positive, got {length}")
     if length > 255 * digest_size:
@@ -68,7 +69,7 @@ def x963_kdf(
     the construction most embedded ECQV stacks (including the paper's C
     reference) ship.
     """
-    digest_size = HASHES[hash_name].digest_size
+    digest_size = HASH_INFO[hash_name].digest_size
     if length <= 0:
         raise CryptoError(f"output length must be positive, got {length}")
     if length >= digest_size * 0xFFFFFFFF:

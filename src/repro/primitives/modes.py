@@ -4,13 +4,20 @@ The paper's protocols encrypt the STS authentication response
 (``Resp = encrypt(K_S, dsign)``) with AES-128; we default to CBC with
 PKCS#7, matching the typical tiny-AES deployment, and provide CTR for
 stream-style use.
+
+Padding and argument validation live here and are backend-independent;
+the block chaining itself is delegated to the active
+:mod:`repro.backend` cipher, whose bulk helpers process whole messages
+(one C call each on the accelerated backend) while recording the same
+one-``aes.block``-event-per-block accounting the reference loops do.
 """
 
 from __future__ import annotations
 
+from ..backend import get_backend
 from ..errors import CryptoError
-from ..utils import chunks, xor_bytes
-from .aes import BLOCK_SIZE, Aes
+from ..utils import xor_bytes
+from .aes import BLOCK_SIZE
 
 
 def pkcs7_pad(data: bytes, block_size: int = BLOCK_SIZE) -> bytes:
@@ -37,16 +44,14 @@ def ecb_encrypt(key: bytes, plaintext: bytes) -> bytes:
     """AES-ECB on pre-padded data (exposed mainly for tests/vectors)."""
     if len(plaintext) % BLOCK_SIZE:
         raise CryptoError("ECB requires whole blocks")
-    cipher = Aes(key)
-    return b"".join(cipher.encrypt_block(b) for b in chunks(plaintext, BLOCK_SIZE))
+    return get_backend().create_cipher(key).encrypt_ecb(plaintext)
 
 
 def ecb_decrypt(key: bytes, ciphertext: bytes) -> bytes:
     """AES-ECB decryption of whole blocks."""
     if len(ciphertext) % BLOCK_SIZE:
         raise CryptoError("ECB requires whole blocks")
-    cipher = Aes(key)
-    return b"".join(cipher.decrypt_block(b) for b in chunks(ciphertext, BLOCK_SIZE))
+    return get_backend().create_cipher(key).decrypt_ecb(ciphertext)
 
 
 def cbc_encrypt(key: bytes, iv: bytes, plaintext: bytes, pad: bool = True) -> bytes:
@@ -57,13 +62,7 @@ def cbc_encrypt(key: bytes, iv: bytes, plaintext: bytes, pad: bool = True) -> by
         plaintext = pkcs7_pad(plaintext)
     elif len(plaintext) % BLOCK_SIZE:
         raise CryptoError("unpadded CBC requires whole blocks")
-    cipher = Aes(key)
-    out = []
-    prev = iv
-    for block in chunks(plaintext, BLOCK_SIZE):
-        prev = cipher.encrypt_block(xor_bytes(block, prev))
-        out.append(prev)
-    return b"".join(out)
+    return get_backend().create_cipher(key).encrypt_cbc(iv, plaintext)
 
 
 def cbc_decrypt(key: bytes, iv: bytes, ciphertext: bytes, pad: bool = True) -> bytes:
@@ -72,13 +71,7 @@ def cbc_decrypt(key: bytes, iv: bytes, ciphertext: bytes, pad: bool = True) -> b
         raise CryptoError(f"IV must be {BLOCK_SIZE} bytes, got {len(iv)}")
     if not ciphertext or len(ciphertext) % BLOCK_SIZE:
         raise CryptoError("CBC ciphertext must be whole non-empty blocks")
-    cipher = Aes(key)
-    out = []
-    prev = iv
-    for block in chunks(ciphertext, BLOCK_SIZE):
-        out.append(xor_bytes(cipher.decrypt_block(block), prev))
-        prev = block
-    plaintext = b"".join(out)
+    plaintext = get_backend().create_cipher(key).decrypt_cbc(iv, ciphertext)
     return pkcs7_unpad(plaintext) if pad else plaintext
 
 
@@ -86,15 +79,7 @@ def ctr_keystream(key: bytes, nonce: bytes, length: int) -> bytes:
     """Generate an AES-CTR keystream (128-bit big-endian counter)."""
     if len(nonce) != BLOCK_SIZE:
         raise CryptoError(f"CTR nonce must be {BLOCK_SIZE} bytes")
-    cipher = Aes(key)
-    counter = int.from_bytes(nonce, "big")
-    stream = bytearray()
-    while len(stream) < length:
-        stream += cipher.encrypt_block(
-            (counter % (1 << 128)).to_bytes(BLOCK_SIZE, "big")
-        )
-        counter += 1
-    return bytes(stream[:length])
+    return get_backend().create_cipher(key).ctr_keystream(nonce, length)
 
 
 def ctr_crypt(key: bytes, nonce: bytes, data: bytes) -> bytes:

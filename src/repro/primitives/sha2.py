@@ -7,6 +7,13 @@ Provides SHA-224/256 (32-bit schedule, 64-byte blocks) and SHA-384/512
 Every compression-function invocation records one ``sha2.block`` trace
 event — hashing cost on embedded devices is linear in compressed blocks,
 which is exactly what the hardware model prices.
+
+The classes in this module are the **reference** implementation; the
+module-level entry points (:func:`new_hash` and the one-shot helpers)
+dispatch through the active :mod:`repro.backend`, so an accelerated
+backend can swap in ``hashlib`` while emitting the identical trace
+stream.  Instantiating a class directly always yields the from-scratch
+implementation.
 """
 
 from __future__ import annotations
@@ -14,6 +21,7 @@ from __future__ import annotations
 import struct
 
 from .. import trace
+from ..backend import get_backend
 from ..errors import CryptoError
 
 _K256 = (
@@ -258,6 +266,9 @@ class Sha512(_Sha512Core):
         return _IV512
 
 
+#: The reference implementation registry (name -> from-scratch class).
+#: The reference backend instantiates these; backend-neutral metadata
+#: (block/digest sizes) lives in :data:`repro.backend.HASH_INFO`.
 HASHES: dict[str, type[_Sha2Base]] = {
     "sha224": Sha224,
     "sha256": Sha256,
@@ -266,29 +277,31 @@ HASHES: dict[str, type[_Sha2Base]] = {
 }
 
 
-def new_hash(name: str, data: bytes = b"") -> _Sha2Base:
-    """Instantiate a hash by name (``sha224/256/384/512``)."""
-    try:
-        return HASHES[name](data)
-    except KeyError:
-        raise CryptoError(f"unknown hash {name!r}; known: {sorted(HASHES)}") from None
+def new_hash(name: str, data: bytes = b""):
+    """Instantiate a hash by name (``sha224/256/384/512``).
+
+    Dispatches through the active :mod:`repro.backend`; the returned
+    object offers the streaming ``update()/digest()/hexdigest()/copy()``
+    surface regardless of backend.
+    """
+    return get_backend().create_hash(name, data)
 
 
 def sha224(data: bytes) -> bytes:
-    """One-shot SHA-224."""
-    return Sha224(data).digest()
+    """One-shot SHA-224 (dispatches through the active backend)."""
+    return get_backend().hash_digest("sha224", data)
 
 
 def sha256(data: bytes) -> bytes:
-    """One-shot SHA-256."""
-    return Sha256(data).digest()
+    """One-shot SHA-256 (dispatches through the active backend)."""
+    return get_backend().hash_digest("sha256", data)
 
 
 def sha384(data: bytes) -> bytes:
-    """One-shot SHA-384."""
-    return Sha384(data).digest()
+    """One-shot SHA-384 (dispatches through the active backend)."""
+    return get_backend().hash_digest("sha384", data)
 
 
 def sha512(data: bytes) -> bytes:
-    """One-shot SHA-512."""
-    return Sha512(data).digest()
+    """One-shot SHA-512 (dispatches through the active backend)."""
+    return get_backend().hash_digest("sha512", data)

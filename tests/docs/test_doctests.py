@@ -1,0 +1,87 @@
+"""Executable documentation: the public-API docstring examples run here.
+
+Two guarantees:
+
+1. **Examples can't rot** — every ``>>>`` example in the documented
+   modules below is executed by doctest on each test run; a behaviour
+   change that invalidates a docstring fails the suite, not a reader.
+2. **Examples can't silently disappear** — the named public entry
+   points of the fleet/scenario/backend API are required to *have*
+   doctest examples, so deleting one is as loud as breaking one.
+
+Examples are written against tiny seeded fleets (2–4 vehicles), so the
+whole suite stays in tier-1 time budgets.
+"""
+
+from __future__ import annotations
+
+import doctest
+import os
+
+import pytest
+
+import repro
+import repro.backend
+import repro.fleet.orchestrator
+import repro.fleet.scenario
+import repro.fleet.stats
+from repro.backend import set_backend
+
+DOCUMENTED_MODULES = (
+    repro,
+    repro.backend,
+    repro.fleet.orchestrator,
+    repro.fleet.scenario,
+    repro.fleet.stats,
+)
+
+#: Public APIs that must carry runnable examples (the docs satellite
+#: contract): name -> the object whose docstring is checked.
+MUST_HAVE_EXAMPLES = {
+    "FleetConfig": repro.fleet.orchestrator.FleetConfig,
+    "run_fleet": repro.fleet.orchestrator.run_fleet,
+    "Scenario": repro.fleet.scenario.Scenario,
+    "get_scenario": repro.fleet.scenario.get_scenario,
+    "FleetStats": repro.fleet.stats.FleetStats,
+    "repro.backend": repro.backend,
+}
+
+
+@pytest.fixture(autouse=True)
+def _reference_default():
+    """Doctests assume the documented default backend.
+
+    Teardown restores the *environment's* default, not a hardcoded
+    reference, so a ``REPRO_BACKEND=accelerated`` suite run keeps its
+    ambient backend for every module collected after this one.
+    """
+    set_backend("reference")
+    yield
+    set_backend(os.environ.get("REPRO_BACKEND", "reference"))
+
+
+@pytest.mark.parametrize(
+    "module", DOCUMENTED_MODULES, ids=lambda m: m.__name__
+)
+def test_module_doctests_pass(module):
+    failures, attempted = doctest.testmod(
+        module,
+        verbose=False,
+        optionflags=doctest.NORMALIZE_WHITESPACE,
+    )
+    assert attempted > 0, f"{module.__name__} has no doctest examples"
+    assert failures == 0, f"{failures} doctest failure(s) in {module.__name__}"
+
+
+@pytest.mark.parametrize(
+    "name", sorted(MUST_HAVE_EXAMPLES), ids=str
+)
+def test_required_api_carries_examples(name):
+    target = MUST_HAVE_EXAMPLES[name]
+    finder = doctest.DocTestFinder(exclude_empty=True)
+    examples = [
+        example
+        for found in finder.find(target, name=name)
+        for example in found.examples
+    ]
+    assert examples, f"{name} lost its runnable docstring examples"
