@@ -13,12 +13,15 @@ one.  This package makes the implementation pluggable:
 
 ``accelerated``
     ``hashlib``/``hmac`` from the standard library for the SHA-2 family
-    and HMAC, and AES via the optional ``cryptography`` package (OpenSSL)
-    with a graceful fallback to the reference AES when it is not
-    importable.  Trace events are computed analytically from message
-    lengths, so hardware pricing, energy accounting and every golden
-    fleet/scenario digest are **bit-identical** to the reference — only
-    host wall-clock changes.
+    and HMAC, and AES **and EC scalar multiplication** via the optional
+    ``cryptography`` package (OpenSSL) with a graceful fallback to the
+    reference AES / a wide pure-Python comb when it is not importable
+    (EC additionally degrades per curve when the local OpenSSL build
+    lacks one).  Trace events are computed analytically from message
+    lengths — and stay with the EC callers entirely — so hardware
+    pricing, energy accounting and every golden fleet/scenario digest
+    are **bit-identical** to the reference; only host wall-clock
+    changes.
 
 Selection, most specific wins:
 

@@ -13,7 +13,13 @@ emitting **exactly** the trace events the reference backend would have:
   importable — single blocks through a persistent ECB context, chaining
   modes through one C call per message — and **falls back gracefully**
   to the from-scratch AES otherwise (hashes stay accelerated; only the
-  cipher drops back).
+  cipher drops back);
+* EC scalar multiplication dispatches to
+  :class:`repro.backend.ec_accelerated.AcceleratedEc` — OpenSSL point
+  math per curve where the local build supports it, a wide pure-Python
+  affine-window comb otherwise.  Trace events stay with the callers in
+  :mod:`repro.ec.scalarmult`, so EC accounting is backend-invariant by
+  construction.
 
 Because the trace streams are identical and every primitive is
 deterministic, fleet digests, hardware pricing and energy accounting are
@@ -36,6 +42,7 @@ from .base import (
     final_blocks,
     hmac_sha2_blocks,
 )
+from .ec_accelerated import OPENSSL_EC, AcceleratedEc
 
 try:  # AES offload is optional; hashes accelerate regardless.
     from cryptography.hazmat.primitives.ciphers import (
@@ -248,6 +255,18 @@ class AcceleratedBackend(CryptoBackend):
     #: cipher falls back to the from-scratch AES otherwise.
     aes_accelerated = AES_ACCELERATED
 
+    #: True when the optional ``cryptography`` package provides EC point
+    #: math; scalar multiplication falls back to the pure-Python
+    #: affine-window engine otherwise (and per curve when a curve is
+    #: unknown to the local OpenSSL build).
+    ec_accelerated = OPENSSL_EC
+
+    def __init__(self) -> None:
+        # Per-backend-instance EC engine: its curve-impl / public-key /
+        # comb-table caches die with the backend instance, so registry
+        # resets in tests cannot leak state across backend generations.
+        self._ec = AcceleratedEc()
+
     def create_hash(self, name: str, data: bytes = b""):
         """Streaming hash over ``hashlib`` with analytic accounting."""
         return _AcceleratedHash(_check_hash_name(name), data)
@@ -275,6 +294,28 @@ class AcceleratedBackend(CryptoBackend):
 
         return Aes(key)
 
+    # -- elliptic-curve operations (see repro.backend.ec_accelerated) -------
+
+    def ec_mul_base(self, curve, k: int):
+        """``k*G`` through OpenSSL key derivation (or the wide comb)."""
+        return self._ec.mul_base(curve, k)
+
+    def ec_mul(self, curve, k: int, point):
+        """``k*P`` through ECDH x-coordinates + y-recovery (or wNAF)."""
+        return self._ec.mul(curve, k, point)
+
+    def ec_mul_double(self, curve, u: int, p_point, v: int, q_point):
+        """``u*P + v*Q`` from two accelerated multiplies + one addition."""
+        return self._ec.mul_double(curve, u, p_point, v, q_point)
+
+    def ec_mul_base_batch(self, curve, ks: list) -> list:
+        """Batched ``k*G`` (OpenSSL results need no normalization pass)."""
+        return self._ec.mul_base_batch(curve, ks)
+
+    def ec_mul_double_batch(self, curve, terms: list) -> list:
+        """Batched ``u*P + v*Q`` terms (``None`` = degenerate term)."""
+        return self._ec.mul_double_batch(curve, terms)
+
     def describe(self) -> dict:
         """Introspection for benchmarks and docs."""
         return {
@@ -286,4 +327,5 @@ class AcceleratedBackend(CryptoBackend):
                 if self.aes_accelerated
                 else "from-scratch fallback (cryptography not importable)"
             ),
+            "ec": self._ec.describe(),
         }

@@ -1,8 +1,10 @@
 """Backend contract: the seam between *what* is computed and *how*.
 
-Every symmetric/hash primitive in :mod:`repro.primitives` dispatches its
-heavy lifting through a :class:`CryptoBackend`.  Two things are fixed by
-this module and therefore identical across backends:
+Every symmetric/hash primitive in :mod:`repro.primitives` — and, since
+the EC extension of the seam, every scalar multiplication in
+:mod:`repro.ec.scalarmult` — dispatches its heavy lifting through a
+:class:`CryptoBackend`.  Two things are fixed by this module and
+therefore identical across backends:
 
 1. **Bytes.**  Both backends implement the same FIPS functions, so every
    digest, tag, keystream and ciphertext is bit-identical.  The
@@ -139,6 +141,82 @@ class CryptoBackend:
         emitting one ``aes.block`` event per 16-byte block processed.
         """
         raise NotImplementedError
+
+    # -- elliptic-curve operations -----------------------------------------
+    #
+    # The EC seam mirrors the primitive seam one layer up: the *callers*
+    # (:mod:`repro.ec.scalarmult`) keep ownership of scalar reduction,
+    # degenerate-case collapsing (``k == 0``/infinity inputs) and trace
+    # events (``ec.mul_base``/``ec.mul_point``/``ec.mul_double``), so a
+    # backend only ever sees the non-degenerate core computation and
+    # must not record anything.  Because affine coordinates of a group
+    # element are unique, byte parity is automatic for any *correct*
+    # implementation — which is what makes this seam safe to accelerate.
+    #
+    # The default implementations below ARE the reference path: they
+    # delegate to the unchanged from-scratch Jacobian/wNAF/comb code in
+    # :mod:`repro.ec.scalarmult` (imported lazily to avoid cycles), so
+    # the reference backend and any registered custom backend inherit
+    # bit-exact behaviour without writing a line of EC code.
+
+    def ec_mul_base(self, curve, k: int):
+        """``k*G`` for ``1 <= k < n`` (fixed-base path); returns a Point."""
+        from ..ec.point import from_jacobian
+        from ..ec.scalarmult import _mul_base_jac
+
+        return from_jacobian(curve, _mul_base_jac(k, curve))
+
+    def ec_mul(self, curve, k: int, point):
+        """``k*P`` for ``1 <= k < n`` and non-infinity ``P`` on ``curve``."""
+        from ..ec.scalarmult import _mul_wnaf_untraced
+
+        return _mul_wnaf_untraced(k, point)
+
+    def ec_mul_double(self, curve, u: int, p_point, v: int, q_point):
+        """``u*P + v*Q`` with ``0 <= u, v < n``, not both terms degenerate."""
+        from ..ec.point import from_jacobian
+        from ..ec.scalarmult import _mul_double_jac
+
+        return from_jacobian(curve, _mul_double_jac(u, p_point, v, q_point))
+
+    def ec_mul_base_batch(self, curve, ks: list) -> list:
+        """``[k*G for k in ks]`` with scalars already reduced mod ``n``.
+
+        Zero scalars map to the point at infinity.  The reference path
+        leaves every result in Jacobian coordinates and converts the
+        whole batch through one shared :meth:`ec_normalize_batch`
+        inversion — the Montgomery-trick win batched CA issuance rides
+        on.
+        """
+        from ..ec.point import JAC_INFINITY
+        from ..ec.scalarmult import _mul_base_jac
+
+        jacs = [
+            JAC_INFINITY if k == 0 else _mul_base_jac(k, curve) for k in ks
+        ]
+        return self.ec_normalize_batch(curve, jacs)
+
+    def ec_mul_double_batch(self, curve, terms: list) -> list:
+        """Many ``u*P + v*Q`` terms; ``None`` entries mark degenerate terms.
+
+        ``terms`` holds ``(u, p_point, v, q_point)`` tuples already
+        reduced and validated by the caller, or ``None`` where the
+        caller collapsed a term to infinity.
+        """
+        from ..ec.point import JAC_INFINITY
+        from ..ec.scalarmult import _mul_double_jac
+
+        jacs = [
+            JAC_INFINITY if term is None else _mul_double_jac(*term)
+            for term in terms
+        ]
+        return self.ec_normalize_batch(curve, jacs)
+
+    def ec_normalize_batch(self, curve, jacs: list) -> list:
+        """Jacobian→affine conversion of a whole batch (shared inversion)."""
+        from ..ec.point import normalize_batch
+
+        return normalize_batch(curve, jacs)
 
     def describe(self) -> dict:
         """Introspection for benchmarks and docs (JSON-serialisable)."""

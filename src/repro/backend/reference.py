@@ -6,6 +6,11 @@ in ``hmac.py``) and are exactly the code the seed repository shipped.
 Trace events are emitted by the primitives as each compression/block
 actually executes, which defines the accounting every other backend must
 reproduce analytically.
+
+The EC operations need no adapter at all: the ``ec_*`` defaults on
+:class:`~repro.backend.base.CryptoBackend` *are* the reference path —
+they delegate to the unchanged Jacobian/wNAF/comb code in
+:mod:`repro.ec.scalarmult` — so this class simply inherits them.
 """
 
 from __future__ import annotations
@@ -53,4 +58,5 @@ class ReferenceBackend(CryptoBackend):
             "sha2": "from-scratch FIPS 180-4 (pure Python)",
             "hmac": "RFC 2104 over the from-scratch SHA-2",
             "aes": "from-scratch FIPS 197 (pure Python)",
+            "ec": "from-scratch Jacobian wNAF/comb (pure Python)",
         }

@@ -11,6 +11,12 @@ Public surface:
 * modular helpers (:func:`inverse_mod`, :func:`sqrt_mod`,
   :func:`batch_inverse`),
 * batched Jacobian→affine conversion (:func:`normalize_batch`).
+
+"From scratch" describes the reference implementation, which stays the
+default: the scalar-multiplication wrappers additionally dispatch their
+non-degenerate cores through the pluggable backend seam
+(:mod:`repro.backend`), so ``use_backend("accelerated")`` swaps in
+OpenSSL point math with bit-identical points and trace events.
 """
 
 from .curve import (

@@ -261,11 +261,21 @@ def jac_add_affine(curve: Curve, j1: Jacobian, x2: int, y2: int) -> Jacobian:
     or its negation; taking bare coordinates lets a negative digit pass
     ``(x, p - y)`` without constructing (and re-validating) a
     :class:`Point`.
+
+    Because callers hand in *raw* coordinates, both are reduced mod ``p``
+    up front.  Skipping that reduction silently corrupted two paths: the
+    ``z1 == 0`` early return leaked the unreduced values into the output
+    triple, and the ``x1 == u2`` doubling/inverse degeneracy tests
+    compared reduced residues against unreduced ones — e.g. the
+    ``(x, p - y)`` negation of a ``y == 0`` table entry arrives as
+    ``y2 == p`` and must behave exactly like ``y2 == 0``.
     """
+    p = curve.p
+    x2 %= p
+    y2 %= p
     x1, y1, z1 = j1
     if z1 == 0:
         return (x2, y2, 1)
-    p = curve.p
     z1z1 = (z1 * z1) % p
     u2 = (x2 * z1z1) % p
     s2 = (y2 * z1 * z1z1) % p

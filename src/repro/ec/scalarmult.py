@@ -28,11 +28,25 @@ by the set of explicitly registered keys.
 
 All strategies agree on results (property-tested) and differ only in
 operation schedule, which is what the hardware model prices.
+
+Since the EC extension of the backend seam, the public functions here are
+*dispatch wrappers*: they own scalar reduction, degenerate-case collapsing
+and the ``ec.mul_*`` trace events, then hand the non-degenerate core to
+:func:`repro.backend.get_backend` (``ec_mul_base`` / ``ec_mul`` /
+``ec_mul_double`` and their batch forms).  The default backend methods
+call straight back into the ``_mul_*`` reference cores below, so the
+``reference`` backend runs the exact seed code path; ``accelerated``
+substitutes OpenSSL point math with bit-identical results (affine
+coordinates of a group element are unique) and — because no backend may
+record trace events — bit-identical accounting.  :func:`mul_ladder` stays
+backend-independent on purpose: it is the uniform-schedule oracle the
+tests cross-check every backend against.
 """
 
 from __future__ import annotations
 
 from .. import trace
+from ..backend import get_backend
 from ..errors import CurveError
 from .curve import Curve
 from .point import (
@@ -174,7 +188,7 @@ def mul_point(scalar: int, point: Point) -> Point:
     if k == 0 or point.is_infinity:
         return Point.infinity(curve)
     trace.record("ec.mul_point")
-    return _mul_wnaf_untraced(k, point)
+    return get_backend().ec_mul(curve, k, point)
 
 
 def _mul_wnaf_untraced(k: int, point: Point) -> Point:
@@ -252,7 +266,7 @@ def mul_base(scalar: int, curve: Curve) -> Point:
     if k == 0:
         return Point.infinity(curve)
     trace.record("ec.mul_base")
-    return from_jacobian(curve, _mul_base_jac(k, curve))
+    return get_backend().ec_mul_base(curve, k)
 
 
 def mul_base_batch(scalars, curve: Curve) -> list[Point]:
@@ -264,15 +278,13 @@ def mul_base_batch(scalars, curve: Curve) -> list[Point]:
     Records one ``ec.mul_base`` event per non-zero scalar, exactly like
     the scalar-at-a-time path, so protocol cost traces are unchanged.
     """
-    jacs: list[Jacobian] = []
+    ks: list[int] = []
     for scalar in scalars:
         k = scalar % curve.n
-        if k == 0:
-            jacs.append(JAC_INFINITY)
-            continue
-        trace.record("ec.mul_base")
-        jacs.append(_mul_base_jac(k, curve))
-    return normalize_batch(curve, jacs)
+        if k:
+            trace.record("ec.mul_base")
+        ks.append(k)
+    return get_backend().ec_mul_base_batch(curve, ks)
 
 
 def _mul_double_jac(
@@ -316,7 +328,7 @@ def mul_double(u: int, p_point: Point, v: int, q_point: Point) -> Point:
     if (u == 0 or p_point.is_infinity) and (v == 0 or q_point.is_infinity):
         return Point.infinity(curve)
     trace.record("ec.mul_double")
-    return from_jacobian(curve, _mul_double_jac(u, p_point, v, q_point))
+    return get_backend().ec_mul_double(curve, u, p_point, v, q_point)
 
 
 def mul_double_batch(terms, curve: Curve) -> list[Point]:
@@ -333,7 +345,7 @@ def mul_double_batch(terms, curve: Curve) -> list[Point]:
     non-degenerate term, exactly like the scalar-at-a-time path, so cost
     traces are unchanged.
     """
-    jacs: list[Jacobian] = []
+    reduced: list[tuple[int, Point, int, Point] | None] = []
     for u, p_point, v, q_point in terms:
         # Full-value comparison, not name: a point on a curve merely
         # sharing a name must not be reduced/normalized with this
@@ -344,11 +356,11 @@ def mul_double_batch(terms, curve: Curve) -> list[Point]:
         u %= curve.n
         v %= curve.n
         if (u == 0 or p_point.is_infinity) and (v == 0 or q_point.is_infinity):
-            jacs.append(JAC_INFINITY)
+            reduced.append(None)
             continue
         trace.record("ec.mul_double")
-        jacs.append(_mul_double_jac(u, p_point, v, q_point))
-    return normalize_batch(curve, jacs)
+        reduced.append((u, p_point, v, q_point))
+    return get_backend().ec_mul_double_batch(curve, reduced)
 
 
 def mul_ladder(scalar: int, point: Point) -> Point:

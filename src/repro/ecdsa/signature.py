@@ -7,6 +7,12 @@ every embedded ECC library applies.
 
 Trace events: ``ecdsa.sign`` / ``ecdsa.verify`` wrap the scalar
 multiplications recorded by the EC layer.
+
+Backend note: every scalar multiplication here (``mul_base`` in signing,
+``mul_double``/``mul_double_batch`` in verification) dispatches through
+the :mod:`repro.backend` EC seam, so signatures and verifications run on
+OpenSSL point math under the accelerated backend with bit-identical
+bytes and traces — nothing in this module is backend-aware.
 """
 
 from __future__ import annotations

@@ -9,6 +9,10 @@ certificate derivation.  The CA:
 3. encodes the certificate over ``P_U``,
 4. returns the certificate plus the private-key reconstruction data
    ``r = H(Cert) * k + d_CA (mod n)``.
+
+Issuance rides on ``mul_base``/``mul_base_batch``, which dispatch through
+the :mod:`repro.backend` EC seam — batched CA bursts run on OpenSSL
+point math under the accelerated backend, bit-identically.
 """
 
 from __future__ import annotations

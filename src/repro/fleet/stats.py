@@ -22,13 +22,41 @@ from ..primitives import sha256
 
 
 def _percentile(sorted_samples: list[float], q: float) -> float:
-    """Nearest-rank percentile on pre-sorted samples (deterministic)."""
+    """Nearest-rank percentile on pre-sorted samples (deterministic).
+
+    **Legacy rounding rule, digest-frozen.**  ``round()`` is banker's
+    rounding, so an exact ``.5`` rank resolves to the *even* neighbour —
+    e.g. the p50 of 4 samples reads rank ``round(1.5) == 2``, but the
+    p99 of 151 samples reads rank ``round(148.5) == 148``, the *lower*
+    sample.  That bias is a bug for a tail percentile, but ``p50_ms`` and
+    ``p95_ms`` computed with this rule are baked into every historical
+    :meth:`LatencySummary.row` digest (PR 1 onward), so the rule here
+    must never change.  ``p99_ms`` is digest-excluded and uses the
+    corrected :func:`_percentile_ceil` instead.
+    """
     if not sorted_samples:
         return 0.0
     index = min(
         len(sorted_samples) - 1,
         max(0, round(q * (len(sorted_samples) - 1))),
     )
+    return sorted_samples[index]
+
+
+def _percentile_ceil(sorted_samples: list[float], q: float) -> float:
+    """Nearest-rank percentile with round-half-**up** rank resolution.
+
+    ``floor(rank + 0.5)`` picks the upper neighbour on exact ``.5``
+    ranks, so a tail percentile can never under-report by one sample the
+    way banker's rounding does (see :func:`_percentile`).  Used only for
+    the digest-excluded ``p99_ms``; changing it cannot perturb any
+    historical digest because :meth:`LatencySummary.row` never renders
+    it.
+    """
+    if not sorted_samples:
+        return 0.0
+    rank = q * (len(sorted_samples) - 1)
+    index = min(len(sorted_samples) - 1, int(rank + 0.5))
     return sorted_samples[index]
 
 
@@ -62,7 +90,7 @@ class LatencySummary:
             p50_ms=_percentile(ordered, 0.50),
             p95_ms=_percentile(ordered, 0.95),
             max_ms=ordered[-1],
-            p99_ms=_percentile(ordered, 0.99),
+            p99_ms=_percentile_ceil(ordered, 0.99),
         )
 
     def row(self) -> str:
@@ -87,7 +115,13 @@ class LatencySummary:
 
     @classmethod
     def from_dict(cls, data: dict) -> "LatencySummary":
-        """Rebuild a summary from its :meth:`as_dict` mapping."""
+        """Rebuild a summary from its :meth:`as_dict` mapping.
+
+        Accepts pre-topology serialized summaries too: ``p99_ms`` only
+        arrived with the topology benchmarks, so dicts written before
+        then lack the key and default to ``0.0`` — the same value the
+        field's dataclass default gives a freshly built summary.
+        """
         return cls(
             count=data["count"],
             min_ms=data["min_ms"],
@@ -95,7 +129,7 @@ class LatencySummary:
             p50_ms=data["p50_ms"],
             p95_ms=data["p95_ms"],
             max_ms=data["max_ms"],
-            p99_ms=data["p99_ms"],
+            p99_ms=data.get("p99_ms", 0.0),
         )
 
 

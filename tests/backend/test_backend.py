@@ -222,3 +222,66 @@ class TestAcceleratedSurface:
         assert "fallback" in backend.describe()["aes"]
         # And the cipher still satisfies the bulk protocol used by modes.
         assert cipher.encrypt_ecb(b"p" * 16) != b"p" * 16
+
+
+class TestEcSurface:
+    def test_describe_includes_the_ec_layer(self):
+        with use_backend("reference") as backend:
+            assert "Jacobian" in backend.describe()["ec"]
+        with use_backend("accelerated") as backend:
+            description = backend.describe()["ec"]
+        # Either tier names itself honestly.
+        assert "cryptography" in description or "fallback" in description
+
+    def test_base_class_defaults_are_the_reference_path(self):
+        # A custom backend that implements nothing EC-specific inherits
+        # bit-exact reference behaviour from CryptoBackend's defaults.
+        from repro.backend import CryptoBackend
+        from repro.ec import SECP256R1, mul_base, mul_point
+
+        defaults = CryptoBackend()
+        with use_backend("reference"):
+            k = 0xDECAFBAD % SECP256R1.n
+            assert defaults.ec_mul_base(SECP256R1, k) == mul_base(k, SECP256R1)
+            g = SECP256R1.generator
+            assert defaults.ec_mul(SECP256R1, k, g) == mul_point(k, g)
+
+    def test_ec_fallback_for_unknown_curves(self):
+        # A curve object that is NOT the canonical registry entry (here:
+        # a structurally equal copy is canonical, so use a fresh Curve
+        # with a bogus name) must never reach OpenSSL; the wide-comb
+        # fallback still matches the reference bit for bit.
+        import dataclasses
+
+        from repro.backend.ec_accelerated import AcceleratedEc
+        from repro.ec import SECP256R1, mul_base
+
+        rogue = dataclasses.replace(SECP256R1, name="not-a-registry-curve")
+        engine = AcceleratedEc()
+        assert engine._curve_impl(rogue) is None
+        got = engine.mul_base(rogue, 12345)
+        want = mul_base(12345, SECP256R1)
+        assert (got.x, got.y) == (want.x, want.y)
+
+    def test_ec_fallback_when_cryptography_is_missing(self, monkeypatch):
+        import repro.backend.ec_accelerated as ec_mod
+        from repro.ec import SECP256R1, mul_base, mul_point
+
+        monkeypatch.setattr(ec_mod, "OPENSSL_EC", False)
+        engine = ec_mod.AcceleratedEc()
+        assert engine._curve_impl(SECP256R1) is None
+        assert "fallback" in engine.describe()
+        k = 0xFEEDFACE % SECP256R1.n
+        assert engine.mul_base(SECP256R1, k) == mul_base(k, SECP256R1)
+        g = SECP256R1.generator
+        assert engine.mul(SECP256R1, k, g) == mul_point(k, g)
+
+    def test_openssl_tier_active_in_this_environment(self):
+        # The container ships `cryptography`, so the accelerated backend
+        # must actually be offloading EC here — guards against silently
+        # testing only the fallback tier.
+        from repro.backend.ec_accelerated import OPENSSL_EC
+
+        assert OPENSSL_EC
+        backend = AcceleratedBackend()
+        assert backend.ec_accelerated

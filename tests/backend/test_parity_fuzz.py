@@ -281,3 +281,97 @@ class TestAesParity:
             return ciphertext
 
         assert_parity(scenario)
+
+
+# -- elliptic-curve parity ---------------------------------------------------
+#
+# The EC seam promises the same contract as the primitives: identical
+# point bytes AND identical ec.mul_* trace counts under both backends.
+# Edge scalars straddle every special case of the accelerated paths —
+# k == 1 / k == n-1 short-circuits, the k+1 ECDH companion scalar of the
+# Okeya-Sakurai y-recovery, and the k % n == 0 degeneracy the *callers*
+# must collapse before any backend sees it.
+
+import pytest  # noqa: E402  (section-local: the EC tests parametrize)
+
+from repro.ec import CURVES, encode_point, mul_base, mul_double, mul_point  # noqa: E402
+from repro.ecdsa import Signature, sign, verify, verify_batch  # noqa: E402
+
+
+def _edge_scalars(curve):
+    n = curve.n
+    return [1, 2, n - 2, n - 1, n, n + 1]
+
+
+class TestEcParity:
+    @pytest.mark.parametrize("curve_name", sorted(CURVES))
+    def test_edge_scalars_mul_base_and_mul(self, curve_name):
+        curve = CURVES[curve_name]
+        g = curve.generator
+
+        def scenario():
+            out = b""
+            for k in _edge_scalars(curve):
+                out += encode_point(mul_base(k, curve))
+                out += encode_point(mul_point(k, g))
+            return out
+
+        assert_parity(scenario)
+
+    @pytest.mark.parametrize("curve_name", sorted(CURVES))
+    def test_edge_scalars_on_arbitrary_point(self, curve_name):
+        # Arbitrary (non-generator) points take the ECDH + y-recovery
+        # path under OpenSSL rather than the derive_private_key one.
+        curve = CURVES[curve_name]
+
+        def scenario():
+            q = mul_base(0xB0A710AD % curve.n, curve)
+            out = b""
+            for k in _edge_scalars(curve):
+                out += encode_point(mul_point(k, q), compressed=False)
+                out += encode_point(mul_double(k, curve.generator, k, q))
+            return out
+
+        assert_parity(scenario)
+
+    @settings(max_examples=8, deadline=None)
+    @given(
+        curve_name=st.sampled_from(sorted(CURVES)),
+        seed=st.integers(min_value=1, max_value=2**64),
+    )
+    def test_random_scalars_fuzz(self, curve_name, seed):
+        curve = CURVES[curve_name]
+        k = seed * 0x9E3779B97F4A7C15 % curve.n or 1
+
+        def scenario():
+            q = mul_point(k, curve.generator)
+            return encode_point(q) + encode_point(
+                mul_double(k, curve.generator, curve.n - k, q)
+            )
+
+        assert_parity(scenario)
+
+    def test_verify_batch_with_edge_private_keys(self):
+        curve = CURVES["secp256r1"]
+        n = curve.n
+        keys = [1, 2, n - 2, n - 1]
+
+        def scenario():
+            items = []
+            for index, d in enumerate(keys):
+                message = b"edge-key %d" % index
+                signature = sign(curve, d, message)
+                public = mul_base(d, curve)
+                assert verify(public, message, signature)
+                items.append((public, message, signature))
+            # One deliberately corrupted item: parity must hold for the
+            # False lane too (it skips the double multiplication).
+            bad_sig = Signature(curve, items[0][2].r, (items[0][2].s + 1) % n or 1)
+            items.append((items[0][0], items[0][1], bad_sig))
+            results = verify_batch(items)
+            assert results == [True, True, True, True, False]
+            return b"".join(
+                sig.to_bytes() for _, _, sig in items
+            ) + bytes(results)
+
+        assert_parity(scenario)

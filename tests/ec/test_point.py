@@ -10,6 +10,7 @@ from repro.ec.point import (
     JAC_INFINITY,
     from_jacobian,
     jac_add,
+    jac_add_affine,
     jac_add_mixed,
     jac_double,
     jac_negate,
@@ -140,6 +141,34 @@ class TestJacobian:
         z = 12345
         scaled = (x * z * z % C.p, y * z * z * z % C.p, z)
         assert from_jacobian(C, scaled) == G
+
+    def test_add_affine_reduces_raw_coordinates(self):
+        # The wNAF loops pass (x, p - y) for negative digits without
+        # building a Point, so a y == 0 table entry would arrive as
+        # y2 == p.  Unreduced coordinates must behave exactly like
+        # their residues in every branch of the mixed addition.
+        p_mod = C.p
+        unreduced = jac_add_affine(C, to_jacobian(pt(5)), G.x + p_mod, G.y + p_mod)
+        assert from_jacobian(C, unreduced) == pt(5) + G
+
+    def test_add_affine_unreduced_infinity_branch(self):
+        # z1 == 0 used to leak the raw coordinates straight into the
+        # output triple; the result must still normalize to the point.
+        got = jac_add_affine(C, JAC_INFINITY, G.x + C.p, G.y + C.p)
+        assert from_jacobian(C, got) == G
+
+    def test_add_affine_unreduced_opposite_is_infinity(self):
+        # P + (-P) with the negation supplied as p - y (and even p + p - y)
+        # must hit the inverse-degeneracy branch, not the generic formula.
+        jac = to_jacobian(G)
+        assert jac_add_affine(C, jac, G.x, C.p - G.y) == JAC_INFINITY
+        assert jac_add_affine(C, jac, G.x + C.p, 2 * C.p - G.y) == JAC_INFINITY
+
+    def test_add_affine_unreduced_doubling_degeneracy(self):
+        # Same point with unreduced coordinates must take the doubling
+        # branch and agree with an honest double.
+        got = jac_add_affine(C, to_jacobian(G), G.x + C.p, G.y + C.p)
+        assert from_jacobian(C, got) == G.double()
 
     @given(scalars)
     @settings(max_examples=20, deadline=None)

@@ -19,6 +19,7 @@ from repro.ec import (
     mul_base,
     mul_base_batch,
     mul_double,
+    mul_double_batch,
     mul_ladder,
     mul_point,
 )
@@ -107,3 +108,50 @@ def test_edge_scalars_collapse_consistently():
         assert mul_ladder(0, g).is_infinity
         assert mul_point(curve.n + 1, g) == g
         assert mul_base(curve.n - 1, curve) == -g
+
+
+class TestDegenerateAdditionPaths:
+    """P + (−P), doubling degeneracy and infinity chains through the
+    public strategies — the branches a formula bug in the mixed-addition
+    helpers (unreduced coordinates, wrong degeneracy test) would corrupt
+    silently."""
+
+    def test_sum_with_own_negation_is_infinity(self):
+        # u*P + v*(−P) with u == v walks both wNAF digit streams into
+        # exact cancellation — the P + (−P) branch of the shared chain.
+        for curve in CURVES.values():
+            g = curve.generator
+            assert mul_double(5, g, 5, -g).is_infinity
+            assert mul_double(1, g, curve.n - 1, g).is_infinity
+
+    def test_doubling_degeneracy_through_mul_double(self):
+        # u*P + v*P must equal (u+v)*P even when the interleaved chain
+        # lands on the add-equal-points (doubling) degeneracy.
+        for curve in CURVES.values():
+            g = curve.generator
+            q = mul_base(3, curve)
+            expected = naive_double_and_add(7, g)
+            assert mul_double(4, g, 1, q) == expected
+            assert mul_double(2, q, 1, g) == expected
+
+    def test_infinity_chains(self):
+        # Infinity inputs and zero scalars must thread through every
+        # strategy (and the batch forms) without touching the formulas.
+        for curve in CURVES.values():
+            g = curve.generator
+            inf = Point.infinity(curve)
+            assert mul_point(12345, inf).is_infinity
+            assert mul_ladder(777, inf).is_infinity
+            assert mul_double(0, g, 0, g).is_infinity
+            assert mul_double(9, inf, 0, g).is_infinity
+            assert mul_double(3, inf, 4, g) == naive_double_and_add(4, g)
+            batch = mul_base_batch([0, curve.n, 1, 0], curve)
+            assert [r.is_infinity for r in batch] == [True, True, False, True]
+            assert batch[2] == g
+            # A sum collapsing to infinity inside a batch must normalize
+            # cleanly next to non-degenerate neighbours.
+            terms = [(2, g, curve.n - 2, g), (0, inf, 0, inf), (1, g, 1, g)]
+            results = mul_double_batch(terms, curve)
+            assert results[0].is_infinity
+            assert results[1].is_infinity
+            assert results[2] == naive_double_and_add(2, g)

@@ -55,6 +55,55 @@ class TestLatencySummary:
             [3.0, 1.0, 2.0]
         ) == LatencySummary.from_samples([1.0, 2.0, 3.0])
 
+    def test_from_dict_roundtrip(self):
+        summary = LatencySummary.from_samples([1.0, 4.0, 2.0, 9.0])
+        assert LatencySummary.from_dict(summary.as_dict()) == summary
+
+    def test_from_dict_accepts_pre_topology_format(self):
+        # Summaries serialized before p99_ms existed lack the key; they
+        # must deserialize with the same 0.0 the field's default gives.
+        old_format = {
+            "count": 3,
+            "min_ms": 1.0,
+            "mean_ms": 2.0,
+            "p50_ms": 2.0,
+            "p95_ms": 3.0,
+            "max_ms": 3.0,
+        }
+        summary = LatencySummary.from_dict(old_format)
+        assert summary.p99_ms == 0.0
+        assert summary.count == 3
+        # Round-tripping upgrades the dict to the current format.
+        assert LatencySummary.from_dict(summary.as_dict()) == summary
+
+    def test_p99_uses_round_half_up_rank(self):
+        # 151 samples: p99 rank is 0.99 * 150 = 148.5.  Banker's
+        # rounding picks 148 (the lower sample) — the corrected p99
+        # must round half up to index 149.
+        samples = [float(i) for i in range(151)]
+        summary = LatencySummary.from_samples(samples)
+        assert summary.p99_ms == 149.0
+
+    def test_digest_frozen_percentiles_keep_legacy_rounding(self):
+        # p50/p95 are rendered into row() and therefore into every
+        # historical digest: they must keep banker's rounding even on
+        # exact .5 ranks.  4 samples: p50 rank 1.5 -> index 2 (even),
+        # NOT index 1 as round-half-up would give.
+        summary = LatencySummary.from_samples([10.0, 20.0, 30.0, 40.0])
+        assert summary.p50_ms == 30.0
+        # 11 samples: p95 rank 9.5 -> banker's picks index 10 here
+        # (even), which happens to agree with round-half-up; the pin
+        # documents the rule either way.
+        summary11 = LatencySummary.from_samples([float(i) for i in range(11)])
+        assert summary11.p95_ms == 10.0
+
+    def test_p99_at_boundaries(self):
+        assert LatencySummary.from_samples([]).p99_ms == 0.0
+        assert LatencySummary.from_samples([5.0]).p99_ms == 5.0
+        # p99 can never exceed the maximum sample.
+        summary = LatencySummary.from_samples([1.0, 2.0])
+        assert summary.p99_ms <= summary.max_ms
+
 
 class TestFleetStats:
     def test_throughput_rates(self):
