@@ -49,6 +49,14 @@ from repro.ec.scalarmult import _mul_base_jac
 from repro.ecqv import CertificateAuthority, CertificateRequest
 from repro.ecdsa import generate_keypair
 from repro.fleet import FleetConfig, FleetOrchestrator
+from repro.obs import (
+    Observer,
+    profile_fleet_run,
+    render_speedup_table,
+    speedup_table,
+    validate_chrome_trace,
+    validate_events,
+)
 from repro.primitives import HmacDrbg
 from repro.testbed import device_id
 
@@ -167,6 +175,56 @@ def bench_backend_speedup(
     }
 
 
+def bench_primitive_speedup(config: FleetConfig) -> dict:
+    """Per-primitive reference-vs-accelerated wall-time attribution.
+
+    Runs the same storm once per backend under a
+    :class:`repro.obs.ProfilingBackend` and reconciles the measured wall
+    time per event class against the run's ``CostTrace`` counts —
+    :func:`repro.obs.speedup_table` asserts both digests and trace
+    counts match exactly (the bit-parity contract), so the table always
+    compares identical work.
+    """
+    reference = profile_fleet_run(config, backend="reference")
+    accelerated = profile_fleet_run(config, backend="accelerated")
+    return speedup_table(reference, accelerated)
+
+
+def export_trace(config: FleetConfig, path: str) -> dict:
+    """Run one traced storm and export it for Perfetto.
+
+    Asserts the traced run digests identically to an untraced one
+    (observability is digest-neutral), validates both export formats,
+    and writes the Chrome trace to ``path`` plus the JSONL event stream
+    to ``path + "l"`` (``.json`` → ``.jsonl``).
+
+    Returns a summary dict for the BENCH record.
+    """
+    obs = Observer(wall_clock=True)
+    traced = FleetOrchestrator(config, obs=obs).run()
+    untraced = FleetOrchestrator(config).run()
+    if traced.stats.digest() != untraced.stats.digest():
+        raise AssertionError(
+            "observability changed the digest:"
+            f" {traced.stats.digest()} != {untraced.stats.digest()}"
+        )
+    obs.spans.validate()
+    n_events = validate_events(obs.events())
+    trace_doc = obs.export_chrome_trace(path)
+    n_chrome = validate_chrome_trace(trace_doc)
+    jsonl_path = path + "l" if path.endswith(".json") else path + ".jsonl"
+    obs.export_jsonl(jsonl_path)
+    return {
+        "trace_path": path,
+        "jsonl_path": jsonl_path,
+        "spans": len(obs.spans.finished()),
+        "events": n_events,
+        "chrome_events": n_chrome,
+        "heartbeats": len(obs.heartbeats),
+        "digest": traced.stats.digest(),
+    }
+
+
 def _request_burst(count: int, tag: bytes) -> list[CertificateRequest]:
     requests = []
     for i in range(count):
@@ -233,6 +291,14 @@ def main() -> None:
         help="crypto backend for the main storm (default: ambient,"
         " i.e. REPRO_BACKEND or reference); the parity cell always"
         " measures both",
+    )
+    parser.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        default=None,
+        help="export a Chrome trace-event file (Perfetto/chrome://tracing)"
+        " of one traced storm to PATH, plus the JSONL event stream next"
+        " to it; digest parity with the untraced run is asserted",
     )
     args = parser.parse_args()
     config = QUICK_CONFIG if args.quick else FULL_CONFIG
@@ -312,6 +378,28 @@ def main() -> None:
             f" {required_speedup:.1f}x required"
         )
 
+    # Per-primitive wall-time attribution: always measured on the quick
+    # workload (the table is about per-event-class ratios, not totals, so
+    # the small storm is representative and keeps the full bench's
+    # runtime bounded).  Changes nothing gated: the regression gate only
+    # reads the `fleet` mapping.
+    primitive_table = bench_primitive_speedup(QUICK_CONFIG)
+    print(f"\n== per-primitive backend speedup"
+          f" ({QUICK_CONFIG.n_vehicles}-vehicle storm) ==")
+    print(render_speedup_table(primitive_table))
+
+    trace_cell = None
+    if args.trace_out is not None:
+        trace_cell = export_trace(QUICK_CONFIG, args.trace_out)
+        print(f"\n== observability trace ==")
+        print(f"  chrome trace        : {trace_cell['trace_path']}"
+              f" ({trace_cell['chrome_events']} events; open in"
+              " https://ui.perfetto.dev)")
+        print(f"  jsonl events        : {trace_cell['jsonl_path']}"
+              f" ({trace_cell['events']} events, schema-validated)")
+        print(f"  digest (traced)     : {trace_cell['digest'][:16]}..."
+              " (bit-identical to untraced)")
+
     record = {
         "benchmark": "fleet_scale",
         "mode": "quick" if args.quick else "full",
@@ -336,7 +424,10 @@ def main() -> None:
             "batch_ms": ca_batch_s * 1000.0,
             "sequential_ms": ca_seq_s * 1000.0,
         },
+        "primitive_speedup": primitive_table,
     }
+    if trace_cell is not None:
+        record["trace"] = trace_cell
     with open(args.json, "w") as handle:
         json.dump(record, handle, indent=2, sort_keys=True)
         handle.write("\n")
@@ -386,6 +477,26 @@ def test_backend_cell_parity_at_pytest_scale():
     # so BENCH_fleet.json records which speedup bar applied.
     assert "aes_accelerated" in cell and "ec_accelerated" in cell
     assert "ec" in cell["accelerated"] and "ec" in cell["reference"]
+
+
+def test_primitive_speedup_table_at_pytest_scale():
+    config = FleetConfig(
+        n_vehicles=4,
+        seed=b"bench-fleet-pytest",
+        records_per_vehicle=4,
+        max_records=2,
+        arrival_spread_ms=10.0,
+    )
+    table = bench_primitive_speedup(config)
+    events = {row["event"] for row in table["rows"]}
+    assert {"ec.mul_base", "ec.mul_point", "sha2", "hmac", "aes"} <= events
+    by_event = {row["event"]: row for row in table["rows"]}
+    # The storm exercises every reconciled primitive class.
+    for event in ("ec.mul_base", "ec.mul_point", "sha2", "hmac", "aes"):
+        assert by_event[event]["trace_count"] > 0
+        assert by_event[event]["reference_ms"] > 0
+    assert table["digest"]
+    assert render_speedup_table(table)
 
 
 if __name__ == "__main__":

@@ -240,6 +240,47 @@ def _print_report(report: dict) -> None:
         )
 
 
+def _jsonable_report(report: dict) -> dict:
+    """A JSON-serialisable copy of one gate report.
+
+    Cell keys are tuples (structural match keys) and zero-baseline
+    regressions carry ``inf`` — both are converted: keys become lists,
+    ``inf`` becomes ``None``.
+    """
+    out = dict(report)
+    for field in ("regressions", "improvements"):
+        out[field] = [
+            {
+                **entry,
+                "cell": list(entry["cell"]),
+                "change": (
+                    None
+                    if entry["change"] in (float("inf"), float("-inf"))
+                    else entry["change"]
+                ),
+            }
+            for entry in report[field]
+        ]
+    for field in ("only_in_baseline", "only_in_candidate"):
+        out[field] = [list(key) for key in report[field]]
+    return out
+
+
+def write_json_report(path: str, reports: list, verdict: str) -> dict:
+    """Write the gate's machine-readable verdict + per-file reports."""
+    payload = {
+        "verdict": verdict,
+        "matched": sum(report["matched"] for report in reports),
+        "regressions": sum(
+            len(report["regressions"]) for report in reports
+        ),
+        "reports": [_jsonable_report(report) for report in reports],
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+    return payload
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     here = os.path.dirname(os.path.abspath(__file__))
@@ -267,6 +308,10 @@ def main(argv=None) -> int:
         default=DEFAULT_THRESHOLD,
         help="relative regression tolerance (default 0.25 = 25%%)",
     )
+    parser.add_argument(
+        "--json-report",
+        help="write the verdict and per-cell deltas as JSON to this path",
+    )
     args = parser.parse_args(argv)
 
     if (args.baseline is None) != (args.candidate is None):
@@ -291,9 +336,6 @@ def main(argv=None) -> int:
                 gate_file(baseline_path, candidate_path, args.threshold)
             )
 
-    if not reports:
-        print("regression gate: nothing to compare — failing closed")
-        return 1
     failed = False
     matched_total = 0
     for report in reports:
@@ -301,14 +343,26 @@ def main(argv=None) -> int:
         matched_total += report["matched"]
         if report["regressions"] or report["only_in_baseline"]:
             failed = True
-    if matched_total == 0:
+    if not reports:
+        print("regression gate: nothing to compare — failing closed")
+        verdict = "nothing-to-compare"
+        code = 1
+    elif matched_total == 0:
         print("regression gate: no comparable cells — failing closed")
-        return 1
-    if failed:
+        verdict = "no-comparable-cells"
+        code = 1
+    elif failed:
         print("regression gate: FAILED")
-        return 1
-    print(f"regression gate: OK ({matched_total} cells within threshold)")
-    return 0
+        verdict = "fail"
+        code = 1
+    else:
+        print(f"regression gate: OK ({matched_total} cells within threshold)")
+        verdict = "ok"
+        code = 0
+    if args.json_report:
+        write_json_report(args.json_report, reports, verdict)
+        print(f"json report -> {args.json_report}")
+    return code
 
 
 if __name__ == "__main__":

@@ -74,6 +74,7 @@ __all__ = [
     "hmac_sha2_blocks",
     "register_backend",
     "set_backend",
+    "unregister_backend",
     "use_backend",
 ]
 
@@ -134,6 +135,21 @@ def register_backend(
             f" callable, got {type(factory).__name__}"
         )
     _FACTORIES[name] = factory
+    _INSTANCES.pop(name, None)
+
+
+def unregister_backend(name: str) -> None:
+    """Remove a backend registered with :func:`register_backend`.
+
+    Built-ins cannot be removed.  Callers that install a temporary
+    backend (e.g. the :mod:`repro.obs.profile` wrapper) use this so
+    :func:`available_backends` is left exactly as they found it.
+    """
+    if name in ("reference", "accelerated"):
+        raise BackendError(f"built-in backend {name!r} cannot be removed")
+    if name not in _FACTORIES:
+        raise BackendError(f"backend {name!r} is not registered")
+    del _FACTORIES[name]
     _INSTANCES.pop(name, None)
 
 

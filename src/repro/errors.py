@@ -103,3 +103,7 @@ class HardwareModelError(ReproError):
 
 class AnalysisError(ReproError):
     """Errors from the security/overhead analysis layer."""
+
+
+class ObsError(ReproError):
+    """Errors from the observability layer (spans, metrics, exporters)."""

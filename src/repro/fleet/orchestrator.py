@@ -192,6 +192,11 @@ class FleetConfig:
             scalar multiplication** through ``hashlib``/OpenSSL for
             fleet-scale sweeps (EC being ~90 % of accelerated
             wall-clock before the EC seam landed).
+        observe: attach a default :class:`repro.obs.Observer` to the
+            run when no explicit ``obs`` is passed to the orchestrator;
+            the observer comes back on :attr:`FleetResult.obs`.
+            Observability is digest-neutral — hooks only read state —
+            so this knob never changes simulated results either.
 
     Examples:
         Configs are validated eagerly with actionable errors::
@@ -240,6 +245,7 @@ class FleetConfig:
     migrate_threshold: int | None = None
     authenticate_requests: bool = False
     backend: str | None = None
+    observe: bool = False
 
     def __post_init__(self) -> None:
         if self.n_vehicles <= 0:
@@ -368,10 +374,16 @@ class _QueueEntry:
 
 @dataclass
 class FleetResult:
-    """Everything a fleet run produces."""
+    """Everything a fleet run produces.
+
+    ``obs`` carries the :class:`repro.obs.Observer` that watched the
+    run when one was attached (explicitly or via
+    :attr:`FleetConfig.observe`), ``None`` otherwise.
+    """
 
     stats: FleetStats
     vehicles: list[Vehicle] = field(default_factory=list)
+    obs: "object | None" = None
 
 
 class FleetOrchestrator:
@@ -387,8 +399,22 @@ class FleetOrchestrator:
     """
 
     def __init__(
-        self, config: FleetConfig, scenario: "Scenario | None" = None
+        self,
+        config: FleetConfig,
+        scenario: "Scenario | None" = None,
+        obs=None,
     ) -> None:
+        if obs is None and config.observe:
+            from ..obs import Observer
+
+            obs = Observer()
+        self.obs = obs
+        if obs is not None:
+            from ..obs.fleet import FleetInstrumentation
+
+            self._hooks = FleetInstrumentation(obs)
+        else:
+            self._hooks = None
         with use_backend(config.backend):
             self._build(config, scenario)
 
@@ -567,6 +593,8 @@ class FleetOrchestrator:
 
     def _arrive(self, vehicle: Vehicle) -> None:
         vehicle.log(self.sim.now, "arrive")
+        if self._hooks is not None:
+            self._hooks.vehicle_arrived(self, vehicle)
         requester = CertificateRequester(
             self.config.curve,
             vehicle.device_id,
@@ -662,6 +690,12 @@ class FleetOrchestrator:
             wait = start - entry.queued_at
             shard.queue_latencies.append(wait)
             self._queue_latencies.append(wait)
+            if self._hooks is not None:
+                self._hooks.queue_wait(self, shard, wait)
+        if self._hooks is not None:
+            self._hooks.ca_batch(
+                self, shard, batch_size, len(attacks), start, end
+            )
         shard.issuing = True
         shard.batches += 1
         shard.max_batch = max(shard.max_batch, batch_size)
@@ -718,6 +752,10 @@ class FleetOrchestrator:
             self._enrollment_latencies.append(
                 self.sim.now - vehicle.arrival_ms
             )
+            if self._hooks is not None:
+                self._hooks.vehicle_enrolled(
+                    self, vehicle, self.sim.now - vehicle.arrival_ms
+                )
             vehicle.log(self.sim.now, "enrolled")
             self._establish(vehicle)
 
@@ -772,8 +810,12 @@ class FleetOrchestrator:
                 "requeue",
                 f"shard {shard.index} -> shard {adopter.index}",
             )
+            if self._hooks is not None:
+                self._hooks.handover(self, vehicle, shard, adopter)
             adopter.queue.append(entry)
             touched.append(adopter)
+        if self._hooks is not None:
+            self._hooks.shard_failed(self, shard, len(touched))
         for adopter in touched:
             self._pump_ca(adopter)
 
@@ -792,6 +834,8 @@ class FleetOrchestrator:
             "handover",
             f"shard {old.index} -> shard {adopter.index}",
         )
+        if self._hooks is not None:
+            self._hooks.handover(self, vehicle, old, adopter)
         return adopter
 
     # -- churn: rejoin, migration, re-enrollment --------------------------------
@@ -820,6 +864,8 @@ class FleetOrchestrator:
             clock=self._clock,
         )
         self._rejoins += 1
+        if self._hooks is not None:
+            self._hooks.rejoin(self, shard)
 
     def migrate(self, vehicle: Vehicle, shard: "GatewayShard | int") -> None:
         """Live-migrate a vehicle to another healthy shard.
@@ -864,10 +910,16 @@ class FleetOrchestrator:
             "migrate",
             f"shard {old.index} -> shard {target.index}",
         )
+        if self._hooks is not None:
+            self._hooks.migrate_started(self, vehicle, old, target)
 
         def established() -> None:
             vehicle.migrating = False
             self._migration_latencies.append(self.sim.now - started)
+            if self._hooks is not None:
+                self._hooks.migrate_finished(
+                    self, vehicle, self.sim.now - started
+                )
 
         self._re_enroll(
             vehicle,
@@ -919,13 +971,19 @@ class FleetOrchestrator:
             vehicle.log(
                 self.sim.now, "re-enroll", f"coalesced ({reason})"
             )
+            if self._hooks is not None:
+                self._hooks.re_enroll_coalesced(self, vehicle)
             return
         vehicle.re_enrolling = True
         self._re_enroll_followups[vehicle.index] = []
+        if self._hooks is not None:
+            self._hooks.re_enroll_started(self, vehicle, shard, reason)
 
         def complete() -> None:
             vehicle.re_enrolling = False
             followups = self._re_enroll_followups.pop(vehicle.index, [])
+            if self._hooks is not None:
+                self._hooks.re_enroll_finished(self, vehicle)
             then()
             for followup in followups:
                 followup()
@@ -1013,6 +1071,8 @@ class FleetOrchestrator:
             )
             return
         started = self.sim.now
+        if self._hooks is not None:
+            self._hooks.establish_started(self, vehicle, shard)
         ctx_vehicle = vehicle.manager.context_factory()
         ctx_gateway = shard.manager.context_factory()
         info = get_protocol(self.config.protocol)
@@ -1048,6 +1108,14 @@ class FleetOrchestrator:
             shard.sessions_established += 1
             self._sessions_established += 1
             self._establishment_latencies.append(self.sim.now - started)
+            if self._hooks is not None:
+                self._hooks.establish_finished(
+                    self,
+                    vehicle,
+                    shard,
+                    self.sim.now - started,
+                    session.generation,
+                )
             vehicle.log(
                 self.sim.now,
                 "established",
@@ -1121,6 +1189,8 @@ class FleetOrchestrator:
             vehicle.done_at = self.sim.now
             self.shards[vehicle.shard].active_vehicles -= 1
             vehicle.log(self.sim.now, "done", f"{vehicle.records_sent} records")
+            if self._hooks is not None:
+                self._hooks.vehicle_done(self, vehicle)
             return
         shard = self.shards[vehicle.shard]
         if shard.failed:
@@ -1149,6 +1219,8 @@ class FleetOrchestrator:
             shard.rekeys += 1
             self._rekeys += 1
             vehicle.log(self.sim.now, "rekey", f"after {vehicle.records_sent} records")
+            if self._hooks is not None:
+                self._hooks.rekey(self, vehicle, shard)
             self._establish(vehicle)
             return
         payload = (
@@ -1172,6 +1244,8 @@ class FleetOrchestrator:
             self._captured_records[vehicle.index] = record
         vehicle.records_sent += 1
         self._records_sent += 1
+        if self._hooks is not None:
+            self._hooks.record_sent(self, vehicle, shard, len(record))
         send_ms = self.vehicle_device.time_ms(send_cost)
         bus_ms = len(record) * self.config.bus_ms_per_byte
         self.sim.schedule_after(
@@ -1225,6 +1299,8 @@ class FleetOrchestrator:
                 )
                 return
         started = self.sim.now
+        if self._hooks is not None:
+            self._hooks.v2v_started(self, initiator, responder, rekey)
         ctx_initiator = initiator.manager.context_factory()
         ctx_responder = responder.manager.context_factory()
         info = get_protocol(self.config.protocol)
@@ -1263,6 +1339,14 @@ class FleetOrchestrator:
             if initiator.shard != responder.shard:
                 self._v2v_cross_shard += 1
             self._v2v_latencies.append(self.sim.now - started)
+            if self._hooks is not None:
+                self._hooks.v2v_finished(
+                    self,
+                    initiator,
+                    responder,
+                    self.sim.now - started,
+                    initiator.shard != responder.shard,
+                )
             detail = f"with {responder.name}" + (
                 " (cross-shard)" if initiator.shard != responder.shard else ""
             )
@@ -1321,6 +1405,8 @@ class FleetOrchestrator:
         self._vehicle_energy_mj += self.vehicle_device.energy_mj(recv_cost)
         initiator.v2v_records_sent += 1
         self._v2v_records_sent += 1
+        if self._hooks is not None:
+            self._hooks.v2v_record(self, initiator, responder)
         send_ms = self.vehicle_device.time_ms(send_cost)
         recv_ms = self.vehicle_device.time_ms(recv_cost)
         bus_ms = len(record) * self.config.bus_ms_per_byte
@@ -1474,6 +1560,8 @@ class FleetOrchestrator:
             self._inject_ca_flood(index, spec, log)
         else:  # pragma: no cover - compile_scenario validates kinds
             raise SimulationError(f"unknown injection {spec!r}")
+        if self._hooks is not None:
+            self._hooks.injection_ran(self, index, log["kind"], log)
 
     # -- driving -----------------------------------------------------------------
 
@@ -1491,6 +1579,8 @@ class FleetOrchestrator:
 
     def _run(self, max_events: int) -> FleetResult:
         """The storm itself (already scoped to the configured backend)."""
+        if self._hooks is not None:
+            self._hooks.run_started(self)
         for vehicle in self.vehicles:
             self.sim.schedule_at(
                 vehicle.arrival_ms, (lambda v: lambda: self._arrive(v))(vehicle)
@@ -1593,13 +1683,16 @@ class FleetOrchestrator:
                 for log in self._injection_log
             ),
         )
-        return FleetResult(stats=stats, vehicles=self.vehicles)
+        if self._hooks is not None:
+            self._hooks.run_finished(self, stats)
+        return FleetResult(stats=stats, vehicles=self.vehicles, obs=self.obs)
 
 
 def run_fleet(
     config: FleetConfig | None = None,
     scenario: "Scenario | None" = None,
     backend: str | None = None,
+    obs=None,
 ) -> FleetResult:
     """Convenience one-shot: build an orchestrator and run it.
 
@@ -1612,6 +1705,10 @@ def run_fleet(
             setting ``config.backend`` and wins over it when both are
             given.  Bit-parity by contract, so the stats digest does not
             depend on it.
+        obs: optional :class:`repro.obs.Observer` collecting spans,
+            metrics and heartbeats for this run (also returned on
+            ``FleetResult.obs``).  Observability is digest-neutral:
+            attaching an observer never changes simulated results.
 
     Examples:
         A tiny deterministic storm (every number below is a pure
@@ -1639,4 +1736,4 @@ def run_fleet(
         config = FleetConfig()
     if backend is not None:
         config = dataclasses.replace(config, backend=backend)
-    return FleetOrchestrator(config, scenario=scenario).run()
+    return FleetOrchestrator(config, scenario=scenario, obs=obs).run()

@@ -1,0 +1,456 @@
+"""Exporters for the observability event stream.
+
+Three output shapes, all derived from the same deterministic events:
+
+* **JSONL** — one JSON object per line; ``meta`` first, then spans in
+  id order, then heartbeats, then metric snapshots.  This is the
+  machine-readable archive format and the thing CI validates.
+* **Chrome trace-event JSON** — loadable in Perfetto
+  (https://ui.perfetto.dev) or ``chrome://tracing``.  Spans become
+  ``"X"`` complete events on per-shard / per-vehicle tracks; heartbeats
+  become ``"C"`` counter series.
+* **Markdown rollup** — a human summary suitable for
+  :func:`repro.analysis.report.attach_observability`.
+
+Validation is hand-rolled on purpose: the CI image installs pytest,
+hypothesis and cryptography but **not** ``jsonschema``, so this module
+carries a small validator for the subset of JSON Schema the event
+schemas actually use (``type``, ``properties``, ``required``,
+``items``, ``enum``, ``minimum``, ``additionalProperties``).
+"""
+
+from __future__ import annotations
+
+import json
+
+from ..errors import ObsError
+from .spans import Span
+
+__all__ = [
+    "CHROME_TRACE_SCHEMA",
+    "EVENT_SCHEMAS",
+    "chrome_trace",
+    "markdown_rollup",
+    "read_jsonl",
+    "validate_chrome_trace",
+    "validate_events",
+    "validate_schema",
+    "write_chrome_trace",
+    "write_jsonl",
+]
+
+# ---------------------------------------------------------------------------
+# Schemas (JSON-Schema subset; see validate_schema for supported keywords)
+# ---------------------------------------------------------------------------
+
+_NUMBER = {"type": "number"}
+_STRING = {"type": "string"}
+
+#: Per-event-type schemas for the JSONL stream, keyed by ``event["type"]``.
+EVENT_SCHEMAS = {
+    "meta": {
+        "type": "object",
+        "required": ["type", "run", "sim_end_ms"],
+        "properties": {
+            "type": {"enum": ["meta"]},
+            "run": _STRING,
+            "sim_end_ms": _NUMBER,
+            "backend": {"type": ["string", "null"]},
+            "n_vehicles": {"type": "integer", "minimum": 0},
+            "shards": {"type": "integer", "minimum": 0},
+            "digest": {"type": ["string", "null"]},
+            "wall": {"type": "object"},
+        },
+    },
+    "span": {
+        "type": "object",
+        "required": ["type", "id", "parent", "name", "cat", "start_ms",
+                     "end_ms", "attrs"],
+        "properties": {
+            "type": {"enum": ["span"]},
+            "id": {"type": "integer", "minimum": 0},
+            "parent": {"type": ["integer", "null"]},
+            "name": _STRING,
+            "cat": _STRING,
+            "start_ms": _NUMBER,
+            "end_ms": _NUMBER,
+            "attrs": {"type": "object"},
+            "wall": {"type": "object"},
+        },
+    },
+    "heartbeat": {
+        "type": "object",
+        "required": ["type", "sim_ms", "vehicles_done", "vehicles_total",
+                     "records_sent"],
+        "properties": {
+            "type": {"enum": ["heartbeat"]},
+            "sim_ms": _NUMBER,
+            "vehicles_done": {"type": "integer", "minimum": 0},
+            "vehicles_total": {"type": "integer", "minimum": 0},
+            "records_sent": {"type": "integer", "minimum": 0},
+            "wall": {"type": "object"},
+        },
+    },
+    "counter": {
+        "type": "object",
+        "required": ["type", "name", "labels", "value"],
+        "properties": {
+            "type": {"enum": ["counter"]},
+            "name": _STRING,
+            "labels": {"type": "object"},
+            "value": {"type": "integer", "minimum": 0},
+        },
+    },
+    "gauge": {
+        "type": "object",
+        "required": ["type", "name", "labels", "value"],
+        "properties": {
+            "type": {"enum": ["gauge"]},
+            "name": _STRING,
+            "labels": {"type": "object"},
+            "value": _NUMBER,
+        },
+    },
+    "histogram": {
+        "type": "object",
+        "required": ["type", "name", "labels", "count", "sum", "sum_exact",
+                     "bounds", "buckets"],
+        "properties": {
+            "type": {"enum": ["histogram"]},
+            "name": _STRING,
+            "labels": {"type": "object"},
+            "count": {"type": "integer", "minimum": 0},
+            "sum": _NUMBER,
+            "sum_exact": {"type": "array", "items": {"type": "integer"}},
+            "min": {"type": ["number", "null"]},
+            "max": {"type": ["number", "null"]},
+            "bounds": {"type": "array", "items": _NUMBER},
+            "buckets": {"type": "array",
+                        "items": {"type": "integer", "minimum": 0}},
+        },
+    },
+}
+
+#: Schema for the Chrome trace-event file as a whole.
+CHROME_TRACE_SCHEMA = {
+    "type": "object",
+    "required": ["traceEvents", "displayTimeUnit"],
+    "properties": {
+        "displayTimeUnit": {"enum": ["ms", "ns"]},
+        "metadata": {"type": "object"},
+        "traceEvents": {
+            "type": "array",
+            "items": {
+                "type": "object",
+                "required": ["ph", "pid", "tid", "name"],
+                "properties": {
+                    "ph": {"enum": ["X", "I", "C", "M"]},
+                    "pid": {"type": "integer"},
+                    "tid": {"type": "integer"},
+                    "name": _STRING,
+                    "cat": _STRING,
+                    "ts": _NUMBER,
+                    "dur": {"type": "number", "minimum": 0},
+                    "args": {"type": "object"},
+                    "s": {"enum": ["g", "p", "t"]},
+                },
+            },
+        },
+    },
+}
+
+
+def validate_schema(instance, schema, path: str = "$") -> None:
+    """Validate ``instance`` against a JSON-Schema subset.
+
+    Supports ``type`` (string or list), ``enum``, ``required``,
+    ``properties``, ``additionalProperties`` (boolean form), ``items``
+    and ``minimum`` — everything :data:`EVENT_SCHEMAS` uses.  Raises
+    :class:`ObsError` naming the failing path.
+    """
+    expected = schema.get("type")
+    if expected is not None:
+        kinds = [expected] if isinstance(expected, str) else list(expected)
+        if not any(_is_type(instance, kind) for kind in kinds):
+            raise ObsError(
+                f"{path}: expected {kinds}, got {type(instance).__name__}"
+            )
+    if "enum" in schema and instance not in schema["enum"]:
+        raise ObsError(
+            f"{path}: {instance!r} not in enum {schema['enum']}"
+        )
+    if "minimum" in schema and isinstance(instance, (int, float)):
+        if isinstance(instance, bool) or instance < schema["minimum"]:
+            raise ObsError(
+                f"{path}: {instance!r} below minimum {schema['minimum']}"
+            )
+    if isinstance(instance, dict):
+        for key in schema.get("required", ()):
+            if key not in instance:
+                raise ObsError(f"{path}: missing required key {key!r}")
+        properties = schema.get("properties", {})
+        for key, value in instance.items():
+            if key in properties:
+                validate_schema(value, properties[key], f"{path}.{key}")
+            elif schema.get("additionalProperties") is False:
+                raise ObsError(f"{path}: unexpected key {key!r}")
+    if isinstance(instance, list) and "items" in schema:
+        for index, item in enumerate(instance):
+            validate_schema(item, schema["items"], f"{path}[{index}]")
+
+
+def _is_type(instance, kind: str) -> bool:
+    if kind == "null":
+        return instance is None
+    if kind == "boolean":
+        return isinstance(instance, bool)
+    if kind == "integer":
+        return isinstance(instance, int) and not isinstance(instance, bool)
+    if kind == "number":
+        return (
+            isinstance(instance, (int, float))
+            and not isinstance(instance, bool)
+        )
+    if kind == "string":
+        return isinstance(instance, str)
+    if kind == "object":
+        return isinstance(instance, dict)
+    if kind == "array":
+        return isinstance(instance, list)
+    raise ObsError(f"unknown schema type {kind!r}")
+
+
+def validate_events(events) -> int:
+    """Validate a JSONL event stream; returns the number of events."""
+    count = 0
+    for index, event in enumerate(events):
+        if not isinstance(event, dict) or "type" not in event:
+            raise ObsError(f"event {index}: not an object with a 'type'")
+        kind = event["type"]
+        schema = EVENT_SCHEMAS.get(kind)
+        if schema is None:
+            raise ObsError(
+                f"event {index}: unknown event type {kind!r}"
+                f" (known: {sorted(EVENT_SCHEMAS)})"
+            )
+        validate_schema(event, schema, path=f"$[{index}]")
+        count += 1
+    return count
+
+
+def validate_chrome_trace(trace: dict) -> int:
+    """Validate a Chrome trace document; returns the event count."""
+    validate_schema(trace, CHROME_TRACE_SCHEMA, path="$")
+    return len(trace["traceEvents"])
+
+
+# ---------------------------------------------------------------------------
+# JSONL
+# ---------------------------------------------------------------------------
+
+def write_jsonl(path, events) -> int:
+    """Write events one-per-line; returns the number written."""
+    count = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        for event in events:
+            handle.write(json.dumps(event, sort_keys=True))
+            handle.write("\n")
+            count += 1
+    return count
+
+
+def read_jsonl(path) -> list:
+    """Load a JSONL event stream back into a list of dicts."""
+    events = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                events.append(json.loads(line))
+    return events
+
+
+# ---------------------------------------------------------------------------
+# Chrome trace-event format
+# ---------------------------------------------------------------------------
+
+#: Track (tid) layout: run-level activity on track 0, one track per
+#: shard starting at 100, one per vehicle starting at 1000.
+_RUN_TID = 0
+_SHARD_TID_BASE = 100
+_VEHICLE_TID_BASE = 1000
+
+
+def _span_tid(span: Span) -> int:
+    attrs = dict(span.attributes)
+    if span.category in ("run", "injection", "heartbeat"):
+        return _RUN_TID
+    if "vehicle" in attrs:
+        return _VEHICLE_TID_BASE + int(attrs["vehicle"])
+    if "shard" in attrs:
+        return _SHARD_TID_BASE + int(attrs["shard"])
+    return _RUN_TID
+
+
+def chrome_trace(spans, heartbeats=(), meta=None) -> dict:
+    """Build a Chrome trace-event document from finished spans.
+
+    ``ts``/``dur`` are microseconds (sim milliseconds × 1000) so the
+    Perfetto timeline reads directly in simulated time.  Heartbeats
+    become a ``vehicles_done`` counter series on the run track.
+    """
+    events = []
+    tids = {}
+    for span in spans:
+        tid = _span_tid(span)
+        if tid not in tids:
+            if tid == _RUN_TID:
+                label = "fleet run"
+            elif tid >= _VEHICLE_TID_BASE:
+                label = f"vehicle {tid - _VEHICLE_TID_BASE}"
+            else:
+                label = f"shard {tid - _SHARD_TID_BASE}"
+            tids[tid] = label
+        args = {key: value for key, value in span.attributes}
+        if span.wall_ns is not None:
+            args["wall_ns"] = span.wall_ns
+        events.append(
+            {
+                "ph": "X",
+                "pid": 1,
+                "tid": tid,
+                "name": span.name,
+                "cat": span.category,
+                "ts": span.start_ms * 1000.0,
+                "dur": span.duration_ms * 1000.0,
+                "args": args,
+            }
+        )
+    for beat in heartbeats:
+        events.append(
+            {
+                "ph": "C",
+                "pid": 1,
+                "tid": _RUN_TID,
+                "name": "fleet progress",
+                "ts": beat["sim_ms"] * 1000.0,
+                "args": {
+                    "vehicles_done": beat["vehicles_done"],
+                    "records_sent": beat["records_sent"],
+                },
+            }
+        )
+    header = [
+        {
+            "ph": "M",
+            "pid": 1,
+            "tid": tid,
+            "name": "thread_name",
+            "args": {"name": label},
+        }
+        for tid, label in sorted(tids.items())
+    ]
+    return {
+        "displayTimeUnit": "ms",
+        "metadata": dict(meta or {}),
+        "traceEvents": header + events,
+    }
+
+
+def write_chrome_trace(path, spans, heartbeats=(), meta=None) -> dict:
+    """Write (and return) the Chrome trace document for ``spans``."""
+    trace = chrome_trace(spans, heartbeats=heartbeats, meta=meta)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(trace, handle, sort_keys=True)
+    return trace
+
+
+# ---------------------------------------------------------------------------
+# Markdown rollup
+# ---------------------------------------------------------------------------
+
+def markdown_rollup(spans, metrics, heartbeats=(), meta=None) -> str:
+    """Human-readable telemetry summary (markdown body, no H2 header).
+
+    ``metrics`` is a :class:`repro.obs.metrics.MetricsSnapshot`.
+    """
+    lines = []
+    meta = dict(meta or {})
+    if meta:
+        described = ", ".join(
+            f"{key}={meta[key]}"
+            for key in ("run", "n_vehicles", "shards", "backend",
+                        "sim_end_ms")
+            if meta.get(key) is not None
+        )
+        if described:
+            lines.append(f"Run: {described}")
+            lines.append("")
+    by_category: dict = {}
+    for span in spans:
+        entry = by_category.setdefault(span.category, [0, 0.0])
+        entry[0] += 1
+        entry[1] += span.duration_ms
+    if by_category:
+        lines.append("| span category | count | total sim-time (ms) |")
+        lines.append("| --- | ---: | ---: |")
+        for category in sorted(by_category):
+            count, total = by_category[category]
+            lines.append(f"| {category} | {count} | {total:.3f} |")
+        lines.append("")
+    histogram_rows = sorted(metrics.histograms.items())
+    if histogram_rows:
+        lines.append(
+            "| metric | labels | count | mean (ms) | max (ms) |"
+        )
+        lines.append("| --- | --- | ---: | ---: | ---: |")
+        for (name, labels), snap in histogram_rows:
+            label_text = (
+                ", ".join(f"{k}={v}" for k, v in labels) or "—"
+            )
+            max_text = f"{snap.max:.3f}" if snap.max is not None else "—"
+            lines.append(
+                f"| {name} | {label_text} | {snap.count}"
+                f" | {snap.mean:.3f} | {max_text} |"
+            )
+        lines.append("")
+    counter_rows = sorted(metrics.counters.items())
+    if counter_rows:
+        lines.append("| counter | labels | value |")
+        lines.append("| --- | --- | ---: |")
+        for (name, labels), value in counter_rows:
+            label_text = (
+                ", ".join(f"{k}={v}" for k, v in labels) or "—"
+            )
+            lines.append(f"| {name} | {label_text} | {value} |")
+        lines.append("")
+    gauge_rows = sorted(metrics.gauges.items())
+    if gauge_rows:
+        lines.append("| gauge (high-watermark) | labels | value |")
+        lines.append("| --- | --- | ---: |")
+        for (name, labels), value in gauge_rows:
+            label_text = (
+                ", ".join(f"{k}={v}" for k, v in labels) or "—"
+            )
+            lines.append(f"| {name} | {label_text} | {value:g} |")
+        lines.append("")
+    heartbeats = list(heartbeats)
+    if heartbeats:
+        last = heartbeats[-1]
+        lines.append(
+            f"{len(heartbeats)} heartbeats; final:"
+            f" {last['vehicles_done']}/{last['vehicles_total']} vehicles"
+            f" done, {last['records_sent']} records,"
+            f" sim-time {last['sim_ms']:.1f} ms."
+        )
+        peak = max(
+            (beat.get("wall", {}).get("peak_rss_kb") or 0)
+            for beat in heartbeats
+        )
+        if peak:
+            lines.append(f"Peak RSS (non-deterministic): {peak} kB.")
+        lines.append("")
+    if not lines:
+        lines.append("No telemetry recorded.")
+        lines.append("")
+    return "\n".join(lines).rstrip() + "\n"

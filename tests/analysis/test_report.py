@@ -34,3 +34,75 @@ class TestReport:
         content = path.read_text()
         assert "Table III" in content
         assert "BMS" in content  # the fig7 timeline made it in
+
+
+class TestUnknownSections:
+    """Regression: ``to_markdown`` raised KeyError on any section id not
+    pre-registered in ``_SECTION_TITLES`` — unknown ids must render with
+    the raw id as title instead."""
+
+    def _report(self):
+        from repro.analysis.report import ReproductionReport
+
+        return ReproductionReport(
+            sections={"tab1": "body", "exp9": "future experiment body"},
+            verdicts={"tab1": True, "exp9": True},
+        )
+
+    def test_unknown_id_renders_instead_of_raising(self):
+        text = self._report().to_markdown()
+        assert "## exp9" in text
+        assert "future experiment body" in text
+
+    def test_unknown_id_in_verdict_list(self):
+        text = self._report().to_markdown()
+        assert "* `exp9` — exp9: **PASS**" in text
+
+    def test_known_ids_keep_their_titles(self):
+        text = self._report().to_markdown()
+        assert "## Table I — KD execution time across devices" in text
+
+
+class TestAttachObservability:
+    def test_rollup_becomes_a_section(self):
+        from repro.analysis.report import (
+            ReproductionReport,
+            attach_observability,
+        )
+        from repro.fleet import FleetConfig, run_fleet
+        from repro.obs import Observer
+
+        obs = Observer()
+        run_fleet(
+            FleetConfig(
+                n_vehicles=2,
+                seed=b"report-obs",
+                records_per_vehicle=2,
+                max_records=2,
+                arrival_spread_ms=5.0,
+            ),
+            obs=obs,
+        )
+        report = ReproductionReport(
+            sections={"tab1": "body"}, verdicts={"tab1": True}
+        )
+        attach_observability(report, obs)
+        assert report.verdicts["obs"] is True
+        assert report.all_pass
+        text = report.to_markdown()
+        assert "## Observability — fleet telemetry rollup" in text
+        assert "fleet.records_sent" in text
+
+    def test_invalid_observer_fails_the_section(self):
+        from repro.analysis.report import (
+            ReproductionReport,
+            attach_observability,
+        )
+        from repro.obs import Observer
+
+        obs = Observer()
+        obs.spans.begin("leaked", "run", 0.0)  # left open: validate() raises
+        report = ReproductionReport(sections={}, verdicts={})
+        attach_observability(report, obs)
+        assert report.verdicts["obs"] is False
+        assert not report.all_pass

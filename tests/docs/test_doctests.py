@@ -25,6 +25,7 @@ import repro.backend
 import repro.fleet.orchestrator
 import repro.fleet.scenario
 import repro.fleet.stats
+import repro.obs
 from repro.backend import set_backend
 
 DOCUMENTED_MODULES = (
@@ -33,6 +34,7 @@ DOCUMENTED_MODULES = (
     repro.fleet.orchestrator,
     repro.fleet.scenario,
     repro.fleet.stats,
+    repro.obs,
 )
 
 #: Public APIs that must carry runnable examples (the docs satellite
@@ -44,6 +46,7 @@ MUST_HAVE_EXAMPLES = {
     "get_scenario": repro.fleet.scenario.get_scenario,
     "FleetStats": repro.fleet.stats.FleetStats,
     "repro.backend": repro.backend,
+    "repro.obs": repro.obs,
 }
 
 

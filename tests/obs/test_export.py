@@ -1,0 +1,199 @@
+"""Unit tests for the JSONL / Chrome-trace exporters and the validator."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ObsError
+from repro.obs import (
+    MetricsRegistry,
+    SpanRecorder,
+    chrome_trace,
+    markdown_rollup,
+    read_jsonl,
+    validate_chrome_trace,
+    validate_events,
+    validate_schema,
+    write_chrome_trace,
+    write_jsonl,
+)
+
+
+def _small_tree(wall_clock=False):
+    rec = SpanRecorder(wall_clock=wall_clock)
+    run = rec.begin("run", "run", 0.0)
+    shard = rec.begin("shard0", "shard", 0.0, parent=run, shard=0)
+    veh = rec.begin("veh0000", "vehicle", 1.0, parent=run, vehicle=0, shard=0)
+    rec.end(veh, 8.0, records=3)
+    rec.end(shard, 9.0)
+    rec.end(run, 10.0)
+    rec.validate()
+    return rec
+
+
+class TestMiniValidator:
+    def test_type_mismatch_names_path(self):
+        with pytest.raises(ObsError, match=r"\$\.x"):
+            validate_schema(
+                {"x": "no"},
+                {"type": "object", "properties": {"x": {"type": "integer"}}},
+            )
+
+    def test_bool_is_not_integer(self):
+        with pytest.raises(ObsError):
+            validate_schema(True, {"type": "integer"})
+
+    def test_type_list_accepts_null(self):
+        validate_schema(None, {"type": ["string", "null"]})
+
+    def test_minimum_enforced(self):
+        with pytest.raises(ObsError, match="below minimum"):
+            validate_schema(-1, {"type": "integer", "minimum": 0})
+
+    def test_required_and_enum(self):
+        with pytest.raises(ObsError, match="missing required"):
+            validate_schema({}, {"type": "object", "required": ["a"]})
+        with pytest.raises(ObsError, match="not in enum"):
+            validate_schema("z", {"enum": ["a", "b"]})
+
+    def test_items_recurse(self):
+        with pytest.raises(ObsError, match=r"\$\[1\]"):
+            validate_schema([1, "x"], {"type": "array",
+                                       "items": {"type": "integer"}})
+
+    def test_additional_properties_false(self):
+        with pytest.raises(ObsError, match="unexpected key"):
+            validate_schema(
+                {"a": 1, "b": 2},
+                {"type": "object", "properties": {"a": {}},
+                 "additionalProperties": False},
+            )
+
+
+class TestEventValidation:
+    def test_valid_stream(self):
+        rec = _small_tree()
+        events = [
+            {"type": "meta", "run": "fleet", "sim_end_ms": 10.0},
+            *[span.as_dict() for span in rec.finished()],
+            {"type": "heartbeat", "sim_ms": 5.0, "vehicles_done": 1,
+             "vehicles_total": 1, "records_sent": 3},
+        ]
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        reg.gauge("g").record(1.0)
+        reg.histogram("h").observe(2.0)
+        events.extend(reg.snapshot().events())
+        assert validate_events(events) == len(events)
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ObsError, match="unknown event type"):
+            validate_events([{"type": "mystery"}])
+
+    def test_typeless_event_rejected(self):
+        with pytest.raises(ObsError, match="not an object"):
+            validate_events([{"name": "no type"}])
+
+    def test_malformed_span_rejected(self):
+        bad = _small_tree().finished()[0].as_dict()
+        del bad["start_ms"]
+        with pytest.raises(ObsError, match="start_ms"):
+            validate_events([bad])
+
+
+class TestJsonl:
+    def test_write_read_round_trip(self, tmp_path):
+        events = [
+            {"type": "meta", "run": "fleet", "sim_end_ms": 1.0},
+            {"type": "counter", "name": "c", "labels": {}, "value": 3},
+        ]
+        path = tmp_path / "events.jsonl"
+        assert write_jsonl(path, events) == 2
+        assert read_jsonl(path) == events
+
+    def test_lines_are_individually_parseable(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        write_jsonl(path, [{"type": "meta", "run": "x", "sim_end_ms": 0.0}])
+        for line in path.read_text().splitlines():
+            json.loads(line)
+
+
+class TestChromeTrace:
+    def test_track_layout(self):
+        rec = _small_tree()
+        trace = chrome_trace(rec.finished())
+        assert validate_chrome_trace(trace) == len(trace["traceEvents"])
+        spans = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        by_name = {e["name"]: e for e in spans}
+        assert by_name["run"]["tid"] == 0
+        assert by_name["shard0"]["tid"] == 100
+        assert by_name["veh0000"]["tid"] == 1000  # vehicle beats shard attr
+        # Metadata header names each track.
+        labels = {
+            e["tid"]: e["args"]["name"]
+            for e in trace["traceEvents"]
+            if e["ph"] == "M"
+        }
+        assert labels == {0: "fleet run", 100: "shard 0",
+                          1000: "vehicle 0"}
+
+    def test_timestamps_are_sim_microseconds(self):
+        rec = _small_tree()
+        trace = chrome_trace(rec.finished())
+        veh = next(
+            e for e in trace["traceEvents"] if e["name"] == "veh0000"
+        )
+        assert veh["ts"] == 1000.0 and veh["dur"] == 7000.0
+
+    def test_heartbeats_become_counter_series(self):
+        beat = {"type": "heartbeat", "sim_ms": 5.0, "vehicles_done": 1,
+                "vehicles_total": 2, "records_sent": 3}
+        trace = chrome_trace(_small_tree().finished(), heartbeats=[beat])
+        counters = [e for e in trace["traceEvents"] if e["ph"] == "C"]
+        assert counters[0]["args"] == {"vehicles_done": 1,
+                                       "records_sent": 3}
+        validate_chrome_trace(trace)
+
+    def test_wall_ns_lands_in_args(self):
+        rec = _small_tree(wall_clock=True)
+        trace = chrome_trace(rec.finished())
+        run = next(e for e in trace["traceEvents"] if e["name"] == "run")
+        assert "wall_ns" in run["args"]
+
+    def test_write_chrome_trace(self, tmp_path):
+        path = tmp_path / "trace.json"
+        written = write_chrome_trace(path, _small_tree().finished(),
+                                     meta={"digest": "abc"})
+        on_disk = json.loads(path.read_text())
+        assert on_disk == written
+        assert on_disk["metadata"]["digest"] == "abc"
+
+
+class TestMarkdownRollup:
+    def test_rollup_sections(self):
+        rec = _small_tree()
+        reg = MetricsRegistry()
+        reg.counter("fleet.records_sent", shard=0).inc(3)
+        reg.gauge("fleet.ca_max_batch", shard=0).record(4)
+        reg.histogram("fleet.enrollment_latency_ms", shard=0).observe(7.0)
+        beat = {"type": "heartbeat", "sim_ms": 10.0, "vehicles_done": 1,
+                "vehicles_total": 1, "records_sent": 3,
+                "wall": {"peak_rss_kb": 4096}}
+        text = markdown_rollup(
+            rec.finished(), reg.snapshot(), heartbeats=[beat],
+            meta={"run": "fleet", "n_vehicles": 1, "sim_end_ms": 10.0},
+        )
+        assert "Run: run=fleet, n_vehicles=1" in text
+        assert "| span category |" in text and "| vehicle | 1 |" in text
+        assert "fleet.enrollment_latency_ms" in text
+        assert "fleet.records_sent" in text
+        assert "1/1 vehicles" in text
+        assert "Peak RSS (non-deterministic): 4096 kB." in text
+
+    def test_empty_rollup(self):
+        from repro.obs import MetricsSnapshot
+
+        text = markdown_rollup((), MetricsSnapshot.empty())
+        assert text == "No telemetry recorded.\n"

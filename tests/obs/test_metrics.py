@@ -1,0 +1,166 @@
+"""Unit tests for the mergeable metrics instruments."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import ObsError
+from repro.obs import (
+    DEFAULT_BUCKETS_MS,
+    HistogramSnapshot,
+    MetricsRegistry,
+    MetricsSnapshot,
+)
+
+
+class TestCounter:
+    def test_increments(self):
+        reg = MetricsRegistry()
+        counter = reg.counter("fleet.records_sent", shard=0)
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_same_name_and_labels_is_same_instrument(self):
+        reg = MetricsRegistry()
+        reg.counter("c", shard=1, kind="a").inc()
+        reg.counter("c", kind="a", shard=1).inc()  # label order irrelevant
+        assert reg.counter("c", shard=1, kind="a").value == 2
+
+    def test_negative_or_float_increment_rejected(self):
+        reg = MetricsRegistry()
+        counter = reg.counter("c")
+        with pytest.raises(ObsError):
+            counter.inc(-1)
+        with pytest.raises(ObsError):
+            counter.inc(1.5)
+
+
+class TestGauge:
+    def test_high_watermark_semantics(self):
+        reg = MetricsRegistry()
+        gauge = reg.gauge("fleet.ca_max_batch", shard=0)
+        gauge.record(3)
+        gauge.record(7)
+        gauge.record(5)  # lower: watermark must not drop
+        assert gauge.value == 7.0
+
+    def test_unset_gauge_absent_from_snapshot(self):
+        reg = MetricsRegistry()
+        reg.gauge("never.recorded")
+        assert reg.snapshot().gauges == {}
+
+
+class TestHistogram:
+    def test_bucketing_and_overflow(self):
+        reg = MetricsRegistry()
+        hist = reg.histogram("lat", bounds=(1.0, 10.0))
+        for value in (0.5, 1.0, 5.0, 100.0):
+            hist.observe(value)
+        snap = hist.snapshot()
+        assert snap.bucket_counts == (2, 1, 1)  # <=1, <=10, overflow
+        assert snap.count == 4
+        assert snap.min == 0.5 and snap.max == 100.0
+        assert snap.sum == 106.5
+
+    def test_exact_sum_is_fraction(self):
+        reg = MetricsRegistry()
+        hist = reg.histogram("lat")
+        hist.observe(0.1)
+        hist.observe(0.2)
+        snap = hist.snapshot()
+        assert isinstance(snap.sum_exact, Fraction)
+        # Exactly the sum of the two binary floats, not a rounded 0.3.
+        assert snap.sum_exact == Fraction(0.1) + Fraction(0.2)
+
+    def test_non_increasing_bounds_rejected(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ObsError, match="strictly increasing"):
+            reg.histogram("bad", bounds=(5.0, 1.0))
+
+    def test_bounds_fixed_per_metric_name(self):
+        reg = MetricsRegistry()
+        reg.histogram("lat", bounds=(1.0, 2.0), shard=0)
+        # Same name, new label series: inherits the fixed bounds.
+        other = reg.histogram("lat", shard=1)
+        assert other.bounds == (1.0, 2.0)
+        with pytest.raises(ObsError, match="already registered"):
+            reg.histogram("lat", bounds=(3.0, 4.0), shard=2)
+
+    def test_default_bounds(self):
+        reg = MetricsRegistry()
+        assert reg.histogram("lat").bounds == DEFAULT_BUCKETS_MS
+
+    def test_mean_of_empty_is_zero(self):
+        snap = MetricsRegistry().histogram("lat").snapshot()
+        assert snap.mean == 0.0 and snap.min is None
+
+
+class TestSnapshotMerge:
+    def _snap(self, n=1, lat=10.0):
+        reg = MetricsRegistry()
+        reg.counter("c", shard=0).inc(n)
+        reg.gauge("g").record(lat)
+        reg.histogram("h").observe(lat)
+        return reg.snapshot()
+
+    def test_merge_adds_counters_maxes_gauges_folds_histograms(self):
+        merged = self._snap(n=2, lat=5.0).merge(self._snap(n=3, lat=9.0))
+        assert merged.counter_total("c") == 5
+        ((_, gauge_value),) = merged.gauges.items()
+        assert gauge_value == 9.0
+        ((_, hist),) = merged.histograms.items()
+        assert hist.count == 2 and hist.max == 9.0
+
+    def test_empty_is_identity(self):
+        snap = self._snap()
+        assert snap.merge(MetricsSnapshot.empty()) == snap
+        assert MetricsSnapshot.empty().merge(snap) == snap
+
+    def test_mismatched_histogram_bounds_refuse_merge(self):
+        a = HistogramSnapshot(
+            count=0, sum_exact=Fraction(0), min=None, max=None,
+            bounds=(1.0,), bucket_counts=(0, 0),
+        )
+        b = HistogramSnapshot(
+            count=0, sum_exact=Fraction(0), min=None, max=None,
+            bounds=(2.0,), bucket_counts=(0, 0),
+        )
+        with pytest.raises(ObsError, match="different bucket bounds"):
+            a.merge(b)
+
+    def test_counter_total_sums_across_labels(self):
+        reg = MetricsRegistry()
+        reg.counter("c", shard=0).inc(2)
+        reg.counter("c", shard=1).inc(3)
+        reg.counter("other").inc(100)
+        assert reg.snapshot().counter_total("c") == 5
+
+
+class TestEventsRoundTrip:
+    def test_events_round_trip_through_from_events(self):
+        reg = MetricsRegistry()
+        reg.counter("c", shard=0).inc(7)
+        reg.gauge("g", shard=1).record(3.5)
+        reg.histogram("h").observe(0.1)
+        reg.histogram("h").observe(250.0)
+        snap = reg.snapshot()
+        rebuilt = MetricsSnapshot.from_events(snap.events())
+        assert rebuilt == snap
+
+    def test_histogram_dict_round_trip_is_exact(self):
+        reg = MetricsRegistry()
+        hist = reg.histogram("h")
+        hist.observe(0.1)
+        hist.observe(0.2)
+        snap = hist.snapshot()
+        assert HistogramSnapshot.from_dict(snap.as_dict()) == snap
+
+    def test_events_deterministically_ordered(self):
+        reg = MetricsRegistry()
+        reg.counter("z").inc()
+        reg.counter("a").inc()
+        names = [e["name"] for e in reg.snapshot().events()]
+        assert names == sorted(names)

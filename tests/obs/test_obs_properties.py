@@ -1,0 +1,223 @@
+"""Property-based invariants for the observability layer.
+
+Three laws, each driven over randomly generated programs rather than
+hand-picked cases:
+
+1. **Snapshot merge is order-independent and associative** (with
+   ``MetricsSnapshot.empty()`` as identity) — the algebra that lets a
+   future process-parallel orchestrator fold per-shard telemetry in any
+   completion order and land on the same bits.
+2. **Random begin/end programs yield well-formed span trees** — ids
+   stay sequential, ``validate()`` accepts exactly the programs that
+   respect nesting.
+3. **Equal (config, seed) ⇒ identical deterministic event streams** —
+   the observability analogue of the golden-digest contract.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.fleet import FleetConfig, run_fleet
+from repro.obs import MetricsRegistry, MetricsSnapshot, Observer, SpanRecorder
+
+# -- metric program strategy --------------------------------------------------
+
+_names = st.sampled_from(["lat", "records", "batch", "wait"])
+_labels = st.fixed_dictionaries(
+    {},
+    optional={
+        "shard": st.integers(0, 3),
+        "kind": st.sampled_from(["a", "b"]),
+    },
+)
+_values = st.floats(
+    min_value=0.0, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+_ops = st.one_of(
+    st.tuples(st.just("inc"), _names, _labels, st.integers(0, 1000)),
+    st.tuples(st.just("gauge"), _names, _labels, _values),
+    st.tuples(st.just("observe"), _names, _labels, _values),
+)
+
+
+def _run_program(ops) -> MetricsSnapshot:
+    reg = MetricsRegistry()
+    for op, name, labels, value in ops:
+        if op == "inc":
+            reg.counter(f"c.{name}", **labels).inc(value)
+        elif op == "gauge":
+            reg.gauge(f"g.{name}", **labels).record(value)
+        else:
+            reg.histogram(f"h.{name}", **labels).observe(value)
+    return reg.snapshot()
+
+
+_programs = st.lists(_ops, min_size=0, max_size=30)
+
+
+class TestMergeAlgebra:
+    @given(a=_programs, b=_programs)
+    @settings(max_examples=60, deadline=None)
+    def test_merge_is_commutative(self, a, b):
+        snap_a, snap_b = _run_program(a), _run_program(b)
+        assert snap_a.merge(snap_b) == snap_b.merge(snap_a)
+
+    @given(a=_programs, b=_programs, c=_programs)
+    @settings(max_examples=60, deadline=None)
+    def test_merge_is_associative(self, a, b, c):
+        snap_a, snap_b, snap_c = (
+            _run_program(a), _run_program(b), _run_program(c),
+        )
+        left = snap_a.merge(snap_b).merge(snap_c)
+        right = snap_a.merge(snap_b.merge(snap_c))
+        assert left == right
+
+    @given(a=_programs)
+    @settings(max_examples=60, deadline=None)
+    def test_empty_is_identity(self, a):
+        snap = _run_program(a)
+        assert snap.merge(MetricsSnapshot.empty()) == snap
+        assert MetricsSnapshot.empty().merge(snap) == snap
+
+    @given(a=_programs, b=_programs)
+    @settings(max_examples=40, deadline=None)
+    def test_merge_equals_interleaved_program(self, a, b):
+        # Running A's ops and B's ops in one registry is the same as
+        # merging their separate snapshots — merging loses nothing.
+        combined = _run_program(list(a) + list(b))
+        merged = _run_program(a).merge(_run_program(b))
+        assert merged == combined
+
+    @given(a=_programs, b=_programs)
+    @settings(max_examples=40, deadline=None)
+    def test_events_round_trip_after_merge(self, a, b):
+        merged = _run_program(a).merge(_run_program(b))
+        assert MetricsSnapshot.from_events(merged.events()) == merged
+
+
+# -- span tree programs -------------------------------------------------------
+
+@st.composite
+def span_programs(draw):
+    """A random well-nested program: a stack of begin/end at rising times."""
+    steps = draw(st.lists(st.booleans(), min_size=1, max_size=40))
+    program = []
+    depth = 0
+    clock = 0.0
+    for push in steps:
+        clock += draw(st.floats(0.0, 10.0, allow_nan=False))
+        if push or depth == 0:
+            program.append(("begin", clock))
+            depth += 1
+        else:
+            program.append(("end", clock))
+            depth -= 1
+    while depth:
+        clock += 1.0
+        program.append(("end", clock))
+        depth -= 1
+    return program
+
+
+class TestSpanTreeProperties:
+    @given(program=span_programs())
+    @settings(max_examples=60, deadline=None)
+    def test_stack_programs_always_validate(self, program):
+        rec = SpanRecorder()
+        stack = []
+        for index, (op, at_ms) in enumerate(program):
+            if op == "begin":
+                parent = stack[-1] if stack else None
+                stack.append(
+                    rec.begin(f"s{index}", "vehicle", at_ms, parent=parent)
+                )
+            else:
+                rec.end(stack.pop(), at_ms)
+        rec.validate()
+        spans = rec.finished()
+        # Ids are exactly 0..n-1 in begin order.
+        assert [s.span_id for s in spans] == list(range(len(spans)))
+        for span in spans:
+            assert span.end_ms >= span.start_ms
+
+    @given(program=span_programs())
+    @settings(max_examples=30, deadline=None)
+    def test_deterministic_dicts_are_reproducible(self, program):
+        def run():
+            rec = SpanRecorder(wall_clock=True)
+            stack = []
+            for index, (op, at_ms) in enumerate(program):
+                if op == "begin":
+                    parent = stack[-1] if stack else None
+                    stack.append(
+                        rec.begin(f"s{index}", "vehicle", at_ms,
+                                  parent=parent)
+                    )
+                else:
+                    rec.end(stack.pop(), at_ms)
+            return rec
+
+        first, second = run(), run()
+        # wall_ns differs between runs; the deterministic view does not.
+        assert [s.deterministic_dict() for s in first.finished()] == [
+            s.deterministic_dict() for s in second.finished()
+        ]
+
+
+# -- whole-run determinism ----------------------------------------------------
+
+_seeds = st.sampled_from(
+    [b"obs-prop-a", b"obs-prop-b", b"obs-prop-c", b"obs-prop-d"]
+)
+
+
+class TestRunDeterminism:
+    @given(
+        seed=_seeds,
+        n_vehicles=st.integers(2, 5),
+        shards=st.sampled_from([1, 2]),
+    )
+    @settings(max_examples=8, deadline=None)
+    def test_equal_config_and_seed_give_identical_streams(
+        self, seed, n_vehicles, shards
+    ):
+        config = FleetConfig(
+            n_vehicles=n_vehicles,
+            seed=seed,
+            records_per_vehicle=2,
+            max_records=2,
+            send_interval_ms=20.0,
+            arrival_spread_ms=15.0,
+            shards=shards,
+        )
+
+        def observed_run():
+            obs = Observer(wall_clock=True, heartbeat_interval_ms=50.0)
+            result = run_fleet(config, obs=obs)
+            obs.validate()
+            return result.stats.digest(), obs.deterministic_events()
+
+        digest_a, events_a = observed_run()
+        digest_b, events_b = observed_run()
+        assert digest_a == digest_b
+        assert events_a == events_b
+        # And the stream is non-trivial: spans + metrics + heartbeats.
+        kinds = {event["type"] for event in events_a}
+        assert {"meta", "span", "heartbeat", "counter"} <= kinds
+
+    @given(seed=_seeds)
+    @settings(max_examples=4, deadline=None)
+    def test_observed_digest_matches_unobserved(self, seed):
+        config = FleetConfig(
+            n_vehicles=3,
+            seed=seed,
+            records_per_vehicle=2,
+            max_records=2,
+            arrival_spread_ms=10.0,
+        )
+        plain = run_fleet(config).stats.digest()
+        obs = Observer()
+        assert run_fleet(config, obs=obs).stats.digest() == plain

@@ -1,0 +1,161 @@
+"""Unit tests for the backend profiling hooks.
+
+The profiler is pure delegation: identical bytes out, identical trace
+counts, identical digests — only wall-clock buckets are added on the
+side.  These tests pin that contract plus the registry hygiene of the
+temporary ``profiled`` backend.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.backend import available_backends, use_backend
+from repro.errors import ObsError
+from repro.fleet import FleetConfig, run_fleet
+from repro.obs import (
+    PRIMITIVE_CLASSES,
+    ProfilingBackend,
+    profile_fleet_run,
+    profiled_backend,
+    render_speedup_table,
+    speedup_table,
+)
+
+_CONFIG = FleetConfig(
+    n_vehicles=3,
+    seed=b"obs-profile",
+    records_per_vehicle=2,
+    max_records=2,
+    send_interval_ms=20.0,
+    arrival_spread_ms=15.0,
+)
+
+
+class TestProfilingBackend:
+    def test_delegation_is_bit_exact(self):
+        with use_backend("reference") as inner:
+            pass
+        profiler = ProfilingBackend(inner)
+        data = b"profiling parity"
+        assert profiler.hash_digest("sha256", data) == inner.hash_digest(
+            "sha256", data
+        )
+        assert profiler.hmac_digest(b"k" * 32, data, "sha256") == (
+            inner.hmac_digest(b"k" * 32, data, "sha256")
+        )
+        assert profiler.timings["sha2"]["calls"] == 1
+        assert profiler.timings["hmac"]["calls"] == 1
+        assert profiler.timings["sha2"]["wall_ns"] > 0
+
+    def test_streaming_hash_proxy_stays_chainable(self):
+        with use_backend("reference") as inner:
+            pass
+        profiler = ProfilingBackend(inner)
+        proxy = profiler.create_hash("sha256")
+        chained = proxy.update(b"ab")
+        # Chainable update returns the *proxy*, not the bare inner object,
+        # so follow-on calls keep being timed.
+        assert chained is proxy
+        reference = inner.create_hash("sha256", b"ab").digest()
+        assert proxy.digest() == reference
+
+    def test_describe_marks_profiled(self):
+        with use_backend("reference") as inner:
+            info = ProfilingBackend(inner).describe()
+        assert info["profiled"] is True
+        assert info["name"].startswith("profiled:")
+
+    def test_timings_cover_every_primitive_class(self):
+        with use_backend("reference") as inner:
+            profiler = ProfilingBackend(inner)
+        assert set(profiler.timings) == set(PRIMITIVE_CLASSES)
+
+
+class TestProfiledBackendScope:
+    def test_registry_left_untouched(self):
+        before = available_backends()
+        with profiled_backend("reference"):
+            assert "profiled" in available_backends()
+        assert available_backends() == before
+
+    def test_unregistered_even_on_error(self):
+        before = available_backends()
+        with pytest.raises(RuntimeError):
+            with profiled_backend("reference"):
+                raise RuntimeError("boom")
+        assert available_backends() == before
+
+
+class TestProfileFleetRun:
+    def test_profile_preserves_digest(self):
+        plain = run_fleet(_CONFIG)
+        report = profile_fleet_run(_CONFIG, backend="reference")
+        assert report.digest == plain.stats.digest()
+        assert report.backend == "reference"
+        assert report.wall_s > 0
+
+    def test_profile_strips_config_backend(self):
+        # A config pinning its own backend must still profile under the
+        # requested one (the profiled scope wins).
+        pinned = dataclasses.replace(_CONFIG, backend="accelerated")
+        report = profile_fleet_run(pinned, backend="reference")
+        assert report.digest == run_fleet(_CONFIG).stats.digest()
+
+    def test_rows_reconcile_against_trace_counts(self):
+        report = profile_fleet_run(_CONFIG, backend="reference")
+        rows = {row["event"]: row for row in report.rows()}
+        for event in ("ec.mul_base", "sha2", "hmac", "aes"):
+            assert rows[event]["trace_count"] > 0
+            assert rows[event]["calls"] > 0
+            assert rows[event]["wall_ns"] > 0
+        # Every profiled call class the trace counts, the profiler saw.
+        assert rows["ec.mul_base"]["trace_event"] == "ec.mul_base"
+        assert rows["sha2"]["trace_event"] == "sha2.block"
+
+    def test_as_dict_is_json_shaped(self):
+        import json
+
+        report = profile_fleet_run(_CONFIG, backend="reference")
+        payload = report.as_dict()
+        json.dumps(payload)
+        assert payload["backend"] == "reference"
+        assert {row["event"] for row in payload["rows"]} == set(
+            PRIMITIVE_CLASSES
+        )
+
+
+class TestSpeedupTable:
+    def test_speedup_table_over_both_backends(self):
+        reference = profile_fleet_run(_CONFIG, backend="reference")
+        accelerated = profile_fleet_run(_CONFIG, backend="accelerated")
+        table = speedup_table(reference, accelerated)
+        assert table["digest"] == reference.digest
+        rows = {row["event"]: row for row in table["rows"]}
+        assert rows["sha2"]["speedup"] is not None
+        text = render_speedup_table(table)
+        assert "primitive" in text and "sha2" in text
+
+    def test_digest_mismatch_rejected(self):
+        reference = profile_fleet_run(_CONFIG, backend="reference")
+        other = profile_fleet_run(
+            dataclasses.replace(_CONFIG, n_vehicles=4),
+            backend="accelerated",
+        )
+        with pytest.raises(ObsError, match="diverged"):
+            speedup_table(reference, other)
+
+    def test_zero_time_rows_render_as_dash(self):
+        reference = profile_fleet_run(_CONFIG, backend="reference")
+        accelerated = profile_fleet_run(_CONFIG, backend="accelerated")
+        table = speedup_table(reference, accelerated)
+        normalize = next(
+            row for row in table["rows"] if row["event"] == "ec.normalize"
+        )
+        if normalize["accelerated_ms"] == 0.0:
+            assert normalize["speedup"] is None
+        assert "—" in render_speedup_table(table) or all(
+            row["speedup"] is not None for row in table["rows"]
+        )

@@ -1,0 +1,133 @@
+"""Unit tests for the deterministic span recorder."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ObsError
+from repro.obs import FLEET_CATEGORIES, Span, SpanRecorder
+
+
+class TestSpanRecorder:
+    def test_ids_are_sequential_in_begin_order(self):
+        rec = SpanRecorder()
+        first = rec.begin("a", "run", 0.0)
+        second = rec.begin("b", "vehicle", 1.0, parent=first)
+        third = rec.begin("c", "vehicle", 2.0, parent=first)
+        assert (first, second, third) == (0, 1, 2)
+
+    def test_end_returns_finished_span(self):
+        rec = SpanRecorder()
+        span_id = rec.begin("enroll", "enroll", 5.0, shard=1)
+        span = rec.end(span_id, 12.5, latency=7.5)
+        assert span.span_id == span_id
+        assert span.start_ms == 5.0 and span.end_ms == 12.5
+        assert span.duration_ms == 7.5
+        assert dict(span.attributes) == {"shard": 1, "latency": 7.5}
+
+    def test_unknown_parent_rejected(self):
+        rec = SpanRecorder()
+        with pytest.raises(ObsError, match="unknown parent"):
+            rec.begin("orphan", "vehicle", 0.0, parent=99)
+
+    def test_double_end_rejected(self):
+        rec = SpanRecorder()
+        span_id = rec.begin("a", "run", 0.0)
+        rec.end(span_id, 1.0)
+        with pytest.raises(ObsError, match="not open"):
+            rec.end(span_id, 2.0)
+
+    def test_negative_interval_rejected(self):
+        rec = SpanRecorder()
+        span_id = rec.begin("a", "run", 10.0)
+        with pytest.raises(ObsError, match="before"):
+            rec.end(span_id, 5.0)
+
+    def test_event_is_zero_duration(self):
+        rec = SpanRecorder()
+        run = rec.begin("run", "run", 0.0)
+        marker = rec.event("rejoin", "rejoin", 3.0, parent=run)
+        assert marker.start_ms == marker.end_ms == 3.0
+        rec.end(run, 10.0)
+        rec.validate()
+
+    def test_finished_sorted_by_id(self):
+        rec = SpanRecorder()
+        outer = rec.begin("outer", "run", 0.0)
+        inner = rec.begin("inner", "vehicle", 1.0, parent=outer)
+        rec.end(inner, 2.0)  # inner finishes first...
+        rec.end(outer, 3.0)
+        assert [s.span_id for s in rec.finished()] == [0, 1]
+
+    def test_by_category(self):
+        rec = SpanRecorder()
+        run = rec.begin("run", "run", 0.0)
+        veh = rec.begin("veh", "vehicle", 0.0, parent=run)
+        rec.end(veh, 1.0)
+        rec.end(run, 2.0)
+        assert [s.name for s in rec.by_category("vehicle")] == ["veh"]
+        assert rec.by_category("migrate") == ()
+
+
+class TestValidation:
+    def test_open_span_fails_validation(self):
+        rec = SpanRecorder()
+        rec.begin("leak", "run", 0.0)
+        with pytest.raises(ObsError, match="still open"):
+            rec.validate()
+
+    def test_child_escaping_parent_fails(self):
+        rec = SpanRecorder()
+        run = rec.begin("run", "run", 0.0)
+        child = rec.begin("child", "vehicle", 5.0, parent=run)
+        rec.end(child, 20.0)  # past the parent's end below
+        rec.end(run, 10.0)
+        with pytest.raises(ObsError, match="escapes parent"):
+            rec.validate()
+
+    def test_nested_tree_validates(self):
+        rec = SpanRecorder()
+        run = rec.begin("run", "run", 0.0)
+        veh = rec.begin("veh", "vehicle", 1.0, parent=run)
+        enroll = rec.begin("enroll", "enroll", 1.0, parent=veh)
+        rec.end(enroll, 4.0)
+        rec.end(veh, 9.0)
+        rec.end(run, 10.0)
+        rec.validate()
+
+
+class TestSerialization:
+    def test_deterministic_dict_strips_wall(self):
+        span = Span(
+            span_id=3, parent_id=0, name="x", category="enroll",
+            start_ms=1.0, end_ms=2.0, attributes=(("shard", 0),),
+            wall_ns=12345,
+        )
+        det = span.deterministic_dict()
+        assert "wall" not in det
+        assert det["attrs"] == {"shard": 0}
+        full = span.as_dict()
+        assert full["wall"] == {"wall_ns": 12345}
+
+    def test_wall_clock_recorder_annotates(self):
+        rec = SpanRecorder(wall_clock=True)
+        span = rec.end(rec.begin("a", "run", 0.0), 1.0)
+        assert span.wall_ns is not None and span.wall_ns >= 0
+
+    def test_default_recorder_has_no_wall(self):
+        rec = SpanRecorder()
+        span = rec.end(rec.begin("a", "run", 0.0), 1.0)
+        assert span.wall_ns is None
+
+    def test_non_json_attrs_coerced_to_str(self):
+        rec = SpanRecorder()
+        span = rec.end(rec.begin("a", "run", 0.0, blob=b"\x00"), 1.0)
+        assert dict(span.attributes)["blob"] == str(b"\x00")
+
+
+def test_fleet_categories_cover_instrumentation():
+    # The instrumentation's category names must stay in the advisory set
+    # (exporters group tracks by it).
+    for needed in ("run", "shard", "vehicle", "enroll", "establish",
+                   "v2v", "migrate", "ca-batch", "injection"):
+        assert needed in FLEET_CATEGORIES

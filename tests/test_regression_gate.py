@@ -236,3 +236,82 @@ class TestCommittedArtifacts:
         )
         assert result.returncode == 1
         assert "failing closed" in result.stdout
+
+
+class TestJsonReport:
+    """``--json-report``: the machine-readable verdict artifact."""
+
+    def test_ok_verdict_written(self, tmp_path):
+        out = tmp_path / "gate.json"
+        result = subprocess.run(
+            [sys.executable, _GATE_PATH, "--json-report", str(out)],
+            capture_output=True,
+            text=True,
+            cwd=_REPO_ROOT,
+        )
+        assert result.returncode == 0
+        assert f"json report -> {out}" in result.stdout
+        payload = json.loads(out.read_text())
+        assert payload["verdict"] == "ok"
+        assert payload["regressions"] == 0
+        assert payload["matched"] > 0
+        assert payload["reports"]
+
+    def test_fail_verdict_and_inf_serialisation(self, tmp_path):
+        # Zero-baseline regressions carry change=inf internally; the
+        # JSON artifact must stay parseable (inf -> null).
+        baseline = tmp_path / "baselines" / "BENCH_topology_quick.json"
+        baseline.parent.mkdir()
+        baseline.write_text(json.dumps(_topology_payload(p50=0.0)))
+        candidate = tmp_path / "BENCH_topology.json"
+        candidate.write_text(json.dumps(_topology_payload(p50=50.0)))
+        out = tmp_path / "gate.json"
+        result = subprocess.run(
+            [
+                sys.executable,
+                _GATE_PATH,
+                "--baseline-dir",
+                str(baseline.parent),
+                "--candidate-dir",
+                str(tmp_path),
+                "--json-report",
+                str(out),
+            ],
+            capture_output=True,
+            text=True,
+        )
+        assert result.returncode == 1
+        payload = json.loads(out.read_text())  # strict JSON: no Infinity
+        assert payload["verdict"] == "fail"
+        assert payload["regressions"] > 0
+        entry = payload["reports"][0]["regressions"][0]
+        assert entry["change"] is None
+        assert isinstance(entry["cell"], list)
+
+    def test_written_even_when_nothing_to_compare(self, tmp_path):
+        out = tmp_path / "gate.json"
+        result = subprocess.run(
+            [
+                sys.executable,
+                _GATE_PATH,
+                "--candidate-dir",
+                str(tmp_path),
+                "--json-report",
+                str(out),
+            ],
+            capture_output=True,
+            text=True,
+        )
+        assert result.returncode == 1
+        payload = json.loads(out.read_text())
+        assert payload["verdict"] == "nothing-to-compare"
+        assert payload["reports"] == []
+
+    def test_jsonable_report_round_trips_cells(self):
+        cells = gate.extract_cells(_topology_payload())
+        report = gate.compare_cells(cells, cells)
+        report["baseline_path"] = "a"
+        report["candidate_path"] = "b"
+        jsonable = gate._jsonable_report(report)
+        json.dumps(jsonable)
+        assert jsonable["matched"] == report["matched"]
