@@ -40,6 +40,7 @@ from __future__ import annotations
 import argparse
 import dataclasses
 import json
+import os
 import time
 
 from repro.backend import available_backends, get_backend, use_backend
@@ -271,6 +272,157 @@ def bench_ca_issuance(count: int, repeats: int = 3) -> tuple[float, float]:
     return batch_s, seq_s
 
 
+# -- streaming / process-parallel scale sweep ---------------------------------
+
+#: Full-mode scale grid: (vehicles, worker counts).  The 10k tier runs
+#: every worker count (the digest-parity sweep); the 100k tier is the
+#: constant-memory headline (streaming mode must complete it with
+#: sub-linear RSS) and runs the serial + widest-parallel points to keep
+#: the full bench's wall-clock bounded.
+SCALE_GRID_FULL = ((10_000, (1, 2, 4)), (100_000, (1, 4)))
+
+#: The million-vehicle tier; hours of single-host wall-clock, so gated
+#: behind ``REPRO_BENCH_XL=1`` instead of silently shrunk.
+SCALE_GRID_XL = ((1_000_000, (1, 4)),)
+
+#: CI-smoke grid: same shape, toy sizes.
+SCALE_GRID_QUICK = ((300, (1, 2)), (1_200, (1, 2)))
+
+
+def scale_config(n_vehicles: int, workers: int = 1) -> FleetConfig:
+    """The scale-sweep storm shape: sharded, streaming, accelerated.
+
+    Two records per vehicle and no forced re-keys — the sweep measures
+    orchestration scale (arrival storm + enrollment + establishment +
+    delivery), not re-key churn; ``stream=True`` releases per-vehicle
+    event timelines/pools and resource interval traces so memory stays
+    bounded by live state, and the arrival window grows with the fleet
+    so the CA queue shape stays comparable across tiers.
+    """
+    return FleetConfig(
+        n_vehicles=n_vehicles,
+        seed=b"bench-fleet-scale",
+        records_per_vehicle=2,
+        max_records=4,
+        send_interval_ms=20.0,
+        arrival_spread_ms=max(200.0, n_vehicles / 10.0),
+        shards=4,
+        workers=workers,
+        stream=True,
+        backend="accelerated",
+    )
+
+
+def bench_scale_cell(n_vehicles: int, workers: int) -> dict:
+    """One sweep point: run the storm, record throughput + peak RSS.
+
+    Peak RSS comes from the observer's final heartbeat (``wall``
+    annotation): the max over worker processes for parallel runs, the
+    parent process watermark for serial ones — which is why the sweep
+    runs tiers in ascending size (``ru_maxrss`` only ratchets up).
+    """
+    config = scale_config(n_vehicles, workers=workers)
+    obs = Observer(wall_clock=True)
+    t0 = time.perf_counter()
+    result = FleetOrchestrator(config, obs=obs).run()
+    wall_s = time.perf_counter() - t0
+    stats = result.stats
+    if stats.records_sent != n_vehicles * config.records_per_vehicle:
+        raise AssertionError(
+            f"scale cell dropped records: {stats.records_sent} !="
+            f" {n_vehicles * config.records_per_vehicle}"
+        )
+    peak_rss_kb = obs.heartbeats[-1].get("wall", {}).get("peak_rss_kb")
+    return {
+        "vehicles": n_vehicles,
+        "workers": workers,
+        "shards": config.shards,
+        "wall_s": wall_s,
+        "host_records_per_s": stats.records_sent / wall_s,
+        "sim_records_per_s": stats.throughput_records_per_s,
+        "sessions_established": stats.sessions_established,
+        "peak_rss_kb": peak_rss_kb,
+        "digest": stats.digest(),
+        # Full simulated stats so the regression gate can diff the
+        # deterministic latency/throughput metrics cell-by-cell.
+        "fleet": stats.as_dict(),
+    }
+
+
+def bench_scale_sweep(quick: bool) -> dict:
+    """Sweep fleet size × worker count; assert parity and memory shape.
+
+    Asserts, per tier: every worker count reproduces the ``workers=1``
+    digest bit-for-bit.  Across tiers (serial points): peak RSS grows
+    **sub-linearly** in fleet size — the streaming-accumulator claim.
+    Worker counts above the host's core count still run (digest parity
+    is scale-independent) but their walls measure overhead, not
+    speedup; the cell records ``host_cores`` so readers can tell.
+    """
+    grid = list(SCALE_GRID_QUICK if quick else SCALE_GRID_FULL)
+    xl = os.environ.get("REPRO_BENCH_XL") == "1"
+    if not quick:
+        if xl:
+            grid += list(SCALE_GRID_XL)
+        else:
+            print(
+                "  (1M-vehicle tier skipped: set REPRO_BENCH_XL=1 to"
+                " run it)"
+            )
+    cells = []
+    serial_peaks: dict[int, int] = {}
+    for n_vehicles, worker_counts in grid:
+        tier_digest = None
+        for workers in worker_counts:
+            cell = bench_scale_cell(n_vehicles, workers)
+            cells.append(cell)
+            print(
+                f"  {cell['vehicles']:>9,} vehicles x {workers} worker(s):"
+                f" {cell['wall_s']:8.1f} s,"
+                f" {cell['host_records_per_s']:10.0f} rec/s host,"
+                f" peak RSS {cell['peak_rss_kb'] or 0:>9,} kB,"
+                f" digest {cell['digest'][:12]}..."
+            )
+            if tier_digest is None:
+                tier_digest = cell["digest"]
+            elif cell["digest"] != tier_digest:
+                raise AssertionError(
+                    f"multi-worker digest diverged at {n_vehicles}"
+                    f" vehicles x {workers} workers:"
+                    f" {cell['digest']} != {tier_digest}"
+                )
+            if workers == 1 and cell["peak_rss_kb"] is not None:
+                serial_peaks[n_vehicles] = cell["peak_rss_kb"]
+    if len(serial_peaks) >= 2:
+        small, large = min(serial_peaks), max(serial_peaks)
+        rss_ratio = serial_peaks[large] / serial_peaks[small]
+        scale_ratio = large / small
+        print(
+            f"  RSS scaling         : {scale_ratio:.0f}x vehicles ->"
+            f" {rss_ratio:.2f}x peak RSS (sub-linear bound:"
+            f" {0.8 * scale_ratio:.1f}x)"
+        )
+        # Streaming mode's memory claim: growth is the per-vehicle
+        # residue (Vehicle objects + credentials) on top of a fixed
+        # interpreter baseline — never per-event or per-sample.  The
+        # 0.8 factor leaves headroom for the residue while still
+        # failing hard if any per-event accumulation (latency lists,
+        # resource interval traces) sneaks back in; calibration on the
+        # reference host measured ~0.48x at the 10k->100k step
+        # (120,376 kB -> 571,828 kB).
+        if rss_ratio >= 0.8 * scale_ratio:
+            raise AssertionError(
+                f"peak RSS grew {rss_ratio:.2f}x over a"
+                f" {scale_ratio:.0f}x fleet — streaming mode is no"
+                " longer sub-linear"
+            )
+    return {
+        "host_cores": os.cpu_count(),
+        "xl_tier_ran": xl and not quick,
+        "cells": cells,
+    }
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -388,6 +540,9 @@ def main() -> None:
           f" ({QUICK_CONFIG.n_vehicles}-vehicle storm) ==")
     print(render_speedup_table(primitive_table))
 
+    print("\n== streaming scale sweep (vehicles x workers) ==")
+    scale_cell = bench_scale_sweep(args.quick)
+
     trace_cell = None
     if args.trace_out is not None:
         trace_cell = export_trace(QUICK_CONFIG, args.trace_out)
@@ -425,6 +580,7 @@ def main() -> None:
             "sequential_ms": ca_seq_s * 1000.0,
         },
         "primitive_speedup": primitive_table,
+        "scale": scale_cell,
     }
     if trace_cell is not None:
         record["trace"] = trace_cell
@@ -477,6 +633,19 @@ def test_backend_cell_parity_at_pytest_scale():
     # so BENCH_fleet.json records which speedup bar applied.
     assert "aes_accelerated" in cell and "ec_accelerated" in cell
     assert "ec" in cell["accelerated"] and "ec" in cell["reference"]
+
+
+def test_scale_cell_parity_at_pytest_scale():
+    # The real sweep (10k/100k/1M vehicles) lives in the standalone
+    # bench; at pytest scale only the contracts are checked — digest
+    # parity across worker counts and a recorded peak-RSS reading.
+    serial = bench_scale_cell(60, workers=1)
+    parallel = bench_scale_cell(60, workers=2)
+    assert parallel["digest"] == serial["digest"]
+    assert serial["sessions_established"] == 60
+    for cell in (serial, parallel):
+        assert cell["host_records_per_s"] > 0
+        assert cell["peak_rss_kb"] is None or cell["peak_rss_kb"] > 0
 
 
 def test_primitive_speedup_table_at_pytest_scale():

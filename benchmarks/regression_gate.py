@@ -89,11 +89,14 @@ def extract_cells(payload: dict) -> dict:
     """Map a BENCH payload to ``{cell_key: fleet_stats_dict}``.
 
     Topology payloads contribute one cell per sweep entry; fleet-scale
-    payloads contribute a single cell keyed by their workload shape;
-    scenario payloads key each cell by its scenario name on top of the
-    structural fields (the pre-scenario artifacts carry no ``scenario``
-    field and key with an empty name, so historical baselines keep
-    matching).
+    payloads contribute a single cell keyed by their workload shape
+    plus one cell per scale-sweep point (keyed by worker count in the
+    scenario slot — the sweep's deterministic metrics are digest-pinned
+    identical across worker counts, so gating each point also re-checks
+    that law against the baseline); scenario payloads key each cell by
+    its scenario name on top of the structural fields (the pre-scenario
+    artifacts carry no ``scenario`` field and key with an empty name,
+    so historical baselines keep matching).
     """
     benchmark = payload.get("benchmark", "unknown")
     if "cells" in payload:
@@ -111,7 +114,21 @@ def extract_cells(payload: dict) -> dict:
         return cells
     config = payload.get("config", {})
     key = (benchmark, "", 1, 0.0, config.get("n_vehicles", 0), False)
-    return {key: payload["fleet"]}
+    cells = {key: payload["fleet"]}
+    for cell in payload.get("scale", {}).get("cells", []):
+        if "fleet" not in cell:
+            continue  # pre-gate scale cells carried no stats payload
+        cells[
+            (
+                benchmark,
+                f"scale-w{cell['workers']}",
+                cell.get("shards", 0),
+                0.0,
+                cell["vehicles"],
+                False,
+            )
+        ] = cell["fleet"]
+    return cells
 
 
 def compare_cells(

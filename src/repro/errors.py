@@ -87,6 +87,16 @@ class ConfigError(SimulationError):
     """
 
 
+class StatsError(SimulationError):
+    """A statistics aggregate received or produced nonsense values.
+
+    Raised when non-finite samples (NaN/inf) reach a latency summary or
+    a streaming accumulator: rendered into digest material they would
+    poison the reproducibility contract as ``nan``/``inf`` strings, so
+    they are rejected eagerly with the offending value named.
+    """
+
+
 class ScenarioError(SimulationError):
     """A fleet scenario spec is invalid or inconsistent with its config.
 

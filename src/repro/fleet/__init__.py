@@ -42,11 +42,14 @@ from .scenario import (
     get_scenario,
     load_scenario,
 )
+from .parallel import PartitionPlan, partition_plan
 from .stats import (
+    ExactSum,
     FleetStats,
     InjectionStats,
     LatencySummary,
     ShardStats,
+    StreamingLatency,
     merge_shard_stats,
 )
 from .topology import (
@@ -69,6 +72,7 @@ __all__ = [
     "CaQueueFlood",
     "CompiledProfile",
     "DiurnalArrivals",
+    "ExactSum",
     "FleetConfig",
     "FleetOrchestrator",
     "FleetResult",
@@ -82,6 +86,7 @@ __all__ = [
     "POLICY_LEAST_LOADED",
     "POLICY_ROUND_ROBIN",
     "POLICY_STATIC_HASH",
+    "PartitionPlan",
     "PoissonArrivals",
     "ROOT_CA_NAME",
     "ReplayStorm",
@@ -90,6 +95,7 @@ __all__ = [
     "ScenarioSchedule",
     "ShardStats",
     "StaleCertFlood",
+    "StreamingLatency",
     "TimelineEvent",
     "UniformArrivals",
     "Vehicle",
@@ -97,6 +103,7 @@ __all__ = [
     "get_scenario",
     "load_scenario",
     "merge_shard_stats",
+    "partition_plan",
     "plan_v2v_pairs",
     "run_fleet",
     "shard_ca_name",

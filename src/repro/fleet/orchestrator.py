@@ -75,7 +75,7 @@ from ..errors import (
     SimulationError,
 )
 from ..hardware import DeviceModel, get_device
-from ..primitives import HmacDrbg
+from ..primitives import HmacDrbg, sha256
 from ..protocols import (
     SessionContext,
     SessionExpired,
@@ -96,7 +96,13 @@ from .scenario import (
     UniformArrivals,
     compile_scenario,
 )
-from .stats import FleetStats, InjectionStats, LatencySummary, merge_shard_stats
+from .stats import (
+    ExactSum,
+    FleetStats,
+    InjectionStats,
+    StreamingLatency,
+    merge_shard_stats,
+)
 from .topology import (
     FleetTopology,
     GATEWAY_NAME,
@@ -197,6 +203,29 @@ class FleetConfig:
             the observer comes back on :attr:`FleetResult.obs`.
             Observability is digest-neutral — hooks only read state —
             so this knob never changes simulated results either.
+        workers: worker *processes* the run executes on.  ``1`` (the
+            default) is today's in-process event loop, bit-identical to
+            every historical run.  ``workers > 1`` partitions the
+            gateway shards round-robin across worker processes when the
+            configuration is provably shard-independent (static-hash
+            placement, ``shards >= 2``, no V2V, no failover/rejoin, no
+            re-balancing, no roaming profiles, no stale-cert floods —
+            see :func:`repro.fleet.parallel.partition_plan`); each
+            worker simulates only its shards' event streams and the
+            barrier merge reproduces the single-worker
+            :class:`~repro.fleet.stats.FleetStats` digest **bit-for-bit**
+            via the proven merge laws.  Configurations whose shards are
+            dynamically coupled fall back to the serial loop (same
+            digest trivially).  Workers are capped at the shard count.
+        stream: constant-memory streaming mode.  Releases per-vehicle
+            timeline events and ephemeral pools (and, for vehicles
+            without a V2V pairing, the session manager) as each vehicle
+            finishes, and stops :class:`~repro.sim.engine.Resource`
+            interval recording — the O(events) allocations that bound
+            fleet size.  Digest-neutral by construction: only state the
+            finished vehicle can never touch again is dropped.  Off by
+            default because :attr:`FleetResult.vehicles` timelines and
+            resource interval traces are part of the debugging API.
 
     Examples:
         Configs are validated eagerly with actionable errors::
@@ -246,8 +275,14 @@ class FleetConfig:
     authenticate_requests: bool = False
     backend: str | None = None
     observe: bool = False
+    workers: int = 1
+    stream: bool = False
 
     def __post_init__(self) -> None:
+        if not isinstance(self.workers, int) or self.workers < 1:
+            raise ConfigError(
+                f"workers must be a positive integer, got {self.workers!r}"
+            )
         if self.n_vehicles <= 0:
             raise ConfigError(
                 f"fleet needs at least one vehicle, got {self.n_vehicles}"
@@ -415,6 +450,23 @@ class FleetOrchestrator:
             self._hooks = FleetInstrumentation(obs)
         else:
             self._hooks = None
+        self.config = config
+        self.scenario = scenario
+        self.schedule = (
+            compile_scenario(scenario, config) if scenario is not None else None
+        )
+        if config.workers > 1:
+            from .parallel import partition_plan
+
+            self._plan = partition_plan(config, self.schedule)
+        else:
+            self._plan = None
+        if self._plan is not None:
+            # Parallel run: provisioning happens inside each worker
+            # process (every worker builds the full deterministic
+            # topology); building it here too would double the setup
+            # cost for nothing.  run() dispatches to the worker pool.
+            return
         with use_backend(config.backend):
             self._build(config, scenario)
 
@@ -422,11 +474,6 @@ class FleetOrchestrator:
         self, config: FleetConfig, scenario: "Scenario | None"
     ) -> None:
         """Provision topology, shards and vehicles (backend-scoped)."""
-        self.config = config
-        self.scenario = scenario
-        self.schedule = (
-            compile_scenario(scenario, config) if scenario is not None else None
-        )
         self.sim = Simulator()
         self.vehicle_device: DeviceModel = get_device(config.vehicle_device)
         self.ca_device: DeviceModel = get_device(config.ca_device)
@@ -500,14 +547,21 @@ class FleetOrchestrator:
             self.vehicles[b].v2v_peer_index = a
         self._v2v_ready: set[int] = set()
         self._v2v_started: set[tuple[int, int]] = set()
-        self._enrollment_latencies: list[float] = []
-        self._establishment_latencies: list[float] = []
-        self._queue_latencies: list[float] = []
-        self._v2v_latencies: list[float] = []
+        # Streaming accumulators: constant state per distinct sample
+        # value instead of one Python float object per sample, and
+        # .summary() reproduces LatencySummary.from_samples bit-for-bit
+        # (the digest contract), so these are always-on.
+        self._enrollment_latencies = StreamingLatency()
+        self._establishment_latencies = StreamingLatency()
+        self._queue_latencies = StreamingLatency()
+        self._v2v_latencies = StreamingLatency()
         self._sessions_established = 0
         self._rekeys = 0
         self._records_sent = 0
-        self._vehicle_energy_mj = 0.0
+        # Exact (order-independent) streaming sum: the one digest float
+        # accumulated across shard boundaries in interleaved event
+        # order, so per-worker partials must fold into the same bits.
+        self._vehicle_energy = ExactSum()
         self._handovers = 0
         self._v2v_sessions = 0
         self._v2v_rekeys = 0
@@ -516,7 +570,7 @@ class FleetOrchestrator:
         self._migrations = 0
         self._rejoins = 0
         self._re_enrollments = 0
-        self._migration_latencies: list[float] = []
+        self._migration_latencies = StreamingLatency()
         #: Continuations coalesced onto a vehicle's in-flight
         #: re-enrollment (keyed by vehicle index).
         self._re_enroll_followups: dict[int, list] = {}
@@ -608,7 +662,7 @@ class FleetOrchestrator:
                 authenticate=self.config.authenticate_requests
             )
         duration = self.vehicle_device.time_ms(cost)
-        self._vehicle_energy_mj += self.vehicle_device.energy_mj(cost)
+        self._vehicle_energy.add(self.vehicle_device.energy_mj(cost))
 
         def submit() -> None:
             shard = self.topology.assign(vehicle)
@@ -688,8 +742,8 @@ class FleetOrchestrator:
         start, end = shard.resource.reserve(self.sim.now, duration)
         for entry in legit:
             wait = start - entry.queued_at
-            shard.queue_latencies.append(wait)
-            self._queue_latencies.append(wait)
+            shard.queue_latency.add(wait)
+            self._queue_latencies.add(wait)
             if self._hooks is not None:
                 self._hooks.queue_wait(self, shard, wait)
         if self._hooks is not None:
@@ -740,7 +794,7 @@ class FleetOrchestrator:
                     self.config.pool_size,
                 )
         duration = self.vehicle_device.time_ms(cost)
-        self._vehicle_energy_mj += self.vehicle_device.energy_mj(cost)
+        self._vehicle_energy.add(self.vehicle_device.energy_mj(cost))
 
         def enrolled() -> None:
             shard.enrollments += 1
@@ -749,7 +803,7 @@ class FleetOrchestrator:
                 then()
                 return
             vehicle.enrolled_at = self.sim.now
-            self._enrollment_latencies.append(
+            self._enrollment_latencies.add(
                 self.sim.now - vehicle.arrival_ms
             )
             if self._hooks is not None:
@@ -915,7 +969,7 @@ class FleetOrchestrator:
 
         def established() -> None:
             vehicle.migrating = False
-            self._migration_latencies.append(self.sim.now - started)
+            self._migration_latencies.add(self.sim.now - started)
             if self._hooks is not None:
                 self._hooks.migrate_finished(
                     self, vehicle, self.sim.now - started
@@ -1007,7 +1061,7 @@ class FleetOrchestrator:
                 authenticate=self.config.authenticate_requests
             )
         duration = self.vehicle_device.time_ms(cost)
-        self._vehicle_energy_mj += self.vehicle_device.energy_mj(cost)
+        self._vehicle_energy.add(self.vehicle_device.energy_mj(cost))
 
         def submit() -> None:
             target = shard
@@ -1086,8 +1140,8 @@ class FleetOrchestrator:
         transcript = run_protocol(party_v, party_g)
         vehicle_ms = self.vehicle_device.time_ms(party_v.total_cost())
         gateway_ms = shard.device.time_ms(party_g.total_cost())
-        self._vehicle_energy_mj += self.vehicle_device.energy_mj(
-            party_v.total_cost()
+        self._vehicle_energy.add(
+            self.vehicle_device.energy_mj(party_v.total_cost())
         )
         shard.energy_mj += shard.device.energy_mj(party_g.total_cost())
         bus_ms = transcript.total_bytes * self.config.bus_ms_per_byte
@@ -1107,7 +1161,7 @@ class FleetOrchestrator:
             vehicle.sessions += 1
             shard.sessions_established += 1
             self._sessions_established += 1
-            self._establishment_latencies.append(self.sim.now - started)
+            self._establishment_latencies.add(self.sim.now - started)
             if self._hooks is not None:
                 self._hooks.establish_finished(
                     self,
@@ -1184,6 +1238,20 @@ class FleetOrchestrator:
         self.migrate(vehicle, target)
         return True
 
+    def _release_vehicle(self, vehicle: Vehicle) -> None:
+        """Streaming mode: drop state a finished vehicle can never touch.
+
+        The timeline events and the ephemeral pool are dead the moment
+        the vehicle reports done; the session manager additionally dies
+        unless a V2V pairing can still re-key through it.  The gateway
+        side of the session stays installed (replay-storm injections
+        verify against it), so this is digest-neutral by construction.
+        """
+        vehicle.events.clear()
+        vehicle.pool = None
+        if vehicle.v2v_peer_index is None:
+            vehicle.manager = None
+
     def _send(self, vehicle: Vehicle) -> None:
         if vehicle.records_sent >= self._records_target(vehicle):
             vehicle.done_at = self.sim.now
@@ -1191,6 +1259,8 @@ class FleetOrchestrator:
             vehicle.log(self.sim.now, "done", f"{vehicle.records_sent} records")
             if self._hooks is not None:
                 self._hooks.vehicle_done(self, vehicle)
+            if self.config.stream:
+                self._release_vehicle(vehicle)
             return
         shard = self.shards[vehicle.shard]
         if shard.failed:
@@ -1228,7 +1298,7 @@ class FleetOrchestrator:
         ).ljust(self.config.record_bytes, b".")[: self.config.record_bytes]
         with trace.trace(f"{vehicle.name}:send") as send_cost:
             record = vehicle.manager.send(shard.gateway_id, payload)
-        self._vehicle_energy_mj += self.vehicle_device.energy_mj(send_cost)
+        self._vehicle_energy.add(self.vehicle_device.energy_mj(send_cost))
         with trace.trace("gateway:receive") as recv_cost:
             received = shard.manager.receive(vehicle.device_id, record)
         if received != payload:
@@ -1315,11 +1385,11 @@ class FleetOrchestrator:
         transcript = run_protocol(party_i, party_r)
         initiator_ms = self.vehicle_device.time_ms(party_i.total_cost())
         responder_ms = self.vehicle_device.time_ms(party_r.total_cost())
-        self._vehicle_energy_mj += self.vehicle_device.energy_mj(
-            party_i.total_cost()
+        self._vehicle_energy.add(
+            self.vehicle_device.energy_mj(party_i.total_cost())
         )
-        self._vehicle_energy_mj += self.vehicle_device.energy_mj(
-            party_r.total_cost()
+        self._vehicle_energy.add(
+            self.vehicle_device.energy_mj(party_r.total_cost())
         )
         bus_ms = transcript.total_bytes * self.config.bus_ms_per_byte
         done = started + initiator_ms + responder_ms + bus_ms
@@ -1338,7 +1408,7 @@ class FleetOrchestrator:
                 self._v2v_rekeys += 1
             if initiator.shard != responder.shard:
                 self._v2v_cross_shard += 1
-            self._v2v_latencies.append(self.sim.now - started)
+            self._v2v_latencies.add(self.sim.now - started)
             if self._hooks is not None:
                 self._hooks.v2v_finished(
                     self,
@@ -1394,7 +1464,7 @@ class FleetOrchestrator:
         ).ljust(self.config.record_bytes, b".")[: self.config.record_bytes]
         with trace.trace(f"{initiator.name}:v2v-send") as send_cost:
             record = initiator.manager.send(responder.device_id, payload)
-        self._vehicle_energy_mj += self.vehicle_device.energy_mj(send_cost)
+        self._vehicle_energy.add(self.vehicle_device.energy_mj(send_cost))
         with trace.trace(f"{responder.name}:v2v-receive") as recv_cost:
             received = responder.manager.receive(initiator.device_id, record)
         if received != payload:
@@ -1402,7 +1472,7 @@ class FleetOrchestrator:
                 f"{responder.name} decrypted wrong V2V payload from"
                 f" {initiator.name}"
             )
-        self._vehicle_energy_mj += self.vehicle_device.energy_mj(recv_cost)
+        self._vehicle_energy.add(self.vehicle_device.energy_mj(recv_cost))
         initiator.v2v_records_sent += 1
         self._v2v_records_sent += 1
         if self._hooks is not None:
@@ -1573,9 +1643,85 @@ class FleetOrchestrator:
         ambient backend).  Backends are bit-parity, so the resulting
         :class:`~repro.fleet.stats.FleetStats` digest is independent of
         the selection.
+
+        With ``workers > 1`` and a provably shard-independent
+        configuration the shards execute in worker processes and the
+        snapshots merge at the barrier (:mod:`repro.fleet.parallel`);
+        the merged digest is bit-identical to the serial one.  Coupled
+        configurations fall back to the serial loop.
         """
+        if self._plan is not None:
+            from .parallel import run_parallel
+
+            return run_parallel(
+                self.config,
+                self.scenario,
+                self.schedule,
+                self._plan,
+                obs=self.obs,
+                max_events=max_events,
+            )
         with use_backend(self.config.backend):
             return self._run(max_events)
+
+    # -- process-parallel support -------------------------------------------
+
+    def _predicted_shard(self, vehicle: Vehicle) -> int:
+        """The shard a vehicle will be assigned to, computed statically.
+
+        Only valid under the parallel-execution preconditions
+        (:func:`repro.fleet.parallel.partition_plan`): static-hash
+        placement with every shard alive, where assignment is a pure
+        function of the vehicle identity (or its scenario shard pin) —
+        the same arithmetic :meth:`FleetTopology.assign` runs.
+        """
+        if vehicle.pinned_shard is not None:
+            return vehicle.pinned_shard
+        digest = sha256(b"fleet|shard-assign|" + vehicle.device_id)
+        return int.from_bytes(digest[:8], "big") % self.config.shards
+
+    def _run_partition(self, owned: frozenset, max_events: int) -> None:
+        """Drive only the event streams of the ``owned`` shards.
+
+        Schedules arrivals for vehicles statically assigned to an owned
+        shard and injections targeting an owned shard, in the exact
+        relative order the serial loop schedules them — so by induction
+        every owned shard sees a bit-identical event stream (shard
+        streams are independent under the partition-plan preconditions,
+        and co-timed events keep their scheduling order because omitted
+        foreign events never interleave *within* a shard's stream).
+        Runs under the caller's backend scope; stats assembly is the
+        caller's job (:mod:`repro.fleet.parallel` merges snapshots).
+        """
+        if self._hooks is not None:
+            self._hooks.run_started(self)
+        for vehicle in self.vehicles:
+            if self._predicted_shard(vehicle) not in owned:
+                continue
+            self.sim.schedule_at(
+                vehicle.arrival_ms, (lambda v: lambda: self._arrive(v))(vehicle)
+            )
+        if self.schedule is not None:
+            for index, spec in enumerate(self.schedule.injections):
+                if getattr(spec, "target_shard", None) not in owned:
+                    continue
+                self.sim.schedule_at(
+                    spec.at_ms,
+                    (
+                        lambda i, s: lambda: self._run_injection(i, s)
+                    )(index, spec),
+                )
+        self.sim.run(max_events=max_events)
+        unfinished = [
+            v.name
+            for v in self.vehicles
+            if v.done_at is None and self._predicted_shard(v) in owned
+        ]
+        if unfinished:
+            raise SimulationError(
+                f"fleet partition ended with unfinished vehicles:"
+                f" {unfinished[:5]}"
+            )
 
     def _run(self, max_events: int) -> FleetResult:
         """The storm itself (already scoped to the configured backend)."""
@@ -1640,30 +1786,22 @@ class FleetOrchestrator:
             ),
             ca_batches=merged["ca_batches"],
             ca_max_batch=merged["ca_max_batch"],
-            enrollment_latency=LatencySummary.from_samples(
-                self._enrollment_latencies
-            ),
-            establishment_latency=LatencySummary.from_samples(
-                self._establishment_latencies
-            ),
-            vehicle_energy_mj=self._vehicle_energy_mj,
+            enrollment_latency=self._enrollment_latencies.summary(),
+            establishment_latency=self._establishment_latencies.summary(),
+            vehicle_energy_mj=self._vehicle_energy.value,
             ca_energy_mj=merged["ca_energy_mj"],
             per_shard=per_shard,
-            ca_queue_latency=LatencySummary.from_samples(
-                self._queue_latencies
-            ),
+            ca_queue_latency=self._queue_latencies.summary(),
             v2v_sessions=self._v2v_sessions,
             v2v_rekeys=self._v2v_rekeys,
             v2v_cross_shard=self._v2v_cross_shard,
             v2v_records_sent=self._v2v_records_sent,
-            v2v_latency=LatencySummary.from_samples(self._v2v_latencies),
+            v2v_latency=self._v2v_latencies.summary(),
             handovers=self._handovers,
             migrations=self._migrations,
             rejoins=self._rejoins,
             re_enrollments=self._re_enrollments,
-            migration_latency=LatencySummary.from_samples(
-                self._migration_latencies
-            ),
+            migration_latency=self._migration_latencies.summary(),
             scenario=(
                 self.scenario.name if self.scenario is not None else ""
             ),

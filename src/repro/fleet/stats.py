@@ -16,9 +16,23 @@ with the pre-topology fleet.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
+from ..errors import StatsError
 from ..primitives import sha256
+
+
+def _require_finite(value: float, where: str) -> float:
+    """Reject NaN/inf before it can poison digest material."""
+    value = float(value)
+    if not math.isfinite(value):
+        raise StatsError(
+            f"{where} must be finite, got {value!r}; NaN/inf samples"
+            " would render into digest material and poison the"
+            " reproducibility contract"
+        )
+    return value
 
 
 def _percentile(sorted_samples: list[float], q: float) -> float:
@@ -79,9 +93,16 @@ class LatencySummary:
 
     @classmethod
     def from_samples(cls, samples: list[float]) -> "LatencySummary":
-        """Summarize raw samples; all-zero summary for an empty set."""
+        """Summarize raw samples; all-zero summary for an empty set.
+
+        Non-finite samples raise :class:`~repro.errors.StatsError`: a
+        NaN would even corrupt the *sort* the percentile ranks rely on,
+        and both NaN and inf would render into digest material.
+        """
         if not samples:
             return cls(0, 0.0, 0.0, 0.0, 0.0, 0.0)
+        for sample in samples:
+            _require_finite(sample, "latency samples")
         ordered = sorted(samples)
         return cls(
             count=len(ordered),
@@ -121,16 +142,166 @@ class LatencySummary:
         arrived with the topology benchmarks, so dicts written before
         then lack the key and default to ``0.0`` — the same value the
         field's dataclass default gives a freshly built summary.
+
+        Non-finite values raise :class:`~repro.errors.StatsError` (a
+        hand-edited or corrupted benchmark record must fail loudly, not
+        hash ``nan`` into a digest).
         """
         return cls(
             count=data["count"],
-            min_ms=data["min_ms"],
-            mean_ms=data["mean_ms"],
-            p50_ms=data["p50_ms"],
-            p95_ms=data["p95_ms"],
-            max_ms=data["max_ms"],
-            p99_ms=data.get("p99_ms", 0.0),
+            min_ms=_require_finite(data["min_ms"], "min_ms"),
+            mean_ms=_require_finite(data["mean_ms"], "mean_ms"),
+            p50_ms=_require_finite(data["p50_ms"], "p50_ms"),
+            p95_ms=_require_finite(data["p95_ms"], "p95_ms"),
+            max_ms=_require_finite(data["max_ms"], "max_ms"),
+            p99_ms=_require_finite(data.get("p99_ms", 0.0), "p99_ms"),
         )
+
+
+class StreamingLatency:
+    """Constant-state streaming replacement for a raw sample list.
+
+    Holds the sample **multiset** as a ``value -> count`` mapping instead
+    of materializing one Python float object per sample.  Memory is
+    bounded by the number of *distinct* sample values — which the
+    discrete cost model quantizes heavily (thousands of vehicles doing
+    identical priced work produce identical latencies) — not by the
+    sample count, and :meth:`summary` reproduces
+    :meth:`LatencySummary.from_samples` **bit-for-bit** on every
+    digest-frozen field:
+
+    * ``min``/``max`` are the smallest/largest distinct value;
+    * ``mean`` replays the sequential float addition ``sum(sorted(...))``
+      performs — equal values are adjacent after sorting, so repeated
+      addition over the sorted distinct values is the *same* float
+      operation sequence;
+    * ``p50``/``p95`` (and the digest-excluded ``p99``) resolve the
+      legacy nearest-rank indices through cumulative counts.
+
+    ``merge`` adds count mappings, which is order-independent and
+    associative — the property the process-parallel barrier merge
+    relies on (locked by the hypothesis suite).
+    """
+
+    __slots__ = ("_counts", "_n")
+
+    def __init__(self) -> None:
+        self._counts: dict[float, int] = {}
+        self._n = 0
+
+    def add(self, value: float) -> None:
+        """Record one sample; NaN/inf raise :class:`~repro.errors.StatsError`."""
+        value = _require_finite(value, "latency samples")
+        self._counts[value] = self._counts.get(value, 0) + 1
+        self._n += 1
+
+    @property
+    def count(self) -> int:
+        """Samples recorded so far."""
+        return self._n
+
+    @property
+    def distinct(self) -> int:
+        """Distinct sample values held (the memory bound)."""
+        return len(self._counts)
+
+    def merge(self, other: "StreamingLatency") -> None:
+        """Fold another accumulator in (order-independent, associative)."""
+        for value, count in other._counts.items():
+            self._counts[value] = self._counts.get(value, 0) + count
+        self._n += other._n
+
+    def summary(self) -> "LatencySummary":
+        """Freeze into a summary, bit-identical to the materialized path."""
+        if not self._n:
+            return LatencySummary.from_samples([])
+        values = sorted(self._counts)
+        total = 0.0
+        for value in values:
+            for _ in range(self._counts[value]):
+                total += value
+        return LatencySummary(
+            count=self._n,
+            min_ms=values[0],
+            mean_ms=total / self._n,
+            p50_ms=self._value_at(values, self._rank_legacy(0.50)),
+            p95_ms=self._value_at(values, self._rank_legacy(0.95)),
+            max_ms=values[-1],
+            p99_ms=self._value_at(values, self._rank_ceil(0.99)),
+        )
+
+    def _rank_legacy(self, q: float) -> int:
+        # The digest-frozen banker's-rounding rank of _percentile.
+        return min(self._n - 1, max(0, round(q * (self._n - 1))))
+
+    def _rank_ceil(self, q: float) -> int:
+        # The round-half-up rank of _percentile_ceil (p99 only).
+        return min(self._n - 1, int(q * (self._n - 1) + 0.5))
+
+    def _value_at(self, values: list[float], rank: int) -> float:
+        """The ``rank``-th (0-based) order statistic via cumulative counts."""
+        seen = 0
+        for value in values:
+            seen += self._counts[value]
+            if rank < seen:
+                return value
+        return values[-1]  # pragma: no cover - rank is always < n
+
+    def canonical(self) -> str:
+        """Canonical rendering for transport checkpointing (repr-exact)."""
+        return ";".join(
+            f"{value!r}:{self._counts[value]}" for value in sorted(self._counts)
+        )
+
+
+class ExactSum:
+    """Exactly-rounded streaming float sum (Shewchuk partials).
+
+    Keeps the running sum as a list of non-overlapping partials whose
+    mathematical sum is *exactly* the sum of every input; :attr:`value`
+    rounds once via :func:`math.fsum`.  The result equals
+    ``math.fsum(inputs)`` regardless of input order, and :meth:`merge`
+    (feeding another accumulator's partials in) preserves exactness —
+    so per-worker partial sums fold into the same bits the single-worker
+    accumulation produces.  Used for the fleet-global vehicle energy
+    total, the one digest-feeding float accumulated across shard
+    boundaries in interleaved event order.
+    """
+
+    __slots__ = ("_partials",)
+
+    def __init__(self) -> None:
+        self._partials: list[float] = []
+
+    def add(self, value: float) -> None:
+        """Fold one term in; NaN/inf raise :class:`~repro.errors.StatsError`."""
+        x = _require_finite(value, "sum terms")
+        partials = self._partials
+        i = 0
+        for y in partials:
+            if abs(x) < abs(y):
+                x, y = y, x
+            hi = x + y
+            lo = y - (hi - x)
+            if lo:
+                partials[i] = lo
+                i += 1
+            x = hi
+        partials[i:] = [x]
+
+    def merge(self, other: "ExactSum") -> None:
+        """Fold another accumulator in exactly (order-independent)."""
+        for partial in list(other._partials):
+            self.add(partial)
+
+    @property
+    def value(self) -> float:
+        """The correctly-rounded sum of every term added so far."""
+        return math.fsum(self._partials)
+
+    def canonical(self) -> str:
+        """Canonical rendering for transport checkpointing (repr-exact)."""
+        return ";".join(f"{partial!r}" for partial in self._partials)
 
 
 @dataclass(frozen=True)
@@ -291,21 +462,29 @@ class InjectionStats:
 def merge_shard_stats(shards: "tuple[ShardStats, ...] | list[ShardStats]") -> dict:
     """Cross-shard merge: fold per-shard breakdowns into fleet-level CA totals.
 
-    Busy time, batches, energy and counts sum across shards (in shard
-    order, so the float accumulation is deterministic); the max batch is
-    the fleet-wide maximum.  For a single shard this is the identity —
-    the degenerate fleet reports exactly its one resource's numbers.
+    Counts sum across shards and the max batch is the fleet-wide
+    maximum; the float totals (busy time, energy) accumulate via
+    :func:`math.fsum` over the shards sorted by their canonical order
+    (shard index), so the merge is **order-independent**: float addition
+    is not associative, and the plain ``sum`` this used to run could
+    drift from the sequential digest under a permuted or parallel merge.
+    ``fsum`` is exactly rounded, hence permutation-invariant even before
+    the canonical sort (the sort makes the intent explicit and keeps any
+    future non-exact reducer honest).  For a single shard this is the
+    identity — the degenerate fleet reports exactly its one resource's
+    numbers.
     """
+    ordered = sorted(shards, key=lambda s: s.index)
     return {
         "vehicles_assigned": sum(s.vehicles_assigned for s in shards),
         "enrollments": sum(s.enrollments for s in shards),
         "sessions_established": sum(s.sessions_established for s in shards),
         "rekeys": sum(s.rekeys for s in shards),
         "handovers_in": sum(s.handovers_in for s in shards),
-        "ca_busy_ms": sum(s.ca_busy_ms for s in shards),
+        "ca_busy_ms": math.fsum(s.ca_busy_ms for s in ordered),
         "ca_batches": sum(s.ca_batches for s in shards),
         "ca_max_batch": max((s.ca_max_batch for s in shards), default=0),
-        "ca_energy_mj": sum(s.ca_energy_mj for s in shards),
+        "ca_energy_mj": math.fsum(s.ca_energy_mj for s in ordered),
         "failed_shards": sum(1 for s in shards if s.failed),
         "migrations_in": sum(s.migrations_in for s in shards),
         "migrations_out": sum(s.migrations_out for s in shards),
@@ -568,9 +747,20 @@ class FleetStats:
         Derived fields (throughputs, the digest) are recomputed, so a
         round-tripped instance compares equal to — and digests identically
         to — the original; the regression-gate tooling relies on this.
+
+        Back-compat: dicts serialized before the topology/churn/scenario
+        layers lack their sections entirely (``per_shard``, ``v2v``,
+        ``ca_queue_latency``, ``handovers``, ``churn``, ``scenario``).
+        Each missing section falls back to the same defaults the
+        dataclass gives a freshly built pre-topology instance — the
+        ``p99_ms`` precedent in :meth:`LatencySummary.from_dict` — so a
+        frozen legacy record still round-trips to its original digest
+        instead of KeyErroring.
         """
         churn = data.get("churn", {})
         scenario = data.get("scenario", {})
+        v2v = data.get("v2v", {})
+        empty_latency = _empty_latency().as_dict()
         return cls(
             vehicles=data["vehicles"],
             enrollments=data["enrollments"],
@@ -591,17 +781,20 @@ class FleetStats:
             vehicle_energy_mj=data["energy_mj"]["vehicles"],
             ca_energy_mj=data["energy_mj"]["ca"],
             per_shard=tuple(
-                ShardStats.from_dict(shard) for shard in data["per_shard"]
+                ShardStats.from_dict(shard)
+                for shard in data.get("per_shard", [])
             ),
             ca_queue_latency=LatencySummary.from_dict(
-                data["ca_queue_latency"]
+                data.get("ca_queue_latency", empty_latency)
             ),
-            v2v_sessions=data["v2v"]["sessions"],
-            v2v_rekeys=data["v2v"]["rekeys"],
-            v2v_cross_shard=data["v2v"]["cross_shard"],
-            v2v_records_sent=data["v2v"]["records_sent"],
-            v2v_latency=LatencySummary.from_dict(data["v2v"]["latency"]),
-            handovers=data["handovers"],
+            v2v_sessions=v2v.get("sessions", 0),
+            v2v_rekeys=v2v.get("rekeys", 0),
+            v2v_cross_shard=v2v.get("cross_shard", 0),
+            v2v_records_sent=v2v.get("records_sent", 0),
+            v2v_latency=LatencySummary.from_dict(
+                v2v.get("latency", empty_latency)
+            ),
+            handovers=data.get("handovers", 0),
             migrations=churn.get("migrations", 0),
             rejoins=churn.get("rejoins", 0),
             re_enrollments=churn.get("re_enrollments", 0),

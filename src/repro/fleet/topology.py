@@ -54,7 +54,7 @@ from ..protocols import SessionManager
 from ..protocols.pool import EphemeralPool
 from ..sim.engine import Resource
 from ..testbed import DEFAULT_NOW, device_id
-from .stats import LatencySummary, ShardStats
+from .stats import ShardStats, StreamingLatency
 from .vehicle import Vehicle
 
 #: Identity of the central CA/gateway device (paper Fig. 1's RPi 4) in the
@@ -120,7 +120,7 @@ class GatewayShard:
     handovers_in: int = 0
     migrations_in: int = 0
     migrations_out: int = 0
-    queue_latencies: list[float] = field(default_factory=list)
+    queue_latency: StreamingLatency = field(default_factory=StreamingLatency)
     energy_mj: float = 0.0
     session_counter: int = 0
 
@@ -158,7 +158,7 @@ class GatewayShard:
             ca_utilisation=self.resource.utilisation(now),
             ca_batches=self.batches,
             ca_max_batch=self.max_batch,
-            queue_latency=LatencySummary.from_samples(self.queue_latencies),
+            queue_latency=self.queue_latency.summary(),
             ca_energy_mj=self.energy_mj,
             epoch=self.epoch,
             migrations_in=self.migrations_in,
@@ -336,7 +336,10 @@ class FleetTopology:
             ca=ca,
             ca_certificate=ca_certificate,
             gateway_credential=gateway_credential,
-            resource=Resource(ca_name),
+            resource=Resource(
+                ca_name,
+                record_intervals=not getattr(config, "stream", False),
+            ),
             device=get_device(config.ca_device),
             pool=pool,
         )

@@ -113,6 +113,29 @@ class FleetInstrumentation:
             }
         )
 
+    def partition_finished(self, orch) -> None:
+        """Close shard + run spans for one worker *partition* run.
+
+        The process-parallel path (:mod:`repro.fleet.parallel`) ends a
+        worker's telemetry here instead of :meth:`run_finished`: the
+        worker has no merged :class:`~repro.fleet.stats.FleetStats`, so
+        injection counters and the run meta are emitted by the *parent*
+        from the merged result.  Spans stay worker-local.
+        """
+        spans = self.obs.spans
+        now = orch.sim.now
+        for shard in orch.shards:
+            spans.end(
+                self._shard_spans.pop(shard.index),
+                now,
+                enrollments=shard.enrollments,
+                sessions=shard.sessions_established,
+                batches=shard.batches,
+            )
+        spans.end(self._run_span, now)
+        self._run_span = None
+        self._heartbeat(orch)  # final worker beat, always emitted
+
     # -- enrollment ---------------------------------------------------------
 
     def vehicle_arrived(self, orch, vehicle) -> None:

@@ -119,6 +119,27 @@ class Histogram:
                 return
         self.bucket_counts[-1] += 1
 
+    def absorb(self, snap: "HistogramSnapshot") -> None:
+        """Fold a frozen snapshot into this live histogram.
+
+        Exact (the sums are Fractions) and order-independent, so
+        absorbing worker snapshots in any order yields the same state
+        as the merge-law composition of their snapshots.
+        """
+        if snap.bounds != self.bounds:
+            raise ObsError(
+                "cannot absorb a histogram with different bucket bounds:"
+                f" {self.bounds} != {snap.bounds}"
+            )
+        self.count += snap.count
+        self._sum += snap.sum_exact
+        if snap.min is not None and (self.min is None or snap.min < self.min):
+            self.min = snap.min
+        if snap.max is not None and (self.max is None or snap.max > self.max):
+            self.max = snap.max
+        for index, tally in enumerate(snap.bucket_counts):
+            self.bucket_counts[index] += tally
+
     def snapshot(self) -> "HistogramSnapshot":
         """Immutable snapshot of the current state."""
         return HistogramSnapshot(
@@ -361,6 +382,40 @@ class MetricsRegistry:
                 self._histogram_bounds[name] = bounds
             self._histograms[key] = Histogram(bounds)
         return self._histograms[key]
+
+    def absorb(self, snapshot: MetricsSnapshot) -> None:
+        """Fold a frozen snapshot into the live registry.
+
+        The process-parallel orchestrator's barrier merge: each worker
+        ships its registry as a :class:`MetricsSnapshot` and the parent
+        absorbs them all.  Obeys the same laws as
+        :meth:`MetricsSnapshot.merge` — counters add, gauges take the
+        max, histograms fold exactly — so
+        ``registry.snapshot()`` afterwards equals
+        ``before.merge(snapshot)`` for any absorption order.
+        """
+        for (name, labels), value in snapshot.counters.items():
+            key = (name, labels)
+            if key not in self._counters:
+                self._counters[key] = Counter()
+            self._counters[key].inc(value)
+        for (name, labels), value in snapshot.gauges.items():
+            key = (name, labels)
+            if key not in self._gauges:
+                self._gauges[key] = Gauge()
+            self._gauges[key].record(value)
+        for (name, labels), snap in snapshot.histograms.items():
+            key = (name, labels)
+            if key not in self._histograms:
+                fixed = self._histogram_bounds.get(name)
+                if fixed is not None and fixed != snap.bounds:
+                    raise ObsError(
+                        f"histogram {name!r} already registered with"
+                        f" bounds {fixed}"
+                    )
+                self._histogram_bounds.setdefault(name, snap.bounds)
+                self._histograms[key] = Histogram(snap.bounds)
+            self._histograms[key].absorb(snap)
 
     def snapshot(self) -> MetricsSnapshot:
         """Freeze the current state of every instrument."""

@@ -89,12 +89,18 @@ class Resource:
 
     Callers reserve an interval starting no earlier than ``ready_at``;
     the resource tracks when it frees up and its total busy time.
+
+    ``record_intervals=False`` disables the per-reservation interval
+    trace (an O(reservations) allocation) for constant-memory streaming
+    runs; ``ready_at``/``busy_ms`` accounting — everything the
+    simulated results depend on — is unaffected.
     """
 
-    def __init__(self, name: str) -> None:
+    def __init__(self, name: str, record_intervals: bool = True) -> None:
         self.name = name
         self.ready_at: float = 0.0
         self.busy_ms: float = 0.0
+        self.record_intervals = record_intervals
         self.intervals: list[tuple[float, float]] = []
 
     def reserve(self, earliest_start: float, duration: float) -> tuple[float, float]:
@@ -105,7 +111,8 @@ class Resource:
         end = start + duration
         self.ready_at = end
         self.busy_ms += duration
-        self.intervals.append((start, end))
+        if self.record_intervals:
+            self.intervals.append((start, end))
         return start, end
 
     def utilisation(self, now: float) -> float:

@@ -1,0 +1,230 @@
+"""Streaming accumulators vs. their materialized references.
+
+The constant-memory orchestrator path replaces the unbounded latency
+lists with :class:`~repro.fleet.stats.StreamingLatency` and the
+sequential energy ``+=`` with :class:`~repro.fleet.stats.ExactSum`.
+Both carry a hard contract:
+
+* ``StreamingLatency.summary()`` reproduces
+  ``LatencySummary.from_samples`` **bit-for-bit** on every
+  digest-frozen field (count/min/mean/p50/p95/max at their historical
+  rounding rules), for any sample multiset and any split/merge of it;
+* ``ExactSum.value`` is the correctly-rounded exact sum — equal to
+  ``math.fsum`` and independent of addition and merge order.
+
+These laws are what make the multi-worker barrier merge digest-exact,
+so they are fuzzed here, not just spot-checked.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import StatsError
+from repro.fleet import ExactSum, LatencySummary, StreamingLatency
+
+_millis = st.floats(
+    min_value=0.0, max_value=1e7, allow_nan=False, allow_infinity=False
+)
+#: Heavily-quantized samples (the cost model emits few distinct values)
+#: plus free floats — exercises both the counted-duplicate replay and
+#: the general case.
+_samples = st.lists(
+    st.one_of(_millis, st.sampled_from([0.25, 1.5, 1.5, 12.0, 12.0])),
+    min_size=0,
+    max_size=80,
+)
+
+
+class TestStreamingLatencyEquivalence:
+    @given(_samples)
+    def test_summary_matches_from_samples_bitwise(self, samples):
+        acc = StreamingLatency()
+        for sample in samples:
+            acc.add(sample)
+        assert acc.summary() == LatencySummary.from_samples(samples)
+        assert acc.count == len(samples)
+        assert acc.distinct == len(set(samples))
+
+    @given(_samples, st.integers(min_value=0, max_value=80), st.randoms())
+    def test_split_merge_matches_single_stream(self, samples, cut, rng):
+        shuffled = list(samples)
+        rng.shuffle(shuffled)
+        cut = min(cut, len(shuffled))
+        left, right = StreamingLatency(), StreamingLatency()
+        for sample in shuffled[:cut]:
+            left.add(sample)
+        for sample in shuffled[cut:]:
+            right.add(sample)
+        left.merge(right)
+        # Any partition of the multiset, fed in any order, merges to the
+        # exact summary of the whole — the parallel-barrier law.
+        assert left.summary() == LatencySummary.from_samples(samples)
+        assert left.count == len(samples)
+
+    def test_empty_summary_is_all_zero(self):
+        assert StreamingLatency().summary() == LatencySummary.from_samples(
+            []
+        )
+
+    @given(_samples)
+    def test_canonical_is_order_independent(self, samples):
+        a, b = StreamingLatency(), StreamingLatency()
+        for sample in samples:
+            a.add(sample)
+        for sample in reversed(samples):
+            b.add(sample)
+        assert a.canonical() == b.canonical()
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"), -math.inf])
+    def test_rejects_non_finite(self, bad):
+        with pytest.raises(StatsError):
+            StreamingLatency().add(bad)
+
+
+class TestExactSum:
+    @given(st.lists(_millis, max_size=60), st.randoms())
+    def test_value_is_fsum_in_any_order(self, values, rng):
+        acc = ExactSum()
+        shuffled = list(values)
+        rng.shuffle(shuffled)
+        for value in shuffled:
+            acc.add(value)
+        assert acc.value == math.fsum(values)
+
+    @given(st.lists(_millis, max_size=60), st.integers(0, 60))
+    def test_merge_matches_single_accumulator(self, values, cut):
+        cut = min(cut, len(values))
+        left, right = ExactSum(), ExactSum()
+        for value in values[:cut]:
+            left.add(value)
+        for value in values[cut:]:
+            right.add(value)
+        left.merge(right)
+        assert left.value == math.fsum(values)
+
+    def test_exactness_beats_sequential_sum(self):
+        # The classic cancellation case sequential += gets wrong.
+        acc = ExactSum()
+        for value in [1e16, 1.0, -1e16]:
+            acc.add(value)
+        assert acc.value == 1.0
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf")])
+    def test_rejects_non_finite(self, bad):
+        with pytest.raises(StatsError):
+            ExactSum().add(bad)
+
+
+class TestNonFiniteRejection:
+    """Regression: NaN/inf used to flow straight into digest material."""
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"), -math.inf])
+    def test_from_samples_rejects(self, bad):
+        with pytest.raises(StatsError):
+            LatencySummary.from_samples([1.0, bad, 2.0])
+
+    @pytest.mark.parametrize(
+        "fields",
+        [
+            {"mean_ms": float("nan")},
+            {"min_ms": float("inf")},
+            {"p95_ms": float("-inf")},
+            {"p99_ms": float("nan")},
+        ],
+    )
+    def test_from_dict_rejects(self, fields):
+        payload = LatencySummary.from_samples([1.0, 2.0]).as_dict()
+        payload.update(fields)
+        with pytest.raises(StatsError):
+            LatencySummary.from_dict(payload)
+
+    def test_error_is_catchable_as_simulation_error(self):
+        from repro.errors import SimulationError
+
+        with pytest.raises(SimulationError):
+            LatencySummary.from_samples([float("nan")])
+
+
+# -- legacy serialization back-compat -----------------------------------------
+
+#: A frozen pre-topology (PR 1-era) FleetStats payload: no ``per_shard``,
+#: ``v2v``, ``ca_queue_latency``, ``handovers``, ``churn`` or
+#: ``scenario`` sections existed yet.  Regression: ``from_dict`` used to
+#: KeyError on these instead of defaulting them.
+_LEGACY_PAYLOAD = {
+    "vehicles": 16,
+    "enrollments": 16,
+    "sessions_established": 22,
+    "rekeys": 6,
+    "records_sent": 800,
+    "duration_ms": 4321.125,
+    "throughput_records_per_s": 185.1369724319477,
+    "sessions_per_s": 5.091266741878561,
+    "ca_busy_ms": 987.5,
+    "ca_utilisation": 0.2285,
+    "ca_batches": 9,
+    "ca_max_batch": 4,
+    "enrollment_latency": {
+        "count": 3,
+        "min_ms": 10.5,
+        "mean_ms": 12.25,
+        "p50_ms": 12.25,
+        "p95_ms": 14.0,
+        "p99_ms": 14.0,
+        "max_ms": 14.0,
+    },
+    "establishment_latency": {
+        "count": 2,
+        "min_ms": 3.5,
+        "mean_ms": 3.875,
+        "p50_ms": 3.5,
+        "p95_ms": 4.25,
+        "p99_ms": 4.25,
+        "max_ms": 4.25,
+    },
+    "energy_mj": {"vehicles": 123.456, "ca": 78.9},
+}
+
+#: The digest the fixture's run produced when it was frozen; any
+#: rebuild must reproduce it bit-for-bit.
+_LEGACY_DIGEST = (
+    "855e1174dc0939be5c03ebb319167b852d45c11cd8f3b40cd05c8f4a78ae0607"
+)
+
+
+class TestLegacyFromDictBackCompat:
+    def test_pre_topology_payload_round_trips(self):
+        from repro.fleet import FleetStats
+
+        stats = FleetStats.from_dict(_LEGACY_PAYLOAD)
+        assert stats.digest() == _LEGACY_DIGEST
+        assert stats.per_shard == ()
+        assert stats.v2v_sessions == 0
+        assert stats.handovers == 0
+        assert stats.migrations == 0
+        assert stats.scenario == ""
+        assert stats.injection_stats == ()
+        assert stats.ca_queue_latency.count == 0
+        # Modern re-serialization keeps the digest stable.
+        assert FleetStats.from_dict(stats.as_dict()) == stats
+
+    def test_pre_p99_latency_payload_still_loads(self):
+        from repro.fleet import FleetStats
+
+        payload = {
+            key: (
+                {k: v for k, v in value.items() if k != "p99_ms"}
+                if key.endswith("_latency")
+                else value
+            )
+            for key, value in _LEGACY_PAYLOAD.items()
+        }
+        stats = FleetStats.from_dict(payload)
+        # p99 is digest-excluded, so the frozen digest survives its
+        # absence too.
+        assert stats.digest() == _LEGACY_DIGEST
+        assert stats.enrollment_latency.p99_ms == 0.0

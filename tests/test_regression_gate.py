@@ -86,6 +86,39 @@ class TestCellExtraction:
         cells = gate.extract_cells(payload)
         assert list(cells) == [("fleet_scale", "", 1, 0.0, 250, False)]
 
+    def test_fleet_scale_sweep_cells_are_extracted(self):
+        payload = {
+            "benchmark": "fleet_scale",
+            "mode": "quick",
+            "config": {"n_vehicles": 250},
+            "fleet": {"throughput_records_per_s": 1.0},
+            "scale": {
+                "host_cores": 4,
+                "cells": [
+                    {
+                        "vehicles": 300,
+                        "workers": 1,
+                        "shards": 4,
+                        "wall_s": 9.9,  # host metric, never gated
+                        "fleet": {"throughput_records_per_s": 2.0},
+                    },
+                    {
+                        "vehicles": 300,
+                        "workers": 2,
+                        "shards": 4,
+                        "fleet": {"throughput_records_per_s": 2.0},
+                    },
+                    # A slim pre-gate cell without stats: skipped, not
+                    # a crash.
+                    {"vehicles": 1_200, "workers": 1, "shards": 4},
+                ],
+            },
+        }
+        cells = gate.extract_cells(payload)
+        assert ("fleet_scale", "scale-w1", 4, 0.0, 300, False) in cells
+        assert ("fleet_scale", "scale-w2", 4, 0.0, 300, False) in cells
+        assert len(cells) == 3  # storm cell + two gateable scale cells
+
     def test_mode_selects_baseline_file(self):
         quick = {"mode": "quick"}
         full = {"mode": "full"}
