@@ -52,6 +52,7 @@ from repro.ecdsa import generate_keypair
 from repro.fleet import FleetConfig, FleetOrchestrator
 from repro.obs import (
     Observer,
+    lint_archive,
     profile_fleet_run,
     render_speedup_table,
     speedup_table,
@@ -196,8 +197,9 @@ def export_trace(config: FleetConfig, path: str) -> dict:
 
     Asserts the traced run digests identically to an untraced one
     (observability is digest-neutral), validates both export formats,
-    and writes the Chrome trace to ``path`` plus the JSONL event stream
-    to ``path + "l"`` (``.json`` → ``.jsonl``).
+    runs tracelint over the exported JSONL archive (zero findings
+    required), and writes the Chrome trace to ``path`` plus the JSONL
+    event stream to ``path + "l"`` (``.json`` → ``.jsonl``).
 
     Returns a summary dict for the BENCH record.
     """
@@ -215,6 +217,12 @@ def export_trace(config: FleetConfig, path: str) -> dict:
     n_chrome = validate_chrome_trace(trace_doc)
     jsonl_path = path + "l" if path.endswith(".json") else path + ".jsonl"
     obs.export_jsonl(jsonl_path)
+    findings = lint_archive(jsonl_path)
+    if findings:
+        raise AssertionError(
+            "tracelint findings on the exported archive: "
+            + "; ".join(f.render() for f in findings)
+        )
     return {
         "trace_path": path,
         "jsonl_path": jsonl_path,
@@ -223,6 +231,7 @@ def export_trace(config: FleetConfig, path: str) -> dict:
         "chrome_events": n_chrome,
         "heartbeats": len(obs.heartbeats),
         "digest": traced.stats.digest(),
+        "tree_root": obs.digest_tree().root_digest,
     }
 
 
@@ -343,6 +352,10 @@ def bench_scale_cell(n_vehicles: int, workers: int) -> dict:
         "sessions_established": stats.sessions_established,
         "peak_rss_kb": peak_rss_kb,
         "digest": stats.digest(),
+        # Metric-plane digest-tree root: bit-identical across worker
+        # counts (the merge laws), so the regression gate can localize
+        # a telemetry divergence per cell, not just per digest.
+        "tree_root": obs.digest_tree(include=("metrics",)).root_digest,
         # Full simulated stats so the regression gate can diff the
         # deterministic latency/throughput metrics cell-by-cell.
         "fleet": stats.as_dict(),
@@ -373,6 +386,7 @@ def bench_scale_sweep(quick: bool) -> dict:
     serial_peaks: dict[int, int] = {}
     for n_vehicles, worker_counts in grid:
         tier_digest = None
+        tier_tree_root = None
         for workers in worker_counts:
             cell = bench_scale_cell(n_vehicles, workers)
             cells.append(cell)
@@ -385,11 +399,20 @@ def bench_scale_sweep(quick: bool) -> dict:
             )
             if tier_digest is None:
                 tier_digest = cell["digest"]
+                tier_tree_root = cell["tree_root"]
             elif cell["digest"] != tier_digest:
                 raise AssertionError(
                     f"multi-worker digest diverged at {n_vehicles}"
                     f" vehicles x {workers} workers:"
                     f" {cell['digest']} != {tier_digest}"
+                )
+            elif cell["tree_root"] != tier_tree_root:
+                # Stats digest matched but the metric plane did not:
+                # the digest tree localizes exactly this situation.
+                raise AssertionError(
+                    "metric-plane digest-tree root diverged at"
+                    f" {n_vehicles} vehicles x {workers} workers:"
+                    f" {cell['tree_root']} != {tier_tree_root}"
                 )
             if workers == 1 and cell["peak_rss_kb"] is not None:
                 serial_peaks[n_vehicles] = cell["peak_rss_kb"]
@@ -642,6 +665,9 @@ def test_scale_cell_parity_at_pytest_scale():
     serial = bench_scale_cell(60, workers=1)
     parallel = bench_scale_cell(60, workers=2)
     assert parallel["digest"] == serial["digest"]
+    # The metric plane is bit-identical across worker counts too —
+    # the digest-tree merge law, checked cell-by-cell by the gate.
+    assert parallel["tree_root"] == serial["tree_root"]
     assert serial["sessions_established"] == 60
     for cell in (serial, parallel):
         assert cell["host_records_per_s"] > 0

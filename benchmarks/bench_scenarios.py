@@ -38,6 +38,7 @@ import dataclasses
 import json
 import os
 import sys
+import tempfile
 import time
 
 sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
@@ -50,6 +51,7 @@ from repro.fleet import (  # noqa: E402
     NAMED_SCENARIOS,
     get_scenario,
 )
+from repro.obs import Observer, lint_archive, write_jsonl  # noqa: E402
 
 #: Scenarios whose schedules carry injections (gated by the forgery
 #: assertions below); everything else is a pure workload shape.
@@ -104,15 +106,26 @@ def scenario_config(name: str, quick: bool) -> FleetConfig:
 
 
 def run_scenario_cell(name: str, quick: bool) -> tuple[dict, float]:
-    """Run one named scenario twice; assert determinism and defenses."""
+    """Run one named scenario twice; assert determinism and defenses.
+
+    The second run is observed (digest-neutral by contract — the
+    determinism assert would catch a violation), its event stream is
+    exported to a JSONL archive and run through tracelint: every
+    scenario cell must lint clean, and the cell records its digest-tree
+    root next to the stats digest.
+    """
     scenario = get_scenario(name)
     config = scenario_config(name, quick)
     wall = 0.0
     digests = []
     stats = None
-    for _ in range(2):
+    obs = None
+    for attempt in range(2):
+        obs = Observer() if attempt == 1 else None
         t0 = time.perf_counter()
-        stats = FleetOrchestrator(config, scenario=scenario).run().stats
+        stats = FleetOrchestrator(
+            config, scenario=scenario, obs=obs
+        ).run().stats
         wall += time.perf_counter() - t0
         digests.append(stats.digest())
     if digests[0] != digests[1]:
@@ -120,6 +133,16 @@ def run_scenario_cell(name: str, quick: bool) -> tuple[dict, float]:
             f"non-deterministic scenario {name!r}:"
             f" {digests[0]} != {digests[1]}"
         )
+    with tempfile.TemporaryDirectory() as tmp:
+        archive = os.path.join(tmp, f"{name}.jsonl")
+        write_jsonl(archive, obs.deterministic_events())
+        findings = lint_archive(archive)
+    if findings:
+        raise AssertionError(
+            f"tracelint findings on scenario {name!r}: "
+            + "; ".join(f.render() for f in findings)
+        )
+    tree_root = obs.digest_tree().root_digest
     if name in ADVERSARIAL:
         if stats.attack_attempts <= 0:
             raise AssertionError(
@@ -147,6 +170,7 @@ def run_scenario_cell(name: str, quick: bool) -> tuple[dict, float]:
         "n_vehicles": config.n_vehicles,
         "churn": config.shard_rejoin_at_ms is not None,
         "host_wall_s": wall,
+        "tree_root": tree_root,
         "fleet": stats.as_dict(),
     }
     return record, wall
@@ -311,6 +335,17 @@ def test_small_adversarial_scenario_is_deterministic_and_rejects():
     assert first.attack_attempts == 12
     assert first.attack_rejections == 12
     assert first.attack_successes == 0
+
+
+def test_scenario_cell_lints_clean_at_pytest_scale():
+    """An adversarial cell runs, lints clean, and records its root.
+
+    ``run_scenario_cell`` raises on any tracelint finding, so this
+    covers the observe → export → lint path end to end; the full
+    every-scenario sweep lives in the standalone bench.
+    """
+    record, _ = run_scenario_cell("replay-storm", quick=True)
+    assert record["tree_root"]
 
 
 def test_small_legacy_scenario_matches_plain_run():

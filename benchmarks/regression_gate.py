@@ -131,6 +131,44 @@ def extract_cells(payload: dict) -> dict:
     return cells
 
 
+def extract_tree_roots(payload: dict) -> dict:
+    """Map a BENCH payload to ``{cell_key: digest_tree_root}``.
+
+    Uses the same structural keys as :func:`extract_cells`, so the gate
+    report records each cell's telemetry digest-tree root next to its
+    gated metrics — when a future candidate's stats digest matches but
+    its telemetry drifts, ``python -m repro.obs diff`` can start from
+    exactly the cell the roots name.  Cells from pre-tree artifacts
+    (no ``tree_root`` field) are simply absent.
+    """
+    benchmark = payload.get("benchmark", "unknown")
+    roots = {}
+    for cell in payload.get("cells", []):
+        if cell.get("tree_root"):
+            key = (
+                benchmark,
+                cell.get("scenario", ""),
+                cell["shards"],
+                cell["v2v_fraction"],
+                cell["n_vehicles"],
+                bool(cell.get("churn", False)),
+            )
+            roots[key] = cell["tree_root"]
+    for cell in payload.get("scale", {}).get("cells", []):
+        if cell.get("tree_root"):
+            roots[
+                (
+                    benchmark,
+                    f"scale-w{cell['workers']}",
+                    cell.get("shards", 0),
+                    0.0,
+                    cell["vehicles"],
+                    False,
+                )
+            ] = cell["tree_root"]
+    return roots
+
+
 def compare_cells(
     baseline: dict,
     candidate: dict,
@@ -225,6 +263,7 @@ def gate_file(
     report["baseline_path"] = baseline_path
     report["candidate_path"] = candidate_path
     report["threshold"] = threshold
+    report["tree_roots"] = extract_tree_roots(candidate)
     return report
 
 
@@ -280,6 +319,12 @@ def _jsonable_report(report: dict) -> dict:
         ]
     for field in ("only_in_baseline", "only_in_candidate"):
         out[field] = [list(key) for key in report[field]]
+    out["tree_roots"] = [
+        {"cell": list(key), "tree_root": root}
+        for key, root in sorted(
+            report.get("tree_roots", {}).items(), key=repr
+        )
+    ]
     return out
 
 

@@ -20,6 +20,18 @@ __all__ = [
     "verify_against_paper",
 ]
 
-from .report import ReproductionReport, build_report, write_report
+from .report import (
+    ReproductionReport,
+    attach_divergence,
+    attach_observability,
+    build_report,
+    write_report,
+)
 
-__all__ += ["ReproductionReport", "build_report", "write_report"]
+__all__ += [
+    "ReproductionReport",
+    "attach_divergence",
+    "attach_observability",
+    "build_report",
+    "write_report",
+]

@@ -163,6 +163,7 @@ class WorkerSnapshot:
     injection_rows: tuple[tuple[int, int, int], ...]
     metrics: object | None
     peak_rss_kb: int | None
+    tree_root: str | None = None
     checksum: str = ""
 
 
@@ -171,9 +172,10 @@ def _canonical_snapshot(snap: WorkerSnapshot) -> str:
 
     Pure function of the digest-relevant material (counters, shard rows,
     latency tables, energy partials, injections, clock) — host-side
-    annotations (``metrics``, ``peak_rss_kb``) are deliberately outside
-    the checksum, exactly as ``wall`` annotations are outside the run
-    digest.
+    annotations (``metrics``, ``peak_rss_kb``, ``tree_root``) are
+    deliberately outside the checksum, exactly as ``wall`` annotations
+    are outside the run digest; the telemetry plane has its own
+    integrity check (the subtree merge proof in ``_finalize_obs``).
     """
     parts = [
         f"worker={snap.worker}",
@@ -328,6 +330,13 @@ def _worker_run(payload) -> WorkerSnapshot:
         metrics=obs.metrics.snapshot() if obs is not None else None,
         peak_rss_kb=_peak_rss_kb(),
     )
+    if snap.metrics is not None:
+        from ..obs.tree import DigestTree
+
+        # The worker's metric-plane subtree root: the parent rebuilds
+        # the subtree from the shipped snapshot and verifies it hashes
+        # to this root before folding (see _finalize_obs).
+        snap.tree_root = DigestTree.from_metrics(snap.metrics).root_digest
     snap.checksum = _checksum(snap)
     return snap
 
@@ -503,10 +512,47 @@ def _finalize_obs(obs, config, scenario, stats, snapshots) -> None:
     parent owns: merged metrics, per-kind injection counters, the final
     heartbeat (annotated with the fleet-wide peak RSS when available)
     and the run meta.  Span streams stay worker-local by design.
+
+    The absorb step carries its own proof: each worker shipped the
+    digest-tree root of its metric-plane subtree, so the parent
+    (1) rebuilds every subtree from the received snapshot and checks it
+    hashes back to the shipped root, then (2) folds the subtrees under
+    the tree merge law and demands the fold equal the tree *recomputed*
+    from the absorbed registry — merge ≡ recomputation, the law
+    ``tests/fleet/test_divergence_parallel.py`` exercises for
+    workers ∈ {1, 2, 4}.  A mismatch is a merge-law violation, not a
+    transport error, and fails the run loudly.
     """
+    from ..obs.tree import DigestTree
+
+    proof_eligible = not obs.metrics.snapshot().events()
+    worker_trees = []
     for snap in snapshots:
         if snap.metrics is not None:
+            subtree = DigestTree.from_metrics(snap.metrics)
+            if (
+                snap.tree_root is not None
+                and subtree.root_digest != snap.tree_root
+            ):
+                raise SimulationError(
+                    f"worker {snap.worker} metric subtree hashes to"
+                    f" {subtree.root_digest[:12]}… but shipped root"
+                    f" {snap.tree_root[:12]}…; refusing to merge"
+                )
+            worker_trees.append(subtree)
             obs.metrics.absorb(snap.metrics)
+    if worker_trees and proof_eligible:
+        folded = worker_trees[0].merge(*worker_trees[1:])
+        recomputed = DigestTree.from_metrics(obs.metrics.snapshot())
+        if folded.root_digest != recomputed.root_digest:
+            raise SimulationError(
+                "worker subtree fold"
+                f" ({folded.root_digest[:12]}…) does not equal the"
+                " tree recomputed from the absorbed registry"
+                f" ({recomputed.root_digest[:12]}…) — the digest-tree"
+                " merge law failed"
+            )
+        obs.meta["tree_root"] = recomputed.root_digest
     for inj in stats.injection_stats:
         obs.metrics.counter(
             "fleet.injection_attempts", kind=inj.kind

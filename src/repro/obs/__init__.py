@@ -53,11 +53,20 @@ from .export import (
     write_chrome_trace,
     write_jsonl,
 )
+from .diff import DivergenceReport, diff_runs
+from .lint import (
+    LINT_RULES,
+    LintFinding,
+    lint_archive,
+    lint_rule,
+    run_lint,
+)
 from .metrics import (
     DEFAULT_BUCKETS_MS,
     HistogramSnapshot,
     MetricsRegistry,
     MetricsSnapshot,
+    merge_metric_events,
 )
 from .profile import (
     PRIMITIVE_CLASSES,
@@ -69,13 +78,25 @@ from .profile import (
     speedup_table,
 )
 from .spans import FLEET_CATEGORIES, Span, SpanRecorder
+from .tree import (
+    TREE_SECTIONS,
+    DigestTree,
+    DigestTreeBuilder,
+    TreeNode,
+    event_tree_path,
+)
 
 __all__ = [
     "CHROME_TRACE_SCHEMA",
     "DEFAULT_BUCKETS_MS",
+    "DigestTree",
+    "DigestTreeBuilder",
+    "DivergenceReport",
     "EVENT_SCHEMAS",
     "FLEET_CATEGORIES",
     "HistogramSnapshot",
+    "LINT_RULES",
+    "LintFinding",
     "MetricsRegistry",
     "MetricsSnapshot",
     "Observer",
@@ -84,12 +105,20 @@ __all__ = [
     "ProfilingBackend",
     "Span",
     "SpanRecorder",
+    "TREE_SECTIONS",
+    "TreeNode",
     "chrome_trace",
+    "diff_runs",
+    "event_tree_path",
+    "lint_archive",
+    "lint_rule",
     "markdown_rollup",
+    "merge_metric_events",
     "profile_fleet_run",
     "profiled_backend",
     "read_jsonl",
     "render_speedup_table",
+    "run_lint",
     "speedup_table",
     "validate_chrome_trace",
     "validate_events",
@@ -238,6 +267,17 @@ class Observer:
             self.metrics.snapshot(),
             heartbeats=self.heartbeats,
             meta=self.meta,
+        )
+
+    def digest_tree(self, include=None) -> DigestTree:
+        """Hierarchical digest tree over :meth:`deterministic_events`.
+
+        ``include`` restricts the tree to a subset of
+        :data:`TREE_SECTIONS` (e.g. ``("metrics",)`` for the plane
+        that is bit-identical across worker counts).
+        """
+        return DigestTree.from_events(
+            self.deterministic_events(), include=include
         )
 
     def validate(self) -> int:

@@ -1,0 +1,181 @@
+"""``python -m repro.obs``: archive tooling for deterministic runs.
+
+Four subcommands over exported JSONL archives:
+
+``validate``
+    Schema-check every event (:func:`repro.obs.validate_events`).
+``lint``
+    Run the tracelint invariant rules (:mod:`repro.obs.lint`).
+``diff``
+    Localize the first divergence between two archives
+    (:func:`repro.obs.diff_runs`) — markdown by default, ``--json``
+    for machines, ``--only SECTION`` to restrict the planes compared
+    (e.g. ``--only metrics`` for cross-worker-count parity).
+``perfetto``
+    Rebuild the Chrome/Perfetto trace document from an archive's span
+    and heartbeat events.
+
+Every subcommand exits 1 when it finds something (invalid events, lint
+findings, a divergence) and 0 on a clean archive, so they slot into CI
+steps directly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from ..errors import ObsError
+from .diff import diff_runs
+from .export import read_jsonl, write_chrome_trace
+from .lint import LINT_RULES, lint_archive
+from .spans import Span
+from .tree import TREE_SECTIONS
+
+
+def _spans_from_events(events) -> list:
+    """Reconstruct :class:`Span` objects from archived span events."""
+    return [
+        Span(
+            span_id=event["id"],
+            parent_id=event["parent"],
+            name=event["name"],
+            category=event["cat"],
+            start_ms=event["start_ms"],
+            end_ms=event["end_ms"],
+            attributes=tuple(sorted(event.get("attrs", {}).items())),
+        )
+        for event in events
+        if event.get("type") == "span"
+    ]
+
+
+def _cmd_validate(args) -> int:
+    """``validate``: schema-check an archive; 0 clean, 1 invalid."""
+    try:
+        events = read_jsonl(args.archive, validate=True)
+    except ObsError as exc:
+        print(f"invalid: {exc}", file=sys.stderr)
+        return 1
+    print(f"{args.archive}: {len(events)} events, all valid")
+    return 0
+
+
+def _cmd_lint(args) -> int:
+    """``lint``: run tracelint rules; 0 clean, 1 on findings."""
+    try:
+        findings = lint_archive(args.archive, rules=args.rules or None)
+    except ObsError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    for finding in findings:
+        print(f"{args.archive}:{finding.render()}")
+    if findings:
+        print(f"{len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    rules = args.rules or list(LINT_RULES)
+    print(f"{args.archive}: clean ({len(rules)} rules)")
+    return 0
+
+
+def _cmd_diff(args) -> int:
+    """``diff``: localize divergence; 0 identical, 1 diverged."""
+    include = tuple(args.only) if args.only else None
+    try:
+        report = diff_runs(args.a, args.b, include=include)
+    except ObsError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(report.to_json())
+    else:
+        print(report.to_markdown(), end="")
+    return 1 if report.diverged else 0
+
+
+def _cmd_perfetto(args) -> int:
+    """``perfetto``: rebuild the Chrome trace from an archive."""
+    try:
+        events = read_jsonl(args.archive)
+    except ObsError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    spans = _spans_from_events(events)
+    heartbeats = [e for e in events if e.get("type") == "heartbeat"]
+    meta = next((e for e in events if e.get("type") == "meta"), None)
+    if meta is not None:
+        meta = {k: v for k, v in meta.items() if k != "type"}
+    trace = write_chrome_trace(
+        args.out, spans, heartbeats=heartbeats, meta=meta
+    )
+    print(
+        f"{args.out}: {len(trace['traceEvents'])} trace events from"
+        f" {len(spans)} spans, {len(heartbeats)} heartbeats"
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``python -m repro.obs`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Validate, lint, diff and export repro.obs"
+        " JSONL archives.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_validate = sub.add_parser(
+        "validate", help="schema-check every event in an archive"
+    )
+    p_validate.add_argument("archive", help="JSONL archive path")
+    p_validate.set_defaults(func=_cmd_validate)
+
+    p_lint = sub.add_parser(
+        "lint", help="run tracelint invariant rules over an archive"
+    )
+    p_lint.add_argument("archive", help="JSONL archive path")
+    p_lint.add_argument(
+        "--rules",
+        nargs="+",
+        choices=sorted(LINT_RULES),
+        help="run only these rules (default: all)",
+    )
+    p_lint.set_defaults(func=_cmd_lint)
+
+    p_diff = sub.add_parser(
+        "diff", help="localize the first divergence between two archives"
+    )
+    p_diff.add_argument("a", help="first JSONL archive")
+    p_diff.add_argument("b", help="second JSONL archive")
+    p_diff.add_argument(
+        "--only",
+        action="append",
+        choices=list(TREE_SECTIONS),
+        help="compare only these tree sections (repeatable)",
+    )
+    p_diff.add_argument(
+        "--json", action="store_true", help="emit the report as JSON"
+    )
+    p_diff.set_defaults(func=_cmd_diff)
+
+    p_perfetto = sub.add_parser(
+        "perfetto",
+        help="rebuild the Chrome/Perfetto trace from an archive",
+    )
+    p_perfetto.add_argument("archive", help="JSONL archive path")
+    p_perfetto.add_argument(
+        "-o", "--out", required=True, help="Chrome trace output path"
+    )
+    p_perfetto.set_defaults(func=_cmd_perfetto)
+    return parser
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

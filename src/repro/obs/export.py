@@ -259,14 +259,31 @@ def write_jsonl(path, events) -> int:
     return count
 
 
-def read_jsonl(path) -> list:
-    """Load a JSONL event stream back into a list of dicts."""
+def read_jsonl(path, validate=False) -> list:
+    """Load a JSONL event stream back into a list of dicts.
+
+    A corrupt line raises :class:`~repro.errors.ObsError` naming the
+    file and the 1-based line number (rather than leaking the raw
+    ``json.JSONDecodeError``).  With ``validate=True`` the loaded
+    events are additionally run through :func:`validate_events`, so a
+    schema-invalid archive fails at load time instead of corrupting a
+    downstream digest tree or lint pass.
+    """
     events = []
     with open(path, "r", encoding="utf-8") as handle:
-        for line in handle:
+        for lineno, line in enumerate(handle, start=1):
             line = line.strip()
-            if line:
+            if not line:
+                continue
+            try:
                 events.append(json.loads(line))
+            except json.JSONDecodeError as exc:
+                raise ObsError(
+                    f"{path}: line {lineno}: corrupt JSONL event"
+                    f" ({exc.msg} at column {exc.colno})"
+                ) from exc
+    if validate:
+        validate_events(events)
     return events
 
 

@@ -310,7 +310,7 @@ class FleetInstrumentation:
         ).inc()
 
     def migrate_started(self, orch, vehicle, old_shard, target) -> None:
-        """Open the live-migration span."""
+        """Open the live-migration span; tally the per-shard flow."""
         self._migrate_spans[vehicle.index] = self.obs.spans.begin(
             f"{vehicle.name}:migrate",
             "migrate",
@@ -320,6 +320,16 @@ class FleetInstrumentation:
             from_shard=old_shard.index,
             to_shard=target.index,
         )
+        # Per-shard flow accounting: tracelint's shard-conservation
+        # rule checks Σ migrations_in == Σ migrations_out (== the
+        # run-level fleet.migrations counter).
+        metrics = self.obs.metrics
+        metrics.counter(
+            "fleet.migrations_out", shard=old_shard.index
+        ).inc()
+        metrics.counter(
+            "fleet.migrations_in", shard=target.index
+        ).inc()
 
     def migrate_finished(self, orch, vehicle, latency_ms) -> None:
         """Close the migration span; count + time it."""

@@ -1,0 +1,402 @@
+"""tracelint: a rule-registry invariant checker for JSONL archives.
+
+Schema validation (:func:`repro.obs.validate_events`) proves each event
+is *well-formed*; tracelint proves the archive as a whole is
+*self-consistent* — the cross-event invariants the orchestrator's
+design guarantees and a divergence hunt relies on:
+
+============================  =============================================
+rule                          invariant
+============================  =============================================
+``span-nesting``              unique span ids, parents exist, intervals
+                              non-negative, children nest inside parents
+``sim-time-monotonic``        span start times never run backwards in id
+                              (begin-order) sequence — except ``ca-batch``
+                              spans, which are recorded at scheduling time
+                              with their *future* service window — and
+                              heartbeat sim-times are non-decreasing
+``single-flight``             per vehicle: exactly one lifecycle span, and
+                              never two overlapping spans of one operation
+                              category (enroll / establish / migrate /
+                              re-enroll) — the orchestrator's single-flight
+                              invariant
+``counter-monotonic``         heartbeat progress counters never decrease
+                              and never exceed their totals
+``shard-conservation``        every migration out of a shard arrives at
+                              one: ``Σ migrations_in == Σ migrations_out``
+                              (and both equal ``fleet.migrations``)
+``injection-balance``         per injection kind:
+                              ``attempts == rejected + succeeded`` — on
+                              the counters and on every injection span
+``heartbeat-coverage``        an archive with a run span carries at least
+                              one heartbeat, the final beat reports every
+                              vehicle done, and no beat postdates the
+                              run's recorded end
+============================  =============================================
+
+Each finding names its rule and the offending archive line (1-based —
+events are one per line in a JSONL archive), so
+``python -m repro.obs lint run.jsonl`` output is directly clickable.
+New rules register with the :func:`lint_rule` decorator; a rule is a
+function from the event list to an iterable of ``(line_index, message)``
+pairs (``line_index`` may be ``None`` for archive-wide findings).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ObsError
+
+__all__ = [
+    "LINT_RULES",
+    "LintFinding",
+    "lint_archive",
+    "lint_rule",
+    "run_lint",
+]
+
+#: Registry of lint rules, keyed by rule name (insertion-ordered).
+LINT_RULES: dict = {}
+
+#: Span categories covered by the per-vehicle single-flight invariant.
+SINGLE_FLIGHT_CATEGORIES = ("enroll", "establish", "migrate", "re-enroll")
+
+
+@dataclass(frozen=True)
+class LintFinding:
+    """One invariant violation: rule name, archive line, message."""
+
+    rule: str
+    line: int | None
+    message: str
+
+    def render(self) -> str:
+        """``rule:line: message`` (the CLI's output line)."""
+        where = self.line if self.line is not None else "-"
+        return f"{self.rule}:{where}: {self.message}"
+
+
+def lint_rule(name: str):
+    """Register a rule function under ``name`` in :data:`LINT_RULES`."""
+
+    def register(func):
+        if name in LINT_RULES:
+            raise ObsError(f"lint rule {name!r} registered twice")
+        LINT_RULES[name] = func
+        return func
+
+    return register
+
+
+def run_lint(events, rules=None) -> list:
+    """Run every (or the named) lint rule over an event list.
+
+    Returns the findings as :class:`LintFinding` objects with 1-based
+    line numbers (event index + 1, matching the JSONL archive layout).
+    """
+    events = list(events)
+    if rules is None:
+        selected = LINT_RULES
+    else:
+        unknown = [name for name in rules if name not in LINT_RULES]
+        if unknown:
+            raise ObsError(
+                f"unknown lint rules {unknown}"
+                f" (known: {sorted(LINT_RULES)})"
+            )
+        selected = {name: LINT_RULES[name] for name in rules}
+    findings = []
+    for name, rule in selected.items():
+        for index, message in rule(events):
+            findings.append(
+                LintFinding(
+                    rule=name,
+                    line=index + 1 if index is not None else None,
+                    message=message,
+                )
+            )
+    return findings
+
+
+def lint_archive(path, rules=None) -> list:
+    """Load a JSONL archive and :func:`run_lint` it."""
+    from .export import read_jsonl
+
+    return run_lint(read_jsonl(path), rules=rules)
+
+
+# ---------------------------------------------------------------------------
+# Helpers
+# ---------------------------------------------------------------------------
+
+def _spans(events):
+    """``(index, span_event)`` pairs, in archive order (= id order)."""
+    return [
+        (index, event)
+        for index, event in enumerate(events)
+        if event.get("type") == "span"
+    ]
+
+
+def _heartbeats(events):
+    return [
+        (index, event)
+        for index, event in enumerate(events)
+        if event.get("type") == "heartbeat"
+    ]
+
+
+def _counters(events):
+    return [
+        (index, event)
+        for index, event in enumerate(events)
+        if event.get("type") == "counter"
+    ]
+
+
+def _counter_totals(events):
+    """``{name: {labels_tuple: (index, value)}}`` over counter events."""
+    out: dict = {}
+    for index, event in _counters(events):
+        labels = tuple(sorted(event.get("labels", {}).items()))
+        out.setdefault(event["name"], {})[labels] = (index, event["value"])
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Rules
+# ---------------------------------------------------------------------------
+
+@lint_rule("span-nesting")
+def _rule_span_nesting(events):
+    """Tree shape: unique ids, known parents, intervals nest."""
+    by_id: dict = {}
+    for index, span in _spans(events):
+        span_id = span["id"]
+        if span_id in by_id:
+            yield index, f"duplicate span id {span_id}"
+            continue
+        by_id[span_id] = (index, span)
+    for index, span in _spans(events):
+        if span["end_ms"] < span["start_ms"]:
+            yield index, (
+                f"span {span['name']!r} has negative interval"
+                f" [{span['start_ms']}, {span['end_ms']}]"
+            )
+        parent_id = span.get("parent")
+        if parent_id is None:
+            continue
+        if parent_id not in by_id:
+            yield index, (
+                f"span {span['name']!r} names unknown parent {parent_id}"
+            )
+            continue
+        _, parent = by_id[parent_id]
+        if not (
+            parent["start_ms"] <= span["start_ms"]
+            and span["end_ms"] <= parent["end_ms"]
+        ):
+            yield index, (
+                f"span {span['name']!r}"
+                f" [{span['start_ms']}, {span['end_ms']}] escapes parent"
+                f" {parent['name']!r}"
+                f" [{parent['start_ms']}, {parent['end_ms']}]"
+            )
+
+
+@lint_rule("sim-time-monotonic")
+def _rule_sim_time_monotonic(events):
+    """Begin-order span starts and heartbeat times never run backwards.
+
+    Span ids are assigned in ``begin()`` order and the simulated clock
+    only advances, so ``start_ms`` must be non-decreasing in id order —
+    with one designed exception: ``ca-batch`` spans are emitted when a
+    batch is *scheduled*, carrying the future service window the
+    orchestrator computed, so they may postdate spans begun later.
+    """
+    last_start = None
+    last_name = None
+    for index, span in _spans(events):
+        if span.get("cat") == "ca-batch":
+            continue
+        if last_start is not None and span["start_ms"] < last_start:
+            yield index, (
+                f"span {span['name']!r} (id {span['id']}) starts at"
+                f" {span['start_ms']} ms, before the earlier-begun"
+                f" {last_name!r} at {last_start} ms"
+            )
+        last_start = span["start_ms"]
+        last_name = span["name"]
+    last_sim = None
+    for index, beat in _heartbeats(events):
+        if last_sim is not None and beat["sim_ms"] < last_sim:
+            yield index, (
+                f"heartbeat sim-time ran backwards:"
+                f" {beat['sim_ms']} ms after {last_sim} ms"
+            )
+        last_sim = beat["sim_ms"]
+
+
+@lint_rule("single-flight")
+def _rule_single_flight(events):
+    """Per vehicle: one lifecycle span, one in-flight op per category."""
+    lifecycles: dict = {}
+    ops: dict = {}
+    for index, span in _spans(events):
+        attrs = span.get("attrs", {})
+        vehicle = attrs.get("vehicle")
+        if vehicle is None:
+            continue
+        if span.get("cat") == "vehicle":
+            lifecycles.setdefault(vehicle, []).append((index, span))
+        elif span.get("cat") in SINGLE_FLIGHT_CATEGORIES:
+            ops.setdefault((vehicle, span["cat"]), []).append(
+                (index, span)
+            )
+    for vehicle, spans in sorted(lifecycles.items()):
+        if len(spans) > 1:
+            index, span = spans[1]
+            yield index, (
+                f"vehicle {vehicle} has {len(spans)} lifecycle spans"
+                " (expected exactly one)"
+            )
+    for (vehicle, category), spans in sorted(ops.items()):
+        ordered = sorted(
+            spans, key=lambda pair: (pair[1]["start_ms"], pair[1]["id"])
+        )
+        for (_, prev), (index, span) in zip(ordered, ordered[1:]):
+            if span["start_ms"] < prev["end_ms"]:
+                yield index, (
+                    f"vehicle {vehicle} has overlapping {category!r}"
+                    f" spans: {span['name']!r} starts at"
+                    f" {span['start_ms']} ms inside"
+                    f" [{prev['start_ms']}, {prev['end_ms']}]"
+                )
+
+
+@lint_rule("counter-monotonic")
+def _rule_counter_monotonic(events):
+    """Heartbeat progress only ever moves forward, and stays in range."""
+    last_done = last_records = None
+    for index, beat in _heartbeats(events):
+        done = beat["vehicles_done"]
+        records = beat["records_sent"]
+        if last_done is not None and done < last_done:
+            yield index, (
+                f"vehicles_done decreased: {done} after {last_done}"
+            )
+        if last_records is not None and records < last_records:
+            yield index, (
+                f"records_sent decreased: {records} after {last_records}"
+            )
+        if done > beat["vehicles_total"]:
+            yield index, (
+                f"vehicles_done {done} exceeds vehicles_total"
+                f" {beat['vehicles_total']}"
+            )
+        last_done, last_records = done, records
+
+
+@lint_rule("shard-conservation")
+def _rule_shard_conservation(events):
+    """Migrations are conserved: every departure arrives somewhere."""
+    totals = _counter_totals(events)
+    into = totals.get("fleet.migrations_in", {})
+    out_of = totals.get("fleet.migrations_out", {})
+    if not into and not out_of:
+        return  # archive predates migration accounting, or no churn
+    total_in = sum(value for _, value in into.values())
+    total_out = sum(value for _, value in out_of.values())
+    anchor = next(iter(into.values()), next(iter(out_of.values()), None))
+    if total_in != total_out:
+        yield anchor[0], (
+            f"shard migration flow not conserved: {total_in} in !="
+            f" {total_out} out"
+        )
+    migrations = totals.get("fleet.migrations", {})
+    if migrations:
+        total = sum(value for _, value in migrations.values())
+        if total != total_in:
+            index, _ = next(iter(migrations.values()))
+            yield index, (
+                f"fleet.migrations counter ({total}) disagrees with"
+                f" per-shard migration flow ({total_in} in /"
+                f" {total_out} out)"
+            )
+
+
+@lint_rule("injection-balance")
+def _rule_injection_balance(events):
+    """Adversarial accounting: attempts == rejected + succeeded."""
+    totals = _counter_totals(events)
+
+    def by_kind(name):
+        out = {}
+        for labels, (index, value) in totals.get(name, {}).items():
+            kind = dict(labels).get("kind", "")
+            out[kind] = (index, value)
+        return out
+
+    attempts = by_kind("fleet.injection_attempts")
+    rejected = by_kind("fleet.injection_rejected")
+    succeeded = by_kind("fleet.injection_succeeded")
+    for kind in sorted(attempts):
+        index, n_attempts = attempts[kind]
+        n_rejected = rejected.get(kind, (None, 0))[1]
+        n_succeeded = succeeded.get(kind, (None, 0))[1]
+        if n_attempts != n_rejected + n_succeeded:
+            yield index, (
+                f"injection {kind!r} lost attempts: {n_attempts} !="
+                f" {n_rejected} rejected + {n_succeeded} succeeded"
+            )
+    for index, span in _spans(events):
+        if span.get("cat") != "injection":
+            continue
+        attrs = span.get("attrs", {})
+        if not {"attempts", "rejected", "succeeded"} <= set(attrs):
+            continue
+        # CA-flood rejections are tallied later, as the flooded queue
+        # drains — the dispatch-time span may legitimately under-count
+        # rejections, never over-count them past the attempts.
+        if attrs["rejected"] + attrs["succeeded"] > attrs["attempts"]:
+            yield index, (
+                f"injection span {span['name']!r} over-accounts:"
+                f" {attrs['rejected']} rejected +"
+                f" {attrs['succeeded']} succeeded >"
+                f" {attrs['attempts']} attempts"
+            )
+
+
+@lint_rule("heartbeat-coverage")
+def _rule_heartbeat_coverage(events):
+    """A fleet run's beats cover it: present, complete, inside the run."""
+    beats = _heartbeats(events)
+    run_spans = [
+        (index, span)
+        for index, span in _spans(events)
+        if span.get("cat") == "run"
+    ]
+    if not beats:
+        if run_spans:
+            yield run_spans[0][0], (
+                "archive has a fleet run span but no heartbeats"
+            )
+        return
+    index, last = beats[-1]
+    if last["vehicles_done"] != last["vehicles_total"]:
+        yield index, (
+            f"final heartbeat reports {last['vehicles_done']} of"
+            f" {last['vehicles_total']} vehicles done — the run ended"
+            " incomplete"
+        )
+    meta = next(
+        (event for event in events if event.get("type") == "meta"), None
+    )
+    if meta is not None and "sim_end_ms" in meta:
+        for index, beat in beats:
+            if beat["sim_ms"] > meta["sim_end_ms"]:
+                yield index, (
+                    f"heartbeat at {beat['sim_ms']} ms postdates the"
+                    f" run end {meta['sim_end_ms']} ms"
+                )

@@ -36,6 +36,7 @@ __all__ = [
     "HistogramSnapshot",
     "MetricsRegistry",
     "MetricsSnapshot",
+    "merge_metric_events",
 ]
 
 #: Default histogram bucket upper bounds (milliseconds); the implicit
@@ -323,6 +324,43 @@ class MetricsSnapshot:
                     histograms[key].merge(snap) if key in histograms else snap
                 )
         return cls(counters=counters, gauges=gauges, histograms=histograms)
+
+
+def merge_metric_events(a: dict, b: dict) -> dict:
+    """Fold two JSONL metric events for one instrument into one.
+
+    The event-dict face of the snapshot merge laws — counters add,
+    gauges take the max, histograms merge exactly — used by the digest
+    tree (:mod:`repro.obs.tree`) to fold metric leaves so that tree
+    merging agrees with :meth:`MetricsRegistry.absorb`.  Both events
+    must describe the same instrument (type, name and labels).
+    """
+    kind = a.get("type")
+    if (
+        b.get("type") != kind
+        or a.get("name") != b.get("name")
+        or a.get("labels") != b.get("labels")
+    ):
+        raise ObsError(
+            "cannot fold metric events for different instruments:"
+            f" {a.get('type')}:{a.get('name')}:{a.get('labels')} !="
+            f" {b.get('type')}:{b.get('name')}:{b.get('labels')}"
+        )
+    if kind == "counter":
+        return {**a, "value": a["value"] + b["value"]}
+    if kind == "gauge":
+        return {**a, "value": max(a["value"], b["value"])}
+    if kind == "histogram":
+        merged = HistogramSnapshot.from_dict(a).merge(
+            HistogramSnapshot.from_dict(b)
+        )
+        return {
+            "type": "histogram",
+            "name": a["name"],
+            "labels": a["labels"],
+            **merged.as_dict(),
+        }
+    raise ObsError(f"cannot fold events of non-metric type {kind!r}")
 
 
 class MetricsRegistry:

@@ -119,6 +119,40 @@ class TestJsonl:
         for line in path.read_text().splitlines():
             json.loads(line)
 
+    def test_corrupt_line_raises_obs_error_with_path_and_line(
+        self, tmp_path
+    ):
+        # Regression: a corrupt archive used to leak the raw
+        # json.JSONDecodeError with no file/line context.
+        path = tmp_path / "corrupt.jsonl"
+        path.write_text(
+            '{"type": "meta", "run": "x", "sim_end_ms": 0.0}\n'
+            "{not json\n"
+        )
+        with pytest.raises(ObsError, match=r"corrupt\.jsonl.*line 2"):
+            read_jsonl(path)
+
+    def test_corrupt_line_number_skips_blank_lines(self, tmp_path):
+        path = tmp_path / "blank.jsonl"
+        path.write_text(
+            '{"type": "meta", "run": "x", "sim_end_ms": 0.0}\n'
+            "\n"
+            "{oops\n"
+        )
+        # The reported number is the physical archive line, blanks
+        # included, so editors jump to the right place.
+        with pytest.raises(ObsError, match="line 3"):
+            read_jsonl(path)
+
+    def test_validate_on_load(self, tmp_path):
+        path = tmp_path / "invalid.jsonl"
+        write_jsonl(path, [{"type": "meta", "run": "x", "sim_end_ms": 0.0}])
+        assert len(read_jsonl(path, validate=True)) == 1
+        write_jsonl(path, [{"type": "not-a-real-event"}])
+        assert len(read_jsonl(path)) == 1  # opt-in: default stays lax
+        with pytest.raises(ObsError, match="not-a-real-event"):
+            read_jsonl(path, validate=True)
+
 
 class TestChromeTrace:
     def test_track_layout(self):

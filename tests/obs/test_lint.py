@@ -1,0 +1,341 @@
+"""tracelint tests: every rule on clean runs and synthetic violations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ObsError
+from repro.fleet import FleetConfig, run_fleet
+from repro.obs import (
+    LINT_RULES,
+    Observer,
+    lint_archive,
+    lint_rule,
+    run_lint,
+    write_jsonl,
+)
+
+
+def _span(span_id, name, cat, start, end, parent=None, **attrs):
+    return {
+        "type": "span",
+        "id": span_id,
+        "parent": parent,
+        "name": name,
+        "cat": cat,
+        "start_ms": float(start),
+        "end_ms": float(end),
+        "attrs": attrs,
+    }
+
+
+def _beat(sim_ms, done, total=2, records=0):
+    return {
+        "type": "heartbeat",
+        "sim_ms": float(sim_ms),
+        "vehicles_done": done,
+        "vehicles_total": total,
+        "records_sent": records,
+    }
+
+
+def _counter(name, value, **labels):
+    return {
+        "type": "counter",
+        "name": name,
+        "labels": {k: str(v) for k, v in labels.items()},
+        "value": value,
+    }
+
+
+def _findings_for(rule, events):
+    return [f for f in run_lint(events, rules=(rule,))]
+
+
+class TestRegistry:
+    def test_all_seven_rules_registered(self):
+        assert set(LINT_RULES) == {
+            "span-nesting",
+            "sim-time-monotonic",
+            "single-flight",
+            "counter-monotonic",
+            "shard-conservation",
+            "injection-balance",
+            "heartbeat-coverage",
+        }
+
+    def test_unknown_rule_rejected(self):
+        with pytest.raises(ObsError, match="unknown lint rules"):
+            run_lint([], rules=("not-a-rule",))
+
+    def test_double_registration_rejected(self):
+        with pytest.raises(ObsError, match="registered twice"):
+            lint_rule("span-nesting")(lambda events: ())
+
+    def test_rule_selection_runs_only_named_rules(self):
+        # An archive violating heartbeat coverage is clean under a
+        # nesting-only lint.
+        events = [_span(0, "run", "run", 0, 10)]
+        assert not _findings_for("span-nesting", events)
+        assert _findings_for("heartbeat-coverage", events)
+
+    def test_finding_render_format(self):
+        finding = _findings_for(
+            "heartbeat-coverage", [_span(0, "run", "run", 0, 10)]
+        )[0]
+        assert finding.render() == (
+            "heartbeat-coverage:1: archive has a fleet run span but no"
+            " heartbeats"
+        )
+
+
+class TestSpanNesting:
+    def test_duplicate_id(self):
+        events = [
+            _span(1, "a", "run", 0, 5),
+            _span(1, "b", "run", 5, 9),
+        ]
+        (finding,) = _findings_for("span-nesting", events)
+        assert finding.rule == "span-nesting"
+        assert finding.line == 2
+        assert "duplicate span id 1" in finding.message
+
+    def test_unknown_parent(self):
+        (finding,) = _findings_for(
+            "span-nesting", [_span(0, "orphan", "vehicle", 0, 1, parent=99)]
+        )
+        assert "unknown parent 99" in finding.message
+
+    def test_negative_interval(self):
+        (finding,) = _findings_for(
+            "span-nesting", [_span(0, "back", "run", 5, 2)]
+        )
+        assert "negative interval" in finding.message
+
+    def test_child_escapes_parent(self):
+        events = [
+            _span(0, "run", "run", 0, 10),
+            _span(1, "late", "vehicle", 8, 12, parent=0, vehicle=1),
+        ]
+        (finding,) = _findings_for("span-nesting", events)
+        assert finding.line == 2
+        assert "escapes parent" in finding.message
+
+
+class TestSimTimeMonotonic:
+    def test_backwards_span_start(self):
+        events = [
+            _span(0, "first", "enroll", 5, 6, vehicle=1),
+            _span(1, "second", "enroll", 3, 4, vehicle=2),
+        ]
+        (finding,) = _findings_for("sim-time-monotonic", events)
+        assert finding.line == 2
+        assert "before the earlier-begun" in finding.message
+
+    def test_ca_batch_exempt(self):
+        # ca-batch spans carry future service windows by design.
+        events = [
+            _span(0, "enroll", "enroll", 5, 6, vehicle=1),
+            _span(1, "batch", "ca-batch", 1, 9),
+        ]
+        assert not _findings_for("sim-time-monotonic", events)
+
+    def test_backwards_heartbeat(self):
+        events = [_beat(5.0, 1), _beat(3.0, 1)]
+        (finding,) = _findings_for("sim-time-monotonic", events)
+        assert finding.line == 2
+        assert "ran backwards" in finding.message
+
+
+class TestSingleFlight:
+    def test_two_lifecycle_spans(self):
+        events = [
+            _span(0, "veh1", "vehicle", 0, 5, vehicle=1),
+            _span(1, "veh1-again", "vehicle", 5, 9, vehicle=1),
+        ]
+        (finding,) = _findings_for("single-flight", events)
+        assert finding.line == 2
+        assert "2 lifecycle spans" in finding.message
+
+    def test_overlapping_same_category_ops(self):
+        events = [
+            _span(0, "enroll-a", "enroll", 0, 5, vehicle=1),
+            _span(1, "enroll-b", "enroll", 3, 8, vehicle=1),
+        ]
+        (finding,) = _findings_for("single-flight", events)
+        assert finding.line == 2
+        assert "overlapping 'enroll'" in finding.message
+
+    def test_different_categories_may_overlap(self):
+        events = [
+            _span(0, "enroll", "enroll", 0, 5, vehicle=1),
+            _span(1, "establish", "establish", 3, 8, vehicle=1),
+        ]
+        assert not _findings_for("single-flight", events)
+
+    def test_different_vehicles_may_overlap(self):
+        events = [
+            _span(0, "a", "enroll", 0, 5, vehicle=1),
+            _span(1, "b", "enroll", 0, 5, vehicle=2),
+        ]
+        assert not _findings_for("single-flight", events)
+
+
+class TestCounterMonotonic:
+    def test_vehicles_done_decrease(self):
+        events = [_beat(1.0, 2, records=4), _beat(2.0, 1, records=4)]
+        (finding,) = _findings_for("counter-monotonic", events)
+        assert finding.line == 2
+        assert "vehicles_done decreased" in finding.message
+
+    def test_records_sent_decrease(self):
+        events = [_beat(1.0, 1, records=9), _beat(2.0, 1, records=4)]
+        (finding,) = _findings_for("counter-monotonic", events)
+        assert "records_sent decreased" in finding.message
+
+    def test_done_exceeds_total(self):
+        (finding,) = _findings_for("counter-monotonic", [_beat(1.0, 3)])
+        assert "exceeds vehicles_total" in finding.message
+
+
+class TestShardConservation:
+    def test_vacuous_without_migration_counters(self):
+        assert not _findings_for(
+            "shard-conservation", [_counter("fleet.sessions", 3, shard=0)]
+        )
+
+    def test_unbalanced_flow(self):
+        events = [
+            _counter("fleet.migrations_out", 3, shard=0),
+            _counter("fleet.migrations_in", 2, shard=1),
+        ]
+        (finding,) = _findings_for("shard-conservation", events)
+        assert "not conserved: 2 in != 3 out" in finding.message
+
+    def test_flow_disagrees_with_fleet_total(self):
+        events = [
+            _counter("fleet.migrations_out", 2, shard=0),
+            _counter("fleet.migrations_in", 2, shard=1),
+            _counter("fleet.migrations", 5),
+        ]
+        (finding,) = _findings_for("shard-conservation", events)
+        assert "disagrees with" in finding.message
+
+    def test_balanced_flow_clean(self):
+        events = [
+            _counter("fleet.migrations_out", 2, shard=0),
+            _counter("fleet.migrations_in", 2, shard=1),
+            _counter("fleet.migrations", 2),
+        ]
+        assert not _findings_for("shard-conservation", events)
+
+
+class TestInjectionBalance:
+    def test_lost_attempts_on_counters(self):
+        events = [
+            _counter("fleet.injection_attempts", 5, kind="replay"),
+            _counter("fleet.injection_rejected", 2, kind="replay"),
+            _counter("fleet.injection_succeeded", 1, kind="replay"),
+        ]
+        (finding,) = _findings_for("injection-balance", events)
+        assert finding.line == 1
+        assert "lost attempts: 5 != 2 rejected + 1 succeeded" in (
+            finding.message
+        )
+
+    def test_balanced_counters_clean(self):
+        events = [
+            _counter("fleet.injection_attempts", 5, kind="replay"),
+            _counter("fleet.injection_rejected", 4, kind="replay"),
+            _counter("fleet.injection_succeeded", 1, kind="replay"),
+        ]
+        assert not _findings_for("injection-balance", events)
+
+    def test_span_over_accounting(self):
+        events = [
+            _span(
+                0, "inject", "injection", 0, 5,
+                attempts=3, rejected=2, succeeded=2,
+            )
+        ]
+        (finding,) = _findings_for("injection-balance", events)
+        assert "over-accounts" in finding.message
+
+    def test_span_under_accounting_allowed(self):
+        # CA-flood rejections tally as the queue drains, after the
+        # dispatch-time span is recorded — under-counting is legal.
+        events = [
+            _span(
+                0, "inject", "injection", 0, 5,
+                attempts=3, rejected=0, succeeded=1,
+            )
+        ]
+        assert not _findings_for("injection-balance", events)
+
+
+class TestHeartbeatCoverage:
+    def test_run_without_beats(self):
+        (finding,) = _findings_for(
+            "heartbeat-coverage", [_span(0, "run", "run", 0, 10)]
+        )
+        assert "no heartbeats" in finding.message
+
+    def test_incomplete_final_beat(self):
+        (finding,) = _findings_for("heartbeat-coverage", [_beat(5.0, 1)])
+        assert "ended incomplete" in finding.message
+
+    def test_beat_postdates_run_end(self):
+        events = [
+            {"type": "meta", "run": "fleet", "sim_end_ms": 4.0},
+            _beat(5.0, 2),
+        ]
+        (finding,) = _findings_for("heartbeat-coverage", events)
+        assert finding.line == 2
+        assert "postdates the run end" in finding.message
+
+    def test_no_spans_no_beats_is_clean(self):
+        assert not _findings_for(
+            "heartbeat-coverage", [_counter("c", 1)]
+        )
+
+
+class TestRealRun:
+    @pytest.fixture(scope="class")
+    def archive(self, tmp_path_factory):
+        obs = Observer(heartbeat_interval_ms=500.0)
+        run_fleet(
+            FleetConfig(
+                n_vehicles=8,
+                seed=b"lint-clean-run",
+                records_per_vehicle=4,
+                max_records=4,
+                arrival_spread_ms=40.0,
+                shards=2,
+                shard_fail_at_ms=800.0,
+                shard_rejoin_at_ms=1200.0,
+                migrate_threshold=2,
+            ),
+            obs=obs,
+        )
+        path = tmp_path_factory.mktemp("lint") / "clean.jsonl"
+        write_jsonl(path, obs.deterministic_events())
+        return path
+
+    def test_real_run_is_clean_under_every_rule(self, archive):
+        assert lint_archive(archive) == []
+
+    def test_tampered_archive_is_flagged_with_line(self, archive):
+        from repro.obs import read_jsonl
+
+        events = read_jsonl(archive)
+        beat_index = next(
+            i
+            for i, e in enumerate(events)
+            if e.get("type") == "heartbeat"
+        )
+        events[beat_index]["vehicles_done"] = (
+            events[beat_index]["vehicles_total"] + 1
+        )
+        findings = run_lint(events, rules=("counter-monotonic",))
+        assert findings
+        assert findings[0].line == beat_index + 1

@@ -1,0 +1,236 @@
+"""Unit tests for the hierarchical digest tree (`repro.obs.tree`)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ObsError
+from repro.fleet import FleetConfig, run_fleet
+from repro.obs import (
+    DigestTree,
+    DigestTreeBuilder,
+    Observer,
+    TREE_SECTIONS,
+    event_tree_path,
+)
+from repro.obs.tree import _radix
+
+
+def _meta():
+    return {"type": "meta", "run": "fleet", "sim_end_ms": 10.0}
+
+
+def _span(span_id, **attrs):
+    return {
+        "type": "span",
+        "id": span_id,
+        "parent": None,
+        "name": f"s{span_id}",
+        "cat": "vehicle" if "vehicle" in attrs else "run",
+        "start_ms": 0.0,
+        "end_ms": 1.0,
+        "attrs": attrs,
+    }
+
+
+def _counter(name, value, **labels):
+    return {
+        "type": "counter",
+        "name": name,
+        "labels": {k: str(v) for k, v in labels.items()},
+        "value": value,
+    }
+
+
+def _beat(sim_ms, done=1):
+    return {
+        "type": "heartbeat",
+        "sim_ms": sim_ms,
+        "vehicles_done": done,
+        "vehicles_total": 2,
+        "records_sent": done,
+    }
+
+
+class TestRadix:
+    def test_fixed_fanout_path(self):
+        assert _radix("veh", 1234) == (
+            "veh:00xxxxxx",
+            "veh:0000xxxx",
+            "veh:000012xx",
+            "veh:00001234",
+        )
+
+    def test_every_bucket_has_bounded_fanout(self):
+        # 10_000 ids → every trie node ends up with ≤ 100 children.
+        children: dict = {}
+        for i in range(10_000):
+            path = ("run", *_radix("veh", i))
+            for parent, child in zip(path, path[1:]):
+                children.setdefault(parent, set()).add(child)
+        assert max(len(kids) for kids in children.values()) <= 100
+
+
+class TestEventPlacement:
+    def test_vehicle_span_under_vehicle_radix(self):
+        path = event_tree_path(_span(7, vehicle=42, shard=1))
+        assert path[:-1] == _radix("veh", 42)
+        assert path[-1].startswith("span:vehicle:")
+
+    def test_shard_span_under_shard(self):
+        event = _span(3, shard=1)
+        event["cat"] = "shard"
+        assert event_tree_path(event)[0] == "shard:1"
+
+    def test_run_span_under_spans_trie(self):
+        assert event_tree_path(_span(5))[0] == "spans"
+
+    def test_sharded_metric_under_shard(self):
+        path = event_tree_path(_counter("fleet.sessions", 3, shard=0))
+        assert path[0] == "shard:0"
+        assert path[1] == "metrics"
+
+    def test_unsharded_metric_under_metrics(self):
+        path = event_tree_path(_counter("fleet.migrations", 1))
+        assert path[0] == "metrics"
+
+    def test_heartbeat_keyed_by_stream_seq(self):
+        assert event_tree_path(_beat(1.0), heartbeat_seq=3)[-1] == (
+            "beat:00000003"
+        )
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ObsError, match="unknown"):
+            event_tree_path({"type": "mystery"})
+
+
+class TestBuilder:
+    def test_root_changes_with_any_event_change(self):
+        events = [_meta(), _span(0, vehicle=1), _counter("c", 1)]
+        base = DigestTree.from_events(events).root_digest
+        changed = [_meta(), _span(0, vehicle=1), _counter("c", 2)]
+        assert DigestTree.from_events(changed).root_digest != base
+
+    def test_wall_annotations_do_not_change_the_root(self):
+        beat = _beat(5.0)
+        dirty = {**beat, "wall": {"peak_rss_kb": 12345}}
+        clean_root = DigestTree.from_events([_meta(), beat]).root_digest
+        dirty_root = DigestTree.from_events([_meta(), dirty]).root_digest
+        assert clean_root == dirty_root
+
+    def test_duplicate_span_leaf_rejected(self):
+        builder = DigestTreeBuilder()
+        builder.add_event(_span(1, vehicle=2))
+        with pytest.raises(ObsError, match="duplicate"):
+            builder.add_event(_span(1, vehicle=2))
+
+    def test_duplicate_metric_leaf_folds(self):
+        builder = DigestTreeBuilder()
+        builder.add_event(_counter("c", 3))
+        builder.add_event(_counter("c", 4))
+        tree = builder.build()
+        assert tree.node(("metrics", "counter:c")).payload["value"] == 7
+
+    def test_include_filter(self):
+        events = [_meta(), _span(0, vehicle=1), _counter("c", 1), _beat(1.0)]
+        metrics_only = DigestTree.from_events(events, include=("metrics",))
+        assert metrics_only.leaf_count == 1
+        assert set(metrics_only.root.children) == {"metrics"}
+
+    def test_unknown_section_rejected(self):
+        with pytest.raises(ObsError, match="unknown tree sections"):
+            DigestTreeBuilder(include=("not-a-section",))
+
+    def test_sections_constant_matches_builder(self):
+        for section in TREE_SECTIONS:
+            DigestTreeBuilder(include=(section,))
+
+    def test_leaf_lines_are_archive_lines(self):
+        events = [_meta(), _span(0, vehicle=1)]
+        tree = DigestTree.from_events(events)
+        leaf = tree.node(event_tree_path(events[1]))
+        assert leaf.lines == (2,)
+
+
+class TestMerge:
+    def test_merge_equals_whole_run(self):
+        part_a = [_span(0, vehicle=1), _counter("c", 3, shard=0)]
+        part_b = [_span(1, vehicle=2), _counter("c", 4, shard=0)]
+        whole = [
+            _span(0, vehicle=1),
+            _span(1, vehicle=2),
+            _counter("c", 7, shard=0),
+        ]
+        merged = DigestTree.from_events(part_a).merge(
+            DigestTree.from_events(part_b)
+        )
+        assert merged.root_digest == DigestTree.from_events(
+            whole
+        ).root_digest
+
+    def test_merge_collision_on_span_rejected(self):
+        tree = DigestTree.from_events([_span(0, vehicle=1)])
+        with pytest.raises(ObsError, match="not a.*partition"):
+            tree.merge(DigestTree.from_events([_span(0, vehicle=1)]))
+
+    def test_gauge_folds_by_max(self):
+        def gauge(value):
+            return {
+                "type": "gauge",
+                "name": "g",
+                "labels": {},
+                "value": value,
+            }
+
+        merged = DigestTree.from_events([gauge(3)]).merge(
+            DigestTree.from_events([gauge(9)]), DigestTree.from_events([gauge(5)])
+        )
+        assert merged.root_digest == DigestTree.from_events(
+            [gauge(9)]
+        ).root_digest
+
+
+class TestRealRun:
+    @pytest.fixture(scope="class")
+    def observed(self):
+        obs = Observer()
+        run_fleet(
+            FleetConfig(
+                n_vehicles=6,
+                seed=b"tree-real-run",
+                records_per_vehicle=4,
+                max_records=4,
+                arrival_spread_ms=30.0,
+                shards=2,
+            ),
+            obs=obs,
+        )
+        return obs
+
+    def test_observer_tree_covers_every_event(self, observed):
+        events = observed.deterministic_events()
+        tree = observed.digest_tree()
+        # Span/heartbeat/meta leaves are 1:1 with events; metric leaves
+        # fold duplicates, but this run emits each series once.
+        assert tree.leaf_count == len(events)
+
+    def test_tree_reproducible_and_order_matters_not_for_archive(
+        self, observed
+    ):
+        events = observed.deterministic_events()
+        a = DigestTree.from_events(events)
+        b = observed.digest_tree()
+        assert a.root_digest == b.root_digest
+
+    def test_section_trees_partition_the_full_tree(self, observed):
+        full = observed.digest_tree()
+        total = sum(
+            observed.digest_tree(include=(section,)).leaf_count
+            for section in TREE_SECTIONS
+        )
+        assert total == full.leaf_count
+
+    def test_as_dict_round_trips_digests(self, observed):
+        rendered = observed.digest_tree().as_dict()
+        assert rendered["digest"] == observed.digest_tree().root_digest
+        assert rendered["leaves"] > 0

@@ -1,0 +1,155 @@
+"""Property-based laws of the digest tree (`repro.obs.tree`).
+
+Three algebraic claims, each driven over random metric programs:
+
+1. **Permutation invariance** — the root digest hashes *content*, not
+   archive order: shuffling the event list never changes the root
+   (only the per-leaf line annotations move).
+2. **Split/merge ≡ whole-run** — partitioning a program across two
+   builders and merging the trees lands on the same root as building
+   one tree from the whole program; metric leaves fold (counters add,
+   gauges max, histograms merge exactly).
+3. **Worker-absorb law** — the tree of a parent registry that
+   ``absorb``-ed worker snapshots equals the merge of the workers' own
+   subtrees, the algebra the parallel orchestrator's merge proof
+   verifies on every run.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.obs import DigestTree, MetricsRegistry
+
+# -- metric program strategy --------------------------------------------------
+
+_names = st.sampled_from(["lat", "records", "batch", "wait"])
+_labels = st.fixed_dictionaries(
+    {},
+    optional={
+        "shard": st.integers(0, 3),
+        "kind": st.sampled_from(["a", "b"]),
+    },
+)
+_values = st.floats(
+    min_value=0.0, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+_ops = st.one_of(
+    st.tuples(st.just("inc"), _names, _labels, st.integers(0, 1000)),
+    st.tuples(st.just("gauge"), _names, _labels, _values),
+    st.tuples(st.just("observe"), _names, _labels, _values),
+)
+
+_programs = st.lists(_ops, min_size=0, max_size=30)
+
+
+def _registry(ops) -> MetricsRegistry:
+    reg = MetricsRegistry()
+    for op, name, labels, value in ops:
+        if op == "inc":
+            reg.counter(f"c.{name}", **labels).inc(value)
+        elif op == "gauge":
+            reg.gauge(f"g.{name}", **labels).record(value)
+        else:
+            reg.histogram(f"h.{name}", **labels).observe(value)
+    return reg
+
+
+def _events(ops) -> list:
+    return _registry(ops).snapshot().events()
+
+
+class TestPermutationInvariance:
+    @given(program=_programs, data=st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_shuffled_metric_events_keep_the_root(self, program, data):
+        events = _events(program)
+        shuffled = data.draw(st.permutations(events))
+        assert (
+            DigestTree.from_events(shuffled).root_digest
+            == DigestTree.from_events(events).root_digest
+        )
+
+    @given(program=_programs, data=st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_only_line_annotations_depend_on_order(self, program, data):
+        events = _events(program)
+        shuffled = data.draw(st.permutations(events))
+        a = DigestTree.from_events(events)
+        b = DigestTree.from_events(shuffled)
+        assert a.leaves() == b.leaves()
+        for path in a.leaves():
+            assert a.node(path).digest == b.node(path).digest
+
+
+class TestSplitMergeLaw:
+    @given(program=_programs, data=st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_partitioned_build_merges_to_the_whole(self, program, data):
+        # Split the *program* (not the folded events): each op lands in
+        # one of two registries, so counters genuinely split their sums
+        # and histograms their observations across the parts.
+        mask = data.draw(
+            st.lists(
+                st.booleans(),
+                min_size=len(program),
+                max_size=len(program),
+            )
+        )
+        left = [op for op, keep in zip(program, mask) if keep]
+        right = [op for op, keep in zip(program, mask) if not keep]
+        merged = DigestTree.from_events(_events(left)).merge(
+            DigestTree.from_events(_events(right))
+        )
+        whole = DigestTree.from_events(_events(program))
+        assert merged.root_digest == whole.root_digest
+
+    @given(a=_programs, b=_programs, c=_programs)
+    @settings(max_examples=40, deadline=None)
+    def test_merge_is_associative_and_commutative(self, a, b, c):
+        ta, tb, tc = (
+            DigestTree.from_events(_events(p)) for p in (a, b, c)
+        )
+        assert (
+            ta.merge(tb).merge(tc).root_digest
+            == ta.merge(tb.merge(tc)).root_digest
+        )
+        assert ta.merge(tb).root_digest == tb.merge(ta).root_digest
+
+    @given(a=_programs)
+    @settings(max_examples=30, deadline=None)
+    def test_empty_tree_is_identity(self, a):
+        tree = DigestTree.from_events(_events(a))
+        empty = DigestTree.from_events([])
+        assert tree.merge(empty).root_digest == tree.root_digest
+
+
+class TestWorkerAbsorbLaw:
+    @given(workers=st.lists(_programs, min_size=1, max_size=4))
+    @settings(max_examples=40, deadline=None)
+    def test_absorbed_registry_tree_equals_merged_subtrees(self, workers):
+        # The parallel orchestrator's merge proof, as an algebraic law:
+        # each worker ships DigestTree.from_metrics(its snapshot); the
+        # parent absorbs the snapshots and recomputes — both sides must
+        # land on the same root for every partition of work.
+        parent = MetricsRegistry()
+        subtrees = []
+        for program in workers:
+            snap = _registry(program).snapshot()
+            parent.absorb(snap)
+            subtrees.append(DigestTree.from_metrics(snap))
+        folded = subtrees[0].merge(*subtrees[1:])
+        recomputed = DigestTree.from_metrics(parent.snapshot())
+        assert folded.root_digest == recomputed.root_digest
+
+    @given(a=_programs, b=_programs)
+    @settings(max_examples=40, deadline=None)
+    def test_from_metrics_commutes_with_snapshot_merge(self, a, b):
+        snap_a = _registry(a).snapshot()
+        snap_b = _registry(b).snapshot()
+        via_snapshots = DigestTree.from_metrics(snap_a.merge(snap_b))
+        via_trees = DigestTree.from_metrics(snap_a).merge(
+            DigestTree.from_metrics(snap_b)
+        )
+        assert via_snapshots.root_digest == via_trees.root_digest
