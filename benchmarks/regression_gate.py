@@ -10,8 +10,9 @@ asserts, it diffs a freshly produced ``BENCH_fleet.json`` /
 simulated p50/p99 latency or throughput metric.  Host wall-clock fields
 are ignored (they measure the build machine, not the code).
 
-Cells are matched structurally — ``(benchmark, shards, v2v_fraction,
-n_vehicles, churn)`` — so a quick-mode candidate is only ever compared
+Cells are matched structurally — ``(benchmark, scenario, policy,
+shards, v2v_fraction, n_vehicles, churn)`` — so a quick-mode candidate
+is only ever compared
 against the quick-mode baseline (the ``mode`` field selects the baseline
 file), and unmatched cells are reported, never silently dropped.
 
@@ -69,6 +70,7 @@ ARTIFACTS = (
     "BENCH_topology.json",
     "BENCH_topology_churn.json",
     "BENCH_scenarios.json",
+    "BENCH_policies.json",
 )
 
 
@@ -96,7 +98,10 @@ def extract_cells(payload: dict) -> dict:
     that law against the baseline); scenario payloads key each cell by
     its scenario name on top of the structural fields (the pre-scenario
     artifacts carry no ``scenario`` field and key with an empty name,
-    so historical baselines keep matching).
+    so historical baselines keep matching); policy-ablation payloads
+    additionally key each cell by its policy bundle (pre-policy
+    artifacts carry no ``policy`` field and key with an empty bundle
+    the same way).
     """
     benchmark = payload.get("benchmark", "unknown")
     if "cells" in payload:
@@ -105,6 +110,7 @@ def extract_cells(payload: dict) -> dict:
             key = (
                 benchmark,
                 cell.get("scenario", ""),
+                cell.get("policy", ""),
                 cell["shards"],
                 cell["v2v_fraction"],
                 cell["n_vehicles"],
@@ -113,7 +119,7 @@ def extract_cells(payload: dict) -> dict:
             cells[key] = cell["fleet"]
         return cells
     config = payload.get("config", {})
-    key = (benchmark, "", 1, 0.0, config.get("n_vehicles", 0), False)
+    key = (benchmark, "", "", 1, 0.0, config.get("n_vehicles", 0), False)
     cells = {key: payload["fleet"]}
     for cell in payload.get("scale", {}).get("cells", []):
         if "fleet" not in cell:
@@ -122,6 +128,7 @@ def extract_cells(payload: dict) -> dict:
             (
                 benchmark,
                 f"scale-w{cell['workers']}",
+                "",
                 cell.get("shards", 0),
                 0.0,
                 cell["vehicles"],
@@ -148,6 +155,7 @@ def extract_tree_roots(payload: dict) -> dict:
             key = (
                 benchmark,
                 cell.get("scenario", ""),
+                cell.get("policy", ""),
                 cell["shards"],
                 cell["v2v_fraction"],
                 cell["n_vehicles"],
@@ -160,6 +168,7 @@ def extract_tree_roots(payload: dict) -> dict:
                 (
                     benchmark,
                     f"scale-w{cell['workers']}",
+                    "",
                     cell.get("shards", 0),
                     0.0,
                     cell["vehicles"],

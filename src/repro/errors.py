@@ -107,6 +107,17 @@ class ScenarioError(SimulationError):
     """
 
 
+class PolicyError(SimulationError):
+    """A fleet policy rule or bundle is invalid or misbehaved.
+
+    Covers spec-level nonsense (unknown rule kinds, out-of-range
+    parameters, duplicate registry entries), load-time payload errors
+    and runtime violations (a rule returning a decision that targets a
+    dead or out-of-range shard).  Subclasses :class:`SimulationError`
+    so callers catching simulation errors keep working.
+    """
+
+
 class HardwareModelError(ReproError):
     """A device model is missing a cost entry or got invalid parameters."""
 

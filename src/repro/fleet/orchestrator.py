@@ -88,6 +88,13 @@ from ..protocols.pool import EphemeralPool
 from ..protocols.registry import get_protocol
 from ..sim.engine import Simulator
 from ..testbed import DEFAULT_NOW, device_id
+from .policy import (
+    FleetState,
+    PolicyEngine,
+    ShardView,
+    VehicleView,
+    resolve_policies,
+)
 from .scenario import (
     CaQueueFlood,
     ReplayStorm,
@@ -226,6 +233,16 @@ class FleetConfig:
             finished vehicle can never touch again is dropped.  Off by
             default because :attr:`FleetResult.vehicles` timelines and
             resource interval traces are part of the debugging API.
+        policy: named policy bundle from
+            :data:`repro.fleet.policy.POLICY_BUNDLES` supplying the
+            rules the :class:`~repro.fleet.policy.PolicyEngine`
+            evaluates at the run's decision points (shard assignment,
+            migration, re-key cadence, failover adoption).  ``None``
+            selects the ``default`` bundle — the extracted legacy
+            strategies, bit-identical to every historical digest.  A
+            bundle that overrides an explicitly-set knob (e.g.
+            ``utilisation-rebalance`` with ``migrate_threshold``) is
+            rejected here as a :class:`~repro.errors.ConfigError`.
 
     Examples:
         Configs are validated eagerly with actionable errors::
@@ -277,6 +294,7 @@ class FleetConfig:
     observe: bool = False
     workers: int = 1
     stream: bool = False
+    policy: str | None = None
 
     def __post_init__(self) -> None:
         if not isinstance(self.workers, int) or self.workers < 1:
@@ -383,6 +401,19 @@ class FleetConfig:
                 f"unknown crypto backend {self.backend!r};"
                 f" have {sorted(available_backends())}"
             )
+        if self.policy is not None:
+            # Late import: repro.fleet.policy imports topology, which this
+            # module also imports — the registry is only needed here.
+            from .policy import POLICY_BUNDLES, bundle_conflict
+
+            if self.policy not in POLICY_BUNDLES:
+                raise ConfigError(
+                    f"unknown policy bundle {self.policy!r};"
+                    f" have {sorted(POLICY_BUNDLES)}"
+                )
+            conflict = bundle_conflict(self.policy, self)
+            if conflict is not None:
+                raise ConfigError(conflict)
         get_protocol(self.protocol)  # fail fast on unknown names
 
 
@@ -596,6 +627,19 @@ class FleetOrchestrator:
             isinstance(spec, StaleCertFlood) for spec in injections
         )
         self._stale_certs: list = []
+        # -- policy engine -----------------------------------------------------
+        #: Sim-time of the latest replay-storm dispatch: the activity
+        #: signal the storm-hardened re-key strategy windows on.  Plain
+        #: metadata — recording it never touches the event heap, so it
+        #: is digest-neutral for every other bundle.
+        self._last_storm_ms: float | None = None
+        self.policy = PolicyEngine(
+            resolve_policies(config, self.schedule), hooks=self._hooks
+        )
+        # The assignment point lives inside FleetTopology.assign (after
+        # the pinned-shard check), so every caller — enrollment, failover
+        # requeue, handover — routes through the same policy decision.
+        self.topology.policy_hook = self._assign_decision
 
     # -- deterministic context factories --------------------------------------
 
@@ -856,7 +900,7 @@ class FleetOrchestrator:
                 continue
             vehicle = entry.vehicle
             shard.active_vehicles -= 1
-            adopter = self.topology.assign(vehicle)
+            adopter = self._adopt_target(vehicle)
             adopter.adopt(vehicle)
             self._handovers += 1
             vehicle.log(
@@ -876,7 +920,7 @@ class FleetOrchestrator:
     def _handover(self, vehicle: Vehicle) -> GatewayShard:
         """Move a vehicle from its failed shard to a surviving one."""
         old = self.shards[vehicle.shard]
-        adopter = self.topology.assign(vehicle)
+        adopter = self._adopt_target(vehicle)
         vehicle.manager.drop(old.gateway_id)
         old.manager.drop(vehicle.device_id)
         old.active_vehicles -= 1
@@ -891,6 +935,97 @@ class FleetOrchestrator:
         if self._hooks is not None:
             self._hooks.handover(self, vehicle, old, adopter)
         return adopter
+
+    # -- policy decision points --------------------------------------------------
+
+    def _shard_views(self) -> tuple:
+        """Frozen per-shard snapshots for one policy decision."""
+        total_active = sum(
+            shard.active_vehicles for shard in self.shards if not shard.failed
+        )
+        return tuple(
+            ShardView(
+                index=shard.index,
+                failed=shard.failed,
+                active_vehicles=shard.active_vehicles,
+                queue_depth=len(shard.queue),
+                epoch=shard.epoch,
+                utilisation=(
+                    shard.active_vehicles / total_active
+                    if not shard.failed and total_active > 0
+                    else 0.0
+                ),
+            )
+            for shard in self.shards
+        )
+
+    def _vehicle_view(self, vehicle: Vehicle) -> VehicleView:
+        profile = self._profile_of(vehicle)
+        return VehicleView(
+            index=vehicle.index,
+            name=vehicle.name,
+            device_id=vehicle.device_id,
+            shard=vehicle.shard,
+            records_sent=vehicle.records_sent,
+            rekeys=vehicle.rekeys,
+            migrations=vehicle.migrations,
+            migrating=vehicle.migrating,
+            re_enrolling=vehicle.re_enrolling,
+            pinned_shard=vehicle.pinned_shard,
+            roam_every=(
+                profile.roam_every if profile is not None else None
+            ),
+            last_roam_records=vehicle.last_roam_records,
+        )
+
+    def _policy_state(
+        self,
+        point: str,
+        vehicle: Vehicle,
+        rekey_due: bool = False,
+        session_records: int = 0,
+    ) -> FleetState:
+        return FleetState(
+            point=point,
+            now_ms=self.sim.now,
+            vehicle=self._vehicle_view(vehicle),
+            shards=self._shard_views(),
+            rekey_due=rekey_due,
+            session_records=session_records,
+            last_storm_ms=self._last_storm_ms,
+        )
+
+    def _assign_decision(self, vehicle: Vehicle) -> "GatewayShard | None":
+        """Topology hook: the shard-assignment decision point.
+
+        Consulted by :meth:`FleetTopology.assign` after its pinned-shard
+        check; ``None`` (no assign rules, or every rule passed) falls
+        back to the topology's own legacy arithmetic.
+        """
+        if not self.policy.has_rules("assign"):
+            return None
+        decision = self.policy.decide(
+            "assign", self._policy_state("assign", vehicle)
+        )
+        if decision is None:
+            return None
+        return self.shards[decision.target_shard]
+
+    def _adopt_target(self, vehicle: Vehicle) -> GatewayShard:
+        """Failover adoption: the failover decision point.
+
+        A failover rule picks the adopting shard; with none installed
+        (the ``default`` bundle) adoption falls through to
+        :meth:`FleetTopology.assign` — the legacy behavior, which itself
+        routes placement through the assignment point.
+        """
+        if self.policy.has_rules("failover"):
+            decision = self.policy.decide(
+                "failover", self._policy_state("failover", vehicle)
+            )
+            if decision is not None:
+                return self.shards[decision.target_shard]
+        return self.topology.assign(vehicle)
 
     # -- churn: rejoin, migration, re-enrollment --------------------------------
 
@@ -921,7 +1056,12 @@ class FleetOrchestrator:
         if self._hooks is not None:
             self._hooks.rejoin(self, shard)
 
-    def migrate(self, vehicle: Vehicle, shard: "GatewayShard | int") -> None:
+    def migrate(
+        self,
+        vehicle: Vehicle,
+        shard: "GatewayShard | int",
+        rule: str | None = None,
+    ) -> None:
         """Live-migrate a vehicle to another healthy shard.
 
         Both halves of the vehicle↔gateway session are dropped through
@@ -929,8 +1069,10 @@ class FleetOrchestrator:
         afterwards), the vehicle re-enrolls through the target shard's
         sub-CA — a fresh certificate under the target's chain epoch — and
         re-establishes there before resuming its record stream.  This is
-        the explicit API; the ``migrate_threshold`` re-balancing policy
-        calls it at deterministic points (application sends).
+        the explicit API; migration policy rules call it at
+        deterministic points (application sends), passing the deciding
+        rule's kind via ``rule`` so the decision is attributed once —
+        direct API calls are attributed to the pseudo-rule ``"api"``.
         """
         target = self.shards[shard] if isinstance(shard, int) else shard
         old = self.shards[vehicle.shard]
@@ -965,6 +1107,14 @@ class FleetOrchestrator:
             f"shard {old.index} -> shard {target.index}",
         )
         if self._hooks is not None:
+            if rule is None:
+                # Engine-decided migrations were already attributed by
+                # PolicyEngine.decide; direct API calls are attributed
+                # here so the policy.migrate counter balances the
+                # per-shard migration flow (tracelint policy-balance).
+                self._hooks.policy_decision(
+                    self.sim.now, "migrate", "api", vehicle.index, target.index
+                )
             self._hooks.migrate_started(self, vehicle, old, target)
 
         def established() -> None:
@@ -982,28 +1132,31 @@ class FleetOrchestrator:
             then=lambda: self._establish(vehicle, then=established),
         )
 
-    def _maybe_migrate(self, vehicle: Vehicle, shard: GatewayShard) -> bool:
-        """Re-balancing policy: migrate when the shard is over threshold."""
-        threshold = self.config.migrate_threshold
-        if (
-            threshold is None
-            or vehicle.migrating
-            or vehicle.re_enrolling
-            or shard.failed
-            or vehicle.pinned_shard is not None
-        ):
-            # Pinned (platoon) vehicles stay with their convoy's shard;
-            # the re-balancer never peels them off.
+    def _policy_migrate(self, vehicle: Vehicle, shard: GatewayShard) -> bool:
+        """The migration decision point, checked at every application send.
+
+        The ``default`` bundle installs the extracted legacy rules —
+        roam cadence (profile-driven) ahead of threshold re-balancing —
+        so first-match order reproduces the historical check order
+        bit-for-bit.  A winning rule names the target shard; ``roam``
+        decisions additionally get the roamer bookkeeping the legacy
+        path applied (the ``last_roam_records`` marker keeps one record
+        count from triggering twice — the post-migration establish
+        resumes sending at the same count).
+        """
+        if not self.policy.has_rules("migrate"):
             return False
-        alive = self.topology.alive_shards()
-        if len(alive) < 2:
+        decision = self.policy.decide(
+            "migrate", self._policy_state("migrate", vehicle)
+        )
+        if decision is None:
             return False
-        target = min(alive, key=lambda s: (s.active_vehicles, s.index))
-        if target.index == shard.index:
-            return False
-        if shard.active_vehicles - target.active_vehicles <= threshold:
-            return False
-        self.migrate(vehicle, target)
+        if decision.roam:
+            vehicle.last_roam_records = vehicle.records_sent
+            vehicle.roams += 1
+        self.migrate(
+            vehicle, self.shards[decision.target_shard], rule=decision.rule
+        )
         return True
 
     def _re_enroll(self, vehicle, shard, reason, then) -> None:
@@ -1073,7 +1226,7 @@ class FleetOrchestrator:
                 # vehicle's handover tally stay truthful for the
                 # post-rejoin re-balancer).
                 target.active_vehicles -= 1
-                target = self.topology.assign(vehicle)
+                target = self._adopt_target(vehicle)
                 target.adopt(vehicle)
                 vehicle.handovers += 1
                 self._handovers += 1
@@ -1207,37 +1360,6 @@ class FleetOrchestrator:
             return self.config.send_interval_ms
         return profile.send_interval_ms
 
-    def _maybe_roam(self, vehicle: Vehicle, shard: GatewayShard) -> bool:
-        """Roamer profiles: migrate every ``roam_every`` records.
-
-        Deterministic target: the next alive shard after the current one
-        in index order.  The ``last_roam_records`` marker keeps one
-        record count from triggering twice (the post-migration establish
-        resumes sending at the same count).
-        """
-        profile = self._profile_of(vehicle)
-        if (
-            profile is None
-            or profile.roam_every is None
-            or vehicle.records_sent <= 0
-            or vehicle.records_sent % profile.roam_every != 0
-            or vehicle.records_sent == vehicle.last_roam_records
-            or vehicle.migrating
-            or vehicle.re_enrolling
-        ):
-            return False
-        alive = self.topology.alive_shards()
-        if len(alive) < 2 or shard.failed:
-            return False
-        successors = [s for s in alive if s.index > shard.index]
-        target = successors[0] if successors else alive[0]
-        if target.index == shard.index:
-            return False
-        vehicle.last_roam_records = vehicle.records_sent
-        vehicle.roams += 1
-        self.migrate(vehicle, target)
-        return True
-
     def _release_vehicle(self, vehicle: Vehicle) -> None:
         """Streaming mode: drop state a finished vehicle can never touch.
 
@@ -1268,21 +1390,43 @@ class FleetOrchestrator:
             # re-key at a surviving shard (handled inside _establish).
             self._establish(vehicle)
             return
-        if self._maybe_roam(vehicle, shard):
-            # A roamer profile moved the vehicle: it resumes sending once
-            # re-enrolled and re-established at the next shard over.
-            return
-        if self._maybe_migrate(vehicle, shard):
-            # Re-balancing moved the vehicle: it resumes sending once
+        if self._policy_migrate(vehicle, shard):
+            # A migration rule moved the vehicle (roam cadence,
+            # threshold re-balance, ...): it resumes sending once
             # re-enrolled and re-established at the target shard.
             return
-        if vehicle.manager.needs_rekey(
+        # The managers' budget verdict has session side effects (an
+        # expired half is dropped by the check), so it is computed
+        # exactly once — here, at the legacy call site — and handed to
+        # the re-key rules as FleetState.rekey_due.
+        rekey_due = vehicle.manager.needs_rekey(
             shard.gateway_id
-        ) or shard.manager.needs_rekey(vehicle.device_id):
+        ) or shard.manager.needs_rekey(vehicle.device_id)
+        decision = None
+        if rekey_due or not self.policy.only_default_rekey:
+            session_records = 0
+            if not self.policy.only_default_rekey:
+                # Raw snapshot for budget-tightening rules; .get() is
+                # side-effect free, unlike the manager's budget check.
+                session = vehicle.manager.sessions.get(shard.gateway_id)
+                session_records = (
+                    session.records_used if session is not None else 0
+                )
+            decision = self.policy.decide(
+                "rekey",
+                self._policy_state(
+                    "rekey",
+                    vehicle,
+                    rekey_due=rekey_due,
+                    session_records=session_records,
+                ),
+            )
+        if decision is not None:
             # Policy expired the key on either side — or a rejoined
             # gateway came back with a fresh manager that knows no old
-            # keys: drop both halves and run a fresh establishment
-            # (fresh ephemerals, next generation).
+            # keys, or a re-key rule tightened the budget: drop both
+            # halves and run a fresh establishment (fresh ephemerals,
+            # next generation).
             vehicle.manager.drop(shard.gateway_id)
             shard.manager.drop(vehicle.device_id)
             vehicle.rekeys += 1
@@ -1508,6 +1652,7 @@ class FleetOrchestrator:
         re-key dies on the MAC.  An accepted record would count as a
         success (and is asserted zero by the benchmarks).
         """
+        self._last_storm_ms = self.sim.now
         shard = self.shards[spec.target_shard]
         if shard.failed:
             # Nothing listens: the storm hits a dead gateway.
@@ -1805,6 +1950,7 @@ class FleetOrchestrator:
             scenario=(
                 self.scenario.name if self.scenario is not None else ""
             ),
+            policy=self.config.policy or "",
             profile_counts=(
                 self.schedule.profile_counts
                 if self.schedule is not None

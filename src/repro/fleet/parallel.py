@@ -228,7 +228,17 @@ def partition_plan(config, schedule) -> PartitionPlan | None:
         return None
     if config.migrate_threshold is not None:
         return None
+    if config.policy not in (None, "default"):
+        # Alternative bundles may migrate on cross-shard load signals
+        # (utilisation re-balancing, failover spreading), coupling the
+        # shard streams; the default bundle is the extracted legacy
+        # strategies, independent under the remaining guards.
+        return None
     if schedule is not None:
+        if schedule.scenario.policies:
+            # Scenario-shipped rules are arbitrary plugins — assume
+            # coupled.
+            return None
         if any(
             profile.roam_every is not None
             for profile in schedule.profiles.values()
@@ -498,6 +508,7 @@ def _merge(config, scenario, schedule, snapshots) -> FleetStats:
         re_enrollments=totals["re_enrollments"],
         migration_latency=migration.summary(),
         scenario=scenario.name if scenario is not None else "",
+        policy=config.policy or "",
         profile_counts=(
             schedule.profile_counts if schedule is not None else ()
         ),

@@ -49,6 +49,7 @@ from dataclasses import dataclass, field, fields
 
 from ..errors import ScenarioError
 from ..primitives import sha256
+from .policy import POLICY_RULES, load_policy, policy_dict
 
 __all__ = [
     "ARRIVAL_KINDS",
@@ -551,6 +552,11 @@ class Scenario:
         profiles: behavior profiles, claiming vehicles in order.
         injections: adversarial injections, any order (compiled sorted
             by time).
+        policies: policy rules shipped with the workload
+            (:mod:`repro.fleet.policy` specs).  They run *ahead of* the
+            bundle :attr:`~repro.fleet.FleetConfig.policy` selects, so a
+            scenario can pre-empt the default strategies at shared
+            decision points.
         description: free-text note (round-trips, not hashed).
 
     Examples:
@@ -587,12 +593,20 @@ class Scenario:
     arrivals: object = field(default_factory=UniformArrivals)
     profiles: tuple[BehaviorProfile, ...] = ()
     injections: tuple[object, ...] = ()
+    policies: tuple[object, ...] = ()
     description: str = ""
 
     def __post_init__(self) -> None:
         _require(bool(self.name), "scenarios need a non-empty name")
         object.__setattr__(self, "profiles", tuple(self.profiles))
         object.__setattr__(self, "injections", tuple(self.injections))
+        object.__setattr__(self, "policies", tuple(self.policies))
+        for policy in self.policies:
+            _require(
+                type(policy) in POLICY_RULES.values(),
+                f"policies must be one of {sorted(POLICY_RULES)},"
+                f" got {type(policy).__name__}",
+            )
         _require(
             type(self.arrivals) in ARRIVAL_KINDS.values(),
             f"arrivals must be one of {sorted(ARRIVAL_KINDS)},"
@@ -620,6 +634,7 @@ class Scenario:
             "injections": [
                 _spec_dict(injection) for injection in self.injections
             ],
+            "policies": [policy_dict(policy) for policy in self.policies],
         }
 
     def as_json(self) -> str:
@@ -657,6 +672,9 @@ def load_scenario(data: "dict | str") -> Scenario:
         injections=tuple(
             _load_kinded(payload, INJECTION_KINDS, "injection")
             for payload in data.get("injections", [])
+        ),
+        policies=tuple(
+            load_policy(payload) for payload in data.get("policies", [])
         ),
     )
 
@@ -714,27 +732,37 @@ class ScenarioSchedule:
         Equal ``(spec, seed, fleet shape)`` must compile to equal
         digests — the determinism contract the property tests pin.
         """
-        canonical = "|".join(
-            [
-                f"scenario={self.scenario.name}",
-                "arr=" + ",".join(f"{t:.9f}" for t in self.arrival_ms),
-                "prof=" + ",".join(self.profile_of),
-                "pins="
-                + ",".join(
-                    "-" if pin is None else str(pin)
-                    for pin in self.pinned_shard
-                ),
-                "convoys="
+        segments = [
+            f"scenario={self.scenario.name}",
+            "arr=" + ",".join(f"{t:.9f}" for t in self.arrival_ms),
+            "prof=" + ",".join(self.profile_of),
+            "pins="
+            + ",".join(
+                "-" if pin is None else str(pin)
+                for pin in self.pinned_shard
+            ),
+            "convoys="
+            + ";".join(
+                ",".join(str(i) for i in convoy) for convoy in self.convoys
+            ),
+            "inj="
+            + ";".join(
+                json.dumps(_spec_dict(injection), sort_keys=True)
+                for injection in self.injections
+            ),
+        ]
+        if self.scenario.policies:
+            # Extension segment: hashed only when the scenario ships
+            # policy rules, so every pre-policy schedule digest is
+            # preserved bit-for-bit.
+            segments.append(
+                "pol="
                 + ";".join(
-                    ",".join(str(i) for i in convoy) for convoy in self.convoys
-                ),
-                "inj="
-                + ";".join(
-                    json.dumps(_spec_dict(injection), sort_keys=True)
-                    for injection in self.injections
-                ),
-            ]
-        )
+                    json.dumps(policy_dict(policy), sort_keys=True)
+                    for policy in self.scenario.policies
+                )
+            )
+        canonical = "|".join(segments)
         return sha256(canonical.encode()).hex()
 
 

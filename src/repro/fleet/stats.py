@@ -563,6 +563,12 @@ class FleetStats:
     scenario: str = ""
     profile_counts: tuple[tuple[str, int], ...] = ()
     injection_stats: tuple[InjectionStats, ...] = ()
+    # -- policy extension (defaults keep legacy construction valid) ----------
+    #: Policy bundle name (metadata only — never hashed: the ``default``
+    #: bundle reproduces the legacy strategies bit-for-bit, so the same
+    #: workload digests identically with the engine on or off, and
+    #: alternative bundles are compared by their *behavioral* deltas).
+    policy: str = ""
 
     @property
     def throughput_records_per_s(self) -> float:
@@ -681,6 +687,8 @@ class FleetStats:
                 lines.append(f"  {shard.row()}")
         if self.scenario:
             lines.append(f"  scenario            : {self.scenario}")
+        if self.policy:
+            lines.append(f"  policy              : {self.policy}")
         if self.profile_counts:
             rendered = ", ".join(
                 f"{name}={count}" for name, count in self.profile_counts
@@ -737,6 +745,7 @@ class FleetStats:
                     injection.as_dict() for injection in self.injection_stats
                 ],
             },
+            "policy": self.policy,
             "digest": self.digest(),
         }
 
@@ -811,6 +820,7 @@ class FleetStats:
                 InjectionStats.from_dict(entry)
                 for entry in scenario.get("injections", [])
             ),
+            policy=data.get("policy", ""),
         )
 
     def digest(self) -> str:

@@ -214,6 +214,13 @@ class FleetTopology:
             else self.shards[0].ca.public_key
         )
         self._round_robin = 0
+        #: Optional assignment override, set by the orchestrator: a
+        #: callable ``(vehicle) -> GatewayShard | None`` consulted by
+        #: :meth:`assign` after the pinned-shard check.  ``None`` (a
+        #: standalone topology, or every policy rule passing) keeps the
+        #: legacy arithmetic below — the ``default`` policy bundle
+        #: reproduces it bit-for-bit through this hook.
+        self.policy_hook = None
 
     # -- construction ---------------------------------------------------------
 
@@ -415,6 +422,10 @@ class FleetTopology:
             pinned = self.shards[vehicle.pinned_shard]
             if not pinned.failed:
                 return pinned
+        if self.policy_hook is not None:
+            chosen = self.policy_hook(vehicle)
+            if chosen is not None:
+                return chosen
         policy = self.config.shard_policy
         if policy == POLICY_STATIC_HASH:
             digest = sha256(b"fleet|shard-assign|" + vehicle.device_id)

@@ -363,6 +363,34 @@ class FleetInstrumentation:
         """Count a re-enrollment coalesced into one in flight."""
         self.obs.metrics.counter("fleet.re_enrollments_coalesced").inc()
 
+    # -- policy decisions ----------------------------------------------------
+
+    def policy_decision(
+        self, now_ms, point, rule, vehicle_index, target_shard
+    ) -> None:
+        """Mark one policy-engine decision and count it per rule.
+
+        Called from inside :meth:`repro.fleet.policy.PolicyEngine.decide`
+        (and from the manual :meth:`~repro.fleet.orchestrator
+        .FleetOrchestrator.migrate` API path, attributed to the pseudo
+        rule ``"api"``), so the signature carries the already-snapshotted
+        values rather than an orchestrator reference.  Tracelint's
+        policy-balance rule checks these counters against the action
+        counters they must equal (``policy.migrate`` decisions ==
+        migrations in, ``policy.rekey`` decisions == re-keys).
+        """
+        attrs = {"vehicle": vehicle_index, "rule": rule}
+        if target_shard is not None:
+            attrs["to_shard"] = target_shard
+        self.obs.spans.event(
+            f"veh{vehicle_index:04d}:policy:{point}",
+            "policy",
+            now_ms,
+            parent=self._vehicle_spans.get(vehicle_index),
+            **attrs,
+        )
+        self.obs.metrics.counter(f"policy.{point}", rule=rule).inc()
+
     # -- V2V ----------------------------------------------------------------
 
     def v2v_started(self, orch, initiator, responder, rekey) -> None:

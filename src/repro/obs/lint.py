@@ -32,6 +32,13 @@ rule                          invariant
                               one heartbeat, the final beat reports every
                               vehicle done, and no beat postdates the
                               run's recorded end
+``policy-balance``            counted policy decisions balance the actions
+                              they triggered: ``policy.migrate`` decisions
+                              == ``Σ migrations_in``, ``policy.rekey``
+                              decisions == ``Σ rekeys``, and (when the
+                              archive carries them — spans stay
+                              worker-local in parallel runs) per-point
+                              policy span events match the counters
 ============================  =============================================
 
 Each finding names its rule and the offending archive line (1-based —
@@ -400,3 +407,56 @@ def _rule_heartbeat_coverage(events):
                     f"heartbeat at {beat['sim_ms']} ms postdates the"
                     f" run end {meta['sim_end_ms']} ms"
                 )
+
+
+@lint_rule("policy-balance")
+def _rule_policy_balance(events):
+    """Policy decisions balance the actions they triggered.
+
+    Every counted ``policy.migrate`` decision starts exactly one
+    migration (``Σ fleet.migrations_in``) and every ``policy.rekey``
+    decision performs exactly one re-key (``Σ fleet.rekeys``) — the
+    engine never decides without acting, and the orchestrator never
+    acts without a decision (manual :meth:`migrate` calls are
+    attributed to the pseudo rule ``"api"``).  Archives without policy
+    counters predate the policy layer and are skipped.
+    """
+    totals = _counter_totals(events)
+    balances = (
+        ("policy.migrate", "fleet.migrations_in"),
+        ("policy.rekey", "fleet.rekeys"),
+    )
+    for decision_name, action_name in balances:
+        cells = totals.get(decision_name, {})
+        if not cells:
+            continue  # archive predates the policy layer, or no decisions
+        anchor = next(iter(cells.values()))[0]
+        decided = sum(value for _, value in cells.values())
+        acted = sum(
+            value for _, value in totals.get(action_name, {}).values()
+        )
+        if decided != acted:
+            yield anchor, (
+                f"{decision_name} decisions ({decided}) do not balance"
+                f" {action_name} ({acted})"
+            )
+    # Span cross-check: every counted decision leaves one span event.
+    # Spans stay worker-local in process-parallel runs while counters
+    # merge, so this only runs when the archive carries policy spans.
+    span_cells: dict = {}
+    for index, span in _spans(events):
+        if span.get("cat") != "policy":
+            continue
+        point = span["name"].rsplit(":", 1)[-1]
+        anchor, count = span_cells.get(point, (index, 0))
+        span_cells[point] = (anchor, count + 1)
+    for point, (anchor, count) in sorted(span_cells.items()):
+        counted = sum(
+            value
+            for _, value in totals.get(f"policy.{point}", {}).values()
+        )
+        if count != counted:
+            yield anchor, (
+                f"policy span events for point {point!r} ({count}) do"
+                f" not match the policy.{point} counter total ({counted})"
+            )

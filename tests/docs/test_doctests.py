@@ -23,6 +23,7 @@ import pytest
 import repro
 import repro.backend
 import repro.fleet.orchestrator
+import repro.fleet.policy
 import repro.fleet.scenario
 import repro.fleet.stats
 import repro.obs
@@ -32,6 +33,7 @@ DOCUMENTED_MODULES = (
     repro,
     repro.backend,
     repro.fleet.orchestrator,
+    repro.fleet.policy,
     repro.fleet.scenario,
     repro.fleet.stats,
     repro.obs,
@@ -46,6 +48,7 @@ MUST_HAVE_EXAMPLES = {
     "get_scenario": repro.fleet.scenario.get_scenario,
     "FleetStats": repro.fleet.stats.FleetStats,
     "repro.backend": repro.backend,
+    "repro.fleet.policy": repro.fleet.policy,
     "repro.obs": repro.obs,
 }
 

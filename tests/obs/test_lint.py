@@ -53,7 +53,7 @@ def _findings_for(rule, events):
 
 
 class TestRegistry:
-    def test_all_seven_rules_registered(self):
+    def test_all_eight_rules_registered(self):
         assert set(LINT_RULES) == {
             "span-nesting",
             "sim-time-monotonic",
@@ -62,6 +62,7 @@ class TestRegistry:
             "shard-conservation",
             "injection-balance",
             "heartbeat-coverage",
+            "policy-balance",
         }
 
     def test_unknown_rule_rejected(self):
@@ -297,6 +298,95 @@ class TestHeartbeatCoverage:
         assert not _findings_for(
             "heartbeat-coverage", [_counter("c", 1)]
         )
+
+
+class TestPolicyBalance:
+    def test_vacuous_without_policy_counters(self):
+        # Archives predating the policy layer carry action counters
+        # only — the rule must not demand decisions that never existed.
+        assert not _findings_for(
+            "policy-balance",
+            [
+                _counter("fleet.migrations_in", 3, shard=1),
+                _counter("fleet.rekeys", 2, shard=0),
+            ],
+        )
+
+    def test_unbalanced_migrate_decisions(self):
+        events = [
+            _counter("policy.migrate", 3, rule="threshold-rebalance"),
+            _counter("fleet.migrations_in", 2, shard=1),
+        ]
+        (finding,) = _findings_for("policy-balance", events)
+        assert finding.line == 1
+        assert "policy.migrate decisions (3) do not balance" in (
+            finding.message
+        )
+
+    def test_unbalanced_rekey_decisions(self):
+        events = [
+            _counter("policy.rekey", 4, rule="session-expiry-rekey"),
+            _counter("fleet.rekeys", 5, shard=0),
+        ]
+        (finding,) = _findings_for("policy-balance", events)
+        assert "policy.rekey decisions (4) do not balance" in (
+            finding.message
+        )
+
+    def test_decisions_summed_across_rules(self):
+        # Two rules firing at one point balance against the one action
+        # counter together, not individually.
+        events = [
+            _counter("policy.rekey", 2, rule="storm-rekey"),
+            _counter("policy.rekey", 3, rule="session-expiry-rekey"),
+            _counter("fleet.rekeys", 5, shard=0),
+        ]
+        assert not _findings_for("policy-balance", events)
+
+    def test_api_pseudo_rule_counts(self):
+        # Manual migrate() calls are attributed to the pseudo rule
+        # "api" and balance like any engine decision.
+        events = [
+            _counter("policy.migrate", 1, rule="api"),
+            _counter("policy.migrate", 1, rule="roam-cadence"),
+            _counter("fleet.migrations_in", 1, shard=0),
+            _counter("fleet.migrations_in", 1, shard=1),
+        ]
+        assert not _findings_for("policy-balance", events)
+
+    def test_span_count_disagrees_with_counter(self):
+        events = [
+            _span(
+                0, "veh0001:policy:migrate", "policy", 5, 5,
+                vehicle=1, rule="threshold-rebalance",
+            ),
+            _counter("policy.migrate", 2, rule="threshold-rebalance"),
+            _counter("fleet.migrations_in", 2, shard=1),
+        ]
+        (finding,) = _findings_for("policy-balance", events)
+        assert finding.line == 1
+        assert "span events for point 'migrate' (1)" in finding.message
+        assert "counter total (2)" in finding.message
+
+    def test_spanless_merged_archive_is_clean(self):
+        # Process-parallel runs merge counters but keep spans
+        # worker-local: counter-only archives skip the span check.
+        events = [
+            _counter("policy.migrate", 2, rule="threshold-rebalance"),
+            _counter("fleet.migrations_in", 2, shard=1),
+        ]
+        assert not _findings_for("policy-balance", events)
+
+    def test_balanced_archive_with_spans_clean(self):
+        events = [
+            _span(
+                0, "veh0000:policy:rekey", "policy", 3, 3,
+                vehicle=0, rule="session-expiry-rekey",
+            ),
+            _counter("policy.rekey", 1, rule="session-expiry-rekey"),
+            _counter("fleet.rekeys", 1, shard=0),
+        ]
+        assert not _findings_for("policy-balance", events)
 
 
 class TestRealRun:

@@ -62,8 +62,8 @@ def _topology_payload(p50=10.0, throughput=100.0, churn_cell=True) -> dict:
 class TestCellExtraction:
     def test_topology_cells_keyed_structurally(self):
         cells = gate.extract_cells(_topology_payload())
-        assert ("topology", "", 1, 0.0, 50, False) in cells
-        assert ("topology", "", 2, 0.0, 50, True) in cells
+        assert ("topology", "", "", 1, 0.0, 50, False) in cells
+        assert ("topology", "", "", 2, 0.0, 50, True) in cells
         # The churn cell and the plain 2-shard cell are distinct keys.
         assert len(cells) == 5
 
@@ -73,8 +73,21 @@ class TestCellExtraction:
         for name, cell in zip(("a", "b", "c", "d", "e"), payload["cells"]):
             cell["scenario"] = name
         cells = gate.extract_cells(payload)
-        assert ("scenarios", "a", 1, 0.0, 50, False) in cells
+        assert ("scenarios", "a", "", 1, 0.0, 50, False) in cells
         assert len(cells) == 5
+
+    def test_policy_cells_keyed_by_bundle(self):
+        # The policy-ablation sweep runs one workload shape under many
+        # bundles: only the policy slot distinguishes its cells.
+        payload = _topology_payload(churn_cell=False)
+        payload["benchmark"] = "policies"
+        for bundle, cell in zip(("w", "x", "y", "z"), payload["cells"]):
+            cell["scenario"] = "policy-ablation"
+            cell["policy"] = bundle
+            cell.update(shards=2, v2v_fraction=0.0, churn=True)
+        cells = gate.extract_cells(payload)
+        assert ("policies", "policy-ablation", "x", 2, 0.0, 50, True) in cells
+        assert len(cells) == 4
 
     def test_fleet_payload_is_one_cell(self):
         payload = {
@@ -84,7 +97,7 @@ class TestCellExtraction:
             "fleet": {"throughput_records_per_s": 1.0},
         }
         cells = gate.extract_cells(payload)
-        assert list(cells) == [("fleet_scale", "", 1, 0.0, 250, False)]
+        assert list(cells) == [("fleet_scale", "", "", 1, 0.0, 250, False)]
 
     def test_fleet_scale_sweep_cells_are_extracted(self):
         payload = {
@@ -115,8 +128,8 @@ class TestCellExtraction:
             },
         }
         cells = gate.extract_cells(payload)
-        assert ("fleet_scale", "scale-w1", 4, 0.0, 300, False) in cells
-        assert ("fleet_scale", "scale-w2", 4, 0.0, 300, False) in cells
+        assert ("fleet_scale", "scale-w1", "", 4, 0.0, 300, False) in cells
+        assert ("fleet_scale", "scale-w2", "", 4, 0.0, 300, False) in cells
         assert len(cells) == 3  # storm cell + two gateable scale cells
 
     def test_mode_selects_baseline_file(self):
@@ -195,7 +208,7 @@ class TestThresholdSemantics:
         report = gate.compare_cells(base, cand)
         assert report["matched"] == 4
         assert report["only_in_candidate"] == [
-            ("topology", "", 2, 0.0, 50, True)
+            ("topology", "", "", 2, 0.0, 50, True)
         ]
 
     def test_lost_baseline_cells_fail_the_gate(self, tmp_path):
